@@ -1,0 +1,437 @@
+// This file is the benchmark harness required by the reproduction: one bench
+// per paper table/figure (reporting the headline metric via b.ReportMetric)
+// plus micro-benchmarks for the deployment claims (decision latency, model
+// footprint, extraction overhead) and ablations of the design choices called
+// out in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+package metis
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/abr"
+	"repro/internal/dcn"
+	"repro/internal/experiments"
+	"repro/internal/metis/dtree"
+	"repro/internal/metis/mask"
+	"repro/internal/routenet"
+	"repro/internal/routing"
+)
+
+var (
+	fixOnce sync.Once
+	fix     *experiments.Fixture
+)
+
+// fixture trains the shared teachers once per benchmark binary.
+func fixture() *experiments.Fixture {
+	fixOnce.Do(func() { fix = experiments.NewFixture(experiments.TestScale) })
+	return fix
+}
+
+// BenchmarkFig07DecisionTree regenerates the Figure 7 interpretation.
+func BenchmarkFig07DecisionTree(b *testing.B) {
+	f := fixture()
+	var fid float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig07(f)
+		fid = r.Fidelity
+	}
+	b.ReportMetric(100*fid, "fidelity_%")
+}
+
+// BenchmarkFig11Redesign regenerates the §6.2 structure comparison.
+func BenchmarkFig11Redesign(b *testing.B) {
+	f := fixture()
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		gain = experiments.Fig11(f).FinalGainPct
+	}
+	b.ReportMetric(gain, "modified_gain_%")
+}
+
+// BenchmarkFig12Frequencies regenerates the bitrate-frequency figure.
+func BenchmarkFig12Frequencies(b *testing.B) {
+	f := fixture()
+	var rare float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig12(f, "HSDPA")
+		rare = 100 * (r.PensieveRare[0] + r.PensieveRare[1])
+	}
+	b.ReportMetric(rare, "rare_bitrate_%")
+}
+
+// BenchmarkFig13FixedLink regenerates the fixed-link debugging study.
+func BenchmarkFig13FixedLink(b *testing.B) {
+	f := fixture()
+	var conf float64
+	for i := 0; i < b.N; i++ {
+		conf = experiments.Fig13(f, 3000).PensieveConfidence
+	}
+	b.ReportMetric(conf, "dnn_confidence")
+}
+
+// BenchmarkFig14Oversample regenerates the oversampling fix comparison.
+func BenchmarkFig14Oversample(b *testing.B) {
+	f := fixture()
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		avg = experiments.Fig14(f).Avg
+	}
+	b.ReportMetric(100*avg, "oversampled_QoE_%ofDNN")
+}
+
+// BenchmarkFig15aQoEParity regenerates the tree-vs-DNN QoE table.
+func BenchmarkFig15aQoEParity(b *testing.B) {
+	f := fixture()
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		gap = experiments.Fig15a(f).TreeGapPct[0]
+	}
+	b.ReportMetric(gap, "tree_gap_%")
+}
+
+// BenchmarkFig15bFCTParity regenerates the AuTO FCT parity comparison.
+func BenchmarkFig15bFCTParity(b *testing.B) {
+	f := fixture()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ratio = experiments.Fig15b(f).AvgRatio[0]
+	}
+	b.ReportMetric(100*ratio, "tree_FCT_%ofDNN")
+}
+
+// BenchmarkFig16aLatency regenerates the decision-latency comparison.
+func BenchmarkFig16aLatency(b *testing.B) {
+	f := fixture()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		speedup = experiments.Fig16a(f).Speedup
+	}
+	b.ReportMetric(speedup, "tree_speedup_x")
+}
+
+// BenchmarkFig16bCoverage regenerates the per-flow coverage comparison.
+func BenchmarkFig16bCoverage(b *testing.B) {
+	f := fixture()
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig16b(f)
+		gain = 100 * (r.FlowCoverage[1][1] - r.FlowCoverage[1][0])
+	}
+	b.ReportMetric(gain, "DM_flow_coverage_gain_pp")
+}
+
+// BenchmarkFig17aMedianFlows regenerates the median-flow scheduling study.
+func BenchmarkFig17aMedianFlows(b *testing.B) {
+	f := fixture()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ratio = experiments.Fig17a(f).MedianFCTRatio[0]
+	}
+	b.ReportMetric(100*ratio, "median_FCT_%ofbase")
+}
+
+// BenchmarkFig17bFootprint regenerates the model footprint comparison.
+func BenchmarkFig17bFootprint(b *testing.B) {
+	f := fixture()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ratio = experiments.Fig17b(f).SizeRatio
+	}
+	b.ReportMetric(ratio, "size_ratio_x")
+}
+
+// BenchmarkFig18Adjust regenerates the ad-hoc rerouting quadrant test.
+func BenchmarkFig18Adjust(b *testing.B) {
+	f := fixture()
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		frac = experiments.Fig18(f).QuadrantFrac
+	}
+	b.ReportMetric(100*frac, "quadrant_I_III_%")
+}
+
+// BenchmarkTable3Masks regenerates the top-5 mask interpretation table.
+func BenchmarkTable3Masks(b *testing.B) {
+	f := fixture()
+	var top float64
+	for i := 0; i < b.N; i++ {
+		top = experiments.Table3(f).Rows[0].Mask
+	}
+	b.ReportMetric(top, "top_mask")
+}
+
+// BenchmarkFig09MaskDistribution regenerates the mask CDF/correlation study.
+func BenchmarkFig09MaskDistribution(b *testing.B) {
+	f := fixture()
+	var r float64
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig09(f).PearsonR
+	}
+	b.ReportMetric(r, "pearson_r")
+}
+
+// BenchmarkFig20Resampling regenerates the Equation 1 resampling ablation.
+func BenchmarkFig20Resampling(b *testing.B) {
+	f := fixture()
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		frac = experiments.Fig20(f).ImprovedFrac
+	}
+	b.ReportMetric(100*frac, "improved_traces_%")
+}
+
+// BenchmarkFig27InterpBaselines regenerates the LIME/LEMNA comparison.
+func BenchmarkFig27InterpBaselines(b *testing.B) {
+	f := fixture()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		acc = experiments.Fig27(f, []int{1, 5}).TreeAcc
+	}
+	b.ReportMetric(100*acc, "tree_acc_%")
+}
+
+// BenchmarkFig28LeafSensitivity regenerates the leaf-count sweep.
+func BenchmarkFig28LeafSensitivity(b *testing.B) {
+	f := fixture()
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig28(f, []int{10, 200})
+		spread = r.Acc[1] - r.Acc[0]
+	}
+	b.ReportMetric(100*spread, "acc_spread_pp")
+}
+
+// BenchmarkFig29LambdaSweep regenerates the λ sensitivity study.
+func BenchmarkFig29LambdaSweep(b *testing.B) {
+	f := fixture()
+	var drop float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig29(f)
+		drop = r.NormAtL1[0] - r.NormAtL1[len(r.NormAtL1)-1]
+	}
+	b.ReportMetric(drop, "norm_drop")
+}
+
+// BenchmarkFig31Overhead regenerates the extraction-overhead measurements.
+func BenchmarkFig31Overhead(b *testing.B) {
+	f := fixture()
+	var secs float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig31(f, []int{200})
+		secs = r.TreeTimes[0].Seconds()
+	}
+	b.ReportMetric(secs, "tree_extract_s")
+}
+
+// BenchmarkTable5FixedLink regenerates the 1300 kbps comparison.
+func BenchmarkTable5FixedLink(b *testing.B) {
+	f := fixture()
+	var q float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table5(f)
+		q = r.QoE[len(r.QoE)-1]
+	}
+	b.ReportMetric(q, "pensieve_QoE")
+}
+
+// --- Micro-benchmarks for the deployment claims -------------------------
+
+// BenchmarkDNNDecision times one lRLA DNN inference (Fig. 16a numerator).
+func BenchmarkDNNDecision(b *testing.B) {
+	lrla, _, _, _ := fixture().AuTo()
+	state := make([]float64, dcn.LongFlowStateDim)
+	state[0], state[1] = 6, 7
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lrla.Decide(state)
+	}
+}
+
+// BenchmarkTreeDecision times one distilled-tree decision (denominator).
+func BenchmarkTreeDecision(b *testing.B) {
+	_, _, tree, _ := fixture().AuTo()
+	state := make([]float64, dcn.LongFlowStateDim)
+	state[0], state[1] = 6, 7
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Predict(state)
+	}
+}
+
+// BenchmarkPensieveDNNDecision times one Pensieve actor inference.
+func BenchmarkPensieveDNNDecision(b *testing.B) {
+	agent := fixture().Pensieve()
+	state := make([]float64, abr.StateDim)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent.Act(state)
+	}
+}
+
+// BenchmarkPensieveTreeDecision times one Pensieve tree decision.
+func BenchmarkPensieveTreeDecision(b *testing.B) {
+	tree := fixture().PensieveTree().Tree
+	state := make([]float64, abr.StateDim)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Predict(state)
+	}
+}
+
+// BenchmarkModelFootprint reports serialized sizes (Fig. 17b).
+func BenchmarkModelFootprint(b *testing.B) {
+	f := fixture()
+	var r *experiments.Fig17bResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig17b(f)
+	}
+	b.ReportMetric(float64(r.DNNBytes), "dnn_bytes")
+	b.ReportMetric(float64(r.TreeBytes), "tree_bytes")
+}
+
+// BenchmarkExtractionOverhead times the full distillation pipeline at the
+// paper's 200-leaf setting (Appendix G).
+func BenchmarkExtractionOverhead(b *testing.B) {
+	f := fixture()
+	ds := f.PensieveTree().Dataset
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dtree.FitDataset(ds, dtree.DistillConfig{MaxLeaves: 200}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMaskSearch times one critical-connection search.
+func BenchmarkMaskSearch(b *testing.B) {
+	f := fixture()
+	g, model := f.RouteNet()
+	opt := &routenet.Optimizer{Model: model, Graph: g}
+	demands := routing.RandomDemands(g, f.Scale.RouteDemands, 3, 9, 907)
+	rt := opt.Route(demands)
+	sys := &experiments.RouteNetSystem{Opt: opt, Routing: rt}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mask.Search(sys, mask.Options{Iterations: 20, Seed: int64(i)})
+	}
+}
+
+// --- Ablation benches (design choices from DESIGN.md §4) ----------------
+
+// BenchmarkAblationResampling compares distillation with and without the
+// Equation 1 advantage resampling.
+func BenchmarkAblationResampling(b *testing.B) {
+	f := fixture()
+	env := f.EnvHSDPA()
+	agent := f.Pensieve()
+	for _, on := range []bool{false, true} {
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var q float64
+			for i := 0; i < b.N; i++ {
+				res, err := dtree.DistillPolicy(env, agent, dtree.DistillConfig{
+					MaxLeaves: f.Scale.TreeLeaves, Iterations: 2, EpisodesPerIter: 8,
+					MaxSteps: 50, Resample: on, QHorizon: 5, Seed: 3,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				q = experiments.QoEOfTreeOnEnv(env, experiments.TreePolicy(res.Tree), 8)
+			}
+			b.ReportMetric(q, "QoE")
+		})
+	}
+}
+
+// BenchmarkAblationDagger varies the number of DAgger takeover rounds.
+func BenchmarkAblationDagger(b *testing.B) {
+	f := fixture()
+	env := f.EnvHSDPA()
+	agent := f.Pensieve()
+	for _, iters := range []int{1, 3} {
+		b.Run(map[int]string{1: "1round", 3: "3rounds"}[iters], func(b *testing.B) {
+			var fid float64
+			for i := 0; i < b.N; i++ {
+				res, err := dtree.DistillPolicy(env, agent, dtree.DistillConfig{
+					MaxLeaves: f.Scale.TreeLeaves, Iterations: iters, EpisodesPerIter: 8,
+					MaxSteps: 50, Seed: 3,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fid = res.Fidelity
+			}
+			b.ReportMetric(100*fid, "fidelity_%")
+		})
+	}
+}
+
+// BenchmarkAblationPruning compares CCP pruning against direct growth to the
+// same leaf budget.
+func BenchmarkAblationPruning(b *testing.B) {
+	f := fixture()
+	ds := f.PensieveTree().Dataset
+	eval := func(t *dtree.Tree) float64 {
+		agree := 0
+		for i, x := range ds.X {
+			if t.Predict(x) == ds.Y[i] {
+				agree++
+			}
+		}
+		return 100 * float64(agree) / float64(ds.Len())
+	}
+	b.Run("grow+CCP", func(b *testing.B) {
+		var acc float64
+		for i := 0; i < b.N; i++ {
+			t, err := dtree.FitDataset(ds, dtree.DistillConfig{MaxLeaves: 50, GrowFactor: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			acc = eval(t)
+		}
+		b.ReportMetric(acc, "train_acc_%")
+	})
+	b.Run("direct", func(b *testing.B) {
+		var acc float64
+		for i := 0; i < b.N; i++ {
+			t, err := dtree.Build(ds, dtree.BuildOptions{MaxLeaves: 50})
+			if err != nil {
+				b.Fatal(err)
+			}
+			acc = eval(t)
+		}
+		b.ReportMetric(acc, "train_acc_%")
+	})
+}
+
+// BenchmarkAblationEntropy compares the mask search with and without the
+// determinism (entropy) term.
+func BenchmarkAblationEntropy(b *testing.B) {
+	f := fixture()
+	g, model := f.RouteNet()
+	opt := &routenet.Optimizer{Model: model, Graph: g}
+	demands := routing.RandomDemands(g, f.Scale.RouteDemands, 3, 9, 911)
+	rt := opt.Route(demands)
+	sys := &experiments.RouteNetSystem{Opt: opt, Routing: rt}
+	for _, l2 := range []float64{1e-9, 1} {
+		name := "with"
+		if l2 < 1e-3 {
+			name = "without"
+		}
+		b.Run(name, func(b *testing.B) {
+			var ent float64
+			for i := 0; i < b.N; i++ {
+				res := mask.Search(sys, mask.Options{Lambda1: 0.25, Lambda2: l2, Iterations: 30, Seed: 5})
+				ent = res.Entropy
+			}
+			b.ReportMetric(ent, "mean_entropy")
+		})
+	}
+}

@@ -1,0 +1,61 @@
+// Command metis-abr demonstrates the local-system pipeline end to end:
+// train a Pensieve teacher on synthetic HSDPA-like traces, distill it into a
+// decision tree with Metis, print the interpretable rules, and compare QoE
+// against the classic ABR heuristics.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/abr"
+	"repro/internal/metis/dtree"
+	"repro/internal/pensieve"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	traces := flag.Int("traces", 16, "number of synthetic traces")
+	episodes := flag.Int("train", 300, "teacher pretraining episodes")
+	leaves := flag.Int("leaves", 120, "decision tree leaf budget")
+	flag.Parse()
+
+	env := abr.NewEnv(abr.Config{
+		Video:  abr.StandardVideo(48, 1),
+		Traces: trace.HSDPA(*traces, 400, 7),
+	})
+
+	fmt.Println("training Pensieve teacher…")
+	agent := pensieve.NewAgent(2, false)
+	pensieve.Pretrain(agent, env, *episodes, 5)
+	agent.A2C.Train(env, 2*(*episodes), 50, 6)
+
+	fmt.Println("distilling with Metis (DAgger + Equation 1 resampling + CCP)…")
+	res, err := dtree.DistillPolicy(env, agent, dtree.DistillConfig{
+		MaxLeaves:       *leaves,
+		Iterations:      2,
+		EpisodesPerIter: 10,
+		MaxSteps:        50,
+		Resample:        true,
+		QHorizon:        5,
+		FeatureNames:    abr.FeatureNames(),
+		Seed:            3,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("tree: %d leaves, depth %d, fidelity %.1f%%, %d bytes\n",
+		res.Tree.NumLeaves(), res.Tree.Depth(), 100*res.Fidelity, res.Tree.SizeBytes())
+	fmt.Println("\ntop 4 layers (Figure 7 analogue):")
+	fmt.Println(res.Tree.Rules(4))
+
+	fmt.Println("mean QoE per chunk over the trace set:")
+	for _, alg := range abr.Baselines() {
+		alg.Reset()
+		q := stats.Mean(abr.RunTraces(env, abr.AlgorithmSelector(alg), *traces))
+		fmt.Printf("  %-16s %8.3f\n", alg.Name(), q)
+	}
+	fmt.Printf("  %-16s %8.3f\n", "Metis+Pensieve", stats.Mean(abr.RunTraces(env, abr.PolicySelector(res.Tree.Predict), *traces)))
+	fmt.Printf("  %-16s %8.3f\n", "Pensieve", stats.Mean(abr.RunTraces(env, agent.Selector(), *traces)))
+}

@@ -1,0 +1,67 @@
+// Command metis-dcn demonstrates the AuTO pipeline: train the long-flow
+// agent on the fabric simulator, distill it, and compare flow completion
+// times and decision latencies between the DNN and the tree.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/auto"
+	"repro/internal/dcn"
+	"repro/internal/metis/dtree"
+)
+
+func main() {
+	flows := flag.Int("flows", 400, "flows per fabric run")
+	gens := flag.Int("gens", 10, "ES training generations")
+	flag.Parse()
+
+	fmt.Println("training AuTO lRLA on the web-search workload…")
+	lrla := auto.NewLRLA(21)
+	auto.TrainLRLA(lrla, auto.TrainConfig{Workload: dcn.WebSearch, FlowsPerRun: *flows, Generations: *gens, Seed: 23})
+
+	fmt.Println("collecting decisions and distilling…")
+	states, actions := auto.CollectLRLADataset(lrla, dcn.WebSearch, 4, 31)
+	tree, err := dtree.FitDataset(&dtree.Dataset{X: states, Y: actions}, dtree.DistillConfig{
+		MaxLeaves: 2000, FeatureNames: auto.LongFlowStateNames(),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("tree: %d leaves from %d decisions\n", tree.NumLeaves(), len(states))
+
+	run := func(name string, agent dcn.Agent) {
+		fl := dcn.GenerateFlows(dcn.WebSearch, *flows, 16, dcn.DefaultCapBps, 0.6, 99)
+		fab := dcn.NewFabric(dcn.Config{LongFlowAgent: agent})
+		fab.Run(fl)
+		s := dcn.ComputeFCTStats(fl)
+		fmt.Printf("  %-12s avg FCT %.3fms  p99 %.3fms  (%d agent decisions)\n",
+			name, 1000*s.Mean, 1000*s.P99, fab.Decisions)
+	}
+	fmt.Println("fabric runs (identical workload):")
+	run("AuTO", lrla)
+	run("Metis+AuTO", agentFunc(tree.Predict))
+
+	// Decision latency.
+	state := states[0]
+	t0 := time.Now()
+	for i := 0; i < 10000; i++ {
+		lrla.Decide(state)
+	}
+	dnn := time.Since(t0) / 10000
+	t0 = time.Now()
+	for i := 0; i < 10000; i++ {
+		tree.Predict(state)
+	}
+	tr := time.Since(t0) / 10000
+	fmt.Printf("decision latency: DNN %v vs tree %v (%.0f× faster; paper: 26.8×)\n",
+		dnn, tr, float64(dnn)/float64(tr))
+}
+
+// agentFunc adapts a function to dcn.Agent.
+type agentFunc func([]float64) int
+
+// Decide implements dcn.Agent.
+func (f agentFunc) Decide(state []float64) int { return f(state) }

@@ -1,0 +1,64 @@
+// Command metis-exp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	metis-exp -exp fig7            # one experiment
+//	metis-exp -exp all             # everything
+//	metis-exp -list                # list experiment ids
+//	metis-exp -exp fig15a -scale full
+//
+// Experiment identifiers follow the paper's numbering (fig7, fig9, fig11,
+// fig12, fig12b, fig12c, fig13, fig14, fig15a, fig15b, fig16a, fig16b,
+// fig17a, fig17b, fig18, fig20, fig27, fig28, fig29, fig31, table3, table5).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (or 'all')")
+	scale := flag.String("scale", "test", "scale: test (seconds) or full (minutes)")
+	list := flag.Bool("list", false, "list available experiment ids")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.Names(), "\n"))
+		return
+	}
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	s := experiments.TestScale
+	if *scale == "full" {
+		s = experiments.FullScale
+	}
+	f := experiments.NewFixture(s)
+
+	run := func(name string) {
+		runner, ok := experiments.Registry[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		res := runner(f)
+		fmt.Printf("=== %s (scale %s, %v) ===\n%s\n", name, s.Name, time.Since(start).Round(time.Millisecond), res)
+	}
+	if *exp == "all" {
+		for _, name := range experiments.Names() {
+			run(name)
+		}
+		return
+	}
+	for _, name := range strings.Split(*exp, ",") {
+		run(strings.TrimSpace(name))
+	}
+}

@@ -1,0 +1,114 @@
+// Routing adjustment: the §6.5 use case. Route traffic with a RouteNet*-
+// style optimizer on NSFNet, compute Metis's connection masks through the
+// public API, and use the mask values at diverting nodes to pick a reroute
+// path without measuring end-to-end latency first.
+package main
+
+import (
+	"fmt"
+
+	metis "repro"
+	"repro/internal/experiments"
+	"repro/internal/routenet"
+	"repro/internal/routing"
+	"repro/internal/topo"
+)
+
+func main() {
+	g := topo.NSFNet(10)
+	fmt.Println("training the RouteNet* delay predictor…")
+	model := routenet.NewModel(41)
+	model.Train(g, routenet.TrainConfig{Demands: 12, Generations: 50, Seed: 43})
+
+	demands := routing.RandomDemands(g, 12, 2, 6, 900)
+	opt := &routenet.Optimizer{Model: model, Graph: g}
+	rt := opt.Route(demands)
+
+	fmt.Println("searching critical connections…")
+	sys := &experiments.RouteNetSystem{Opt: opt, Routing: rt}
+	res := metis.CriticalConnections(sys, metis.MaskOptions{Lambda1: 0.25, Lambda2: 1, Iterations: 80, Seed: 7})
+	off := routenet.ConnectionOffsets(rt.Paths)
+	dm := routing.DelayModel{}
+	loads := rt.LinkLoads(g)
+
+	// For each demand with ≥2 alternatives diverting at different nodes,
+	// recommend the one whose diverting-node mask is LOWER (the §6.5
+	// observation: low mask → the current hop was not critical → a good
+	// alternative exists there). The indicator is statistical — the paper
+	// reports 72% of pairs in quadrants I/III — so we tally every scenario
+	// and illustrate a few.
+	shown, agree, total := 0, 0, 0
+	for i, p0 := range rt.Paths {
+		d := rt.Demands[i]
+		cands := g.CandidatePaths(d.Src, d.Dst, 1)
+		type alt struct {
+			path    topo.Path
+			pos     int
+			latency float64
+		}
+		var alts []alt
+		n0 := p0.Nodes(g)
+		for _, c := range cands {
+			nc := c.Nodes(g)
+			pos := 0
+			for pos < len(n0)-1 && pos < len(nc)-1 && n0[pos+1] == nc[pos+1] {
+				pos++
+			}
+			if pos >= len(p0) || equalPaths(c, p0) {
+				continue
+			}
+			lat := 0.0
+			for _, id := range c {
+				load := loads[id] + d.VolumeMbps
+				for _, oid := range p0 {
+					if oid == id { // demand already counted on shared links
+						load = loads[id]
+						break
+					}
+				}
+				lat += dm.LinkDelayMs(load, g.Links[id].CapMbps)
+			}
+			alts = append(alts, alt{path: c, pos: pos, latency: lat})
+		}
+		if len(alts) < 2 || alts[0].pos == alts[1].pos {
+			continue
+		}
+		total++
+		w1 := res.W[off[i]+alts[0].pos]
+		w2 := res.W[off[i]+alts[1].pos]
+		pick, other := alts[0], alts[1]
+		if w1 > w2 { // higher mask at divert point → avoid that alternative
+			pick, other = alts[1], alts[0]
+		}
+		verdict := "✓ mask picked the faster path"
+		if pick.latency <= other.latency {
+			agree++
+		} else {
+			verdict = "✗ mask picked the slower path"
+		}
+		if shown < 3 {
+			shown++
+			fmt.Printf("\nreroute demand %d→%d (current %s):\n", d.Src, d.Dst, p0.String(g))
+			fmt.Printf("  candidate A %-20s divert-mask %.3f, actual latency %.2f ms\n", alts[0].path.String(g), w1, alts[0].latency)
+			fmt.Printf("  candidate B %-20s divert-mask %.3f, actual latency %.2f ms\n", alts[1].path.String(g), w2, alts[1].latency)
+			fmt.Printf("  Metis recommends %s — %s\n", pick.path.String(g), verdict)
+		}
+	}
+	if total == 0 {
+		fmt.Println("no multi-alternative demands in this sample; rerun with another seed")
+	} else {
+		fmt.Printf("\nindicator agreement: %d/%d scenarios (paper: ~72%% in quadrants I/III, +19%% near-axis)\n", agree, total)
+	}
+}
+
+func equalPaths(a, b topo.Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

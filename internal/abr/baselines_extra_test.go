@@ -1,0 +1,115 @@
+package abr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func TestFestiveSwitchesGradually(t *testing.T) {
+	f := &Festive{}
+	f.Reset()
+	obs := Observation{
+		ThroughputKbps: []float64{5000, 5000, 5000, 5000, 5000},
+		NextChunkBits:  StandardVideo(1, 0).SizesBits[0],
+	}
+	prev := f.Select(obs) // startup chunk
+	for i := 0; i < 30; i++ {
+		cur := f.Select(obs)
+		if cur > prev+1 {
+			t.Fatalf("FESTIVE jumped %d→%d in one step", prev, cur)
+		}
+		prev = cur
+	}
+	if prev < NumBitrates-2 {
+		t.Fatalf("FESTIVE never climbed on a 5 Mbps link (reached %d)", prev)
+	}
+}
+
+func TestFestiveDropsImmediately(t *testing.T) {
+	f := &Festive{}
+	f.Reset()
+	fast := Observation{ThroughputKbps: []float64{5000, 5000, 5000, 5000, 5000}, NextChunkBits: StandardVideo(1, 0).SizesBits[0]}
+	for i := 0; i < 40; i++ {
+		f.Select(fast)
+	}
+	slow := Observation{ThroughputKbps: []float64{400, 400, 400, 400, 400}, NextChunkBits: fast.NextChunkBits}
+	before := f.Select(fast)
+	after := f.Select(slow)
+	if after >= before {
+		t.Fatalf("FESTIVE did not step down on a bandwidth drop (%d→%d)", before, after)
+	}
+}
+
+func TestBOLAPrefersHigherBitrateWithFullerBuffer(t *testing.T) {
+	b := &BOLA{}
+	sizes := StandardVideo(1, 0).SizesBits[0]
+	low := b.Select(Observation{BufferSec: 2, NextChunkBits: sizes})
+	high := b.Select(Observation{BufferSec: 40, NextChunkBits: sizes})
+	if high < low {
+		t.Fatalf("BOLA chose lower bitrate (%d) with a fuller buffer than with an empty one (%d)", high, low)
+	}
+	if low != 0 {
+		t.Fatalf("BOLA with a 2 s buffer chose %d, want 0", low)
+	}
+}
+
+func TestMPCAvoidsRebufferingAtLowBuffer(t *testing.T) {
+	m := &RobustMPC{}
+	m.Reset()
+	sizes := StandardVideo(1, 0).SizesBits[0]
+	obs := Observation{
+		BufferSec:      0.5,
+		LastAction:     5,
+		ThroughputKbps: []float64{1000, 1000, 1000, 1000, 1000},
+		NextChunkBits:  sizes,
+		TotalChunks:    48,
+	}
+	if got := m.Select(obs); got > 1 {
+		t.Fatalf("rMPC at 0.5 s buffer on a 1 Mbps link picked bitrate index %d", got)
+	}
+}
+
+func TestAllBaselinesStayInActionRange(t *testing.T) {
+	video := StandardVideo(48, 1)
+	f := func(seed int64) bool {
+		env := NewEnv(Config{Video: video, Traces: trace.HSDPA(3, 200, seed)})
+		for _, alg := range Baselines() {
+			alg.Reset()
+			env.Reset(seed)
+			for {
+				a := alg.Select(env.Observe())
+				if a < 0 || a >= NumBitrates {
+					return false
+				}
+				if _, _, done := env.Step(a); done {
+					break
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnvRewardMatchesQoEDefinition(t *testing.T) {
+	// Property: reward == bitrate/1000 − 4.3·rebuf − |Δbitrate|/1000.
+	env := NewEnv(Config{Video: StandardVideo(20, 1), Traces: []*trace.Trace{trace.Fixed(2000, 500)}})
+	env.Reset(0)
+	last := 0
+	for i := 0; i < 20; i++ {
+		a := (i * 7) % NumBitrates
+		_, r, done := env.Step(a)
+		want := BitratesKbps[a]/1000 - 4.3*env.LastRebufferSec - abs(BitratesKbps[a]-BitratesKbps[last])/1000
+		if d := r - want; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("step %d reward %.6f, want %.6f", i, r, want)
+		}
+		last = a
+		if done {
+			break
+		}
+	}
+}

@@ -1,0 +1,334 @@
+// Package abr implements the adaptive-bitrate (ABR) video streaming
+// environment used by the Pensieve experiments: a chunked video model, a
+// client buffer/rebuffering simulator driven by bandwidth traces, the linear
+// QoE metric from the paper, and the five heuristic baselines (BB, RB,
+// FESTIVE, BOLA, robustMPC) plus a fixed-lowest-bitrate control.
+package abr
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/trace"
+)
+
+// ChunkSeconds is the playtime of one video chunk.
+const ChunkSeconds = 4.0
+
+// BitratesKbps are the six encoding bitrates of the paper's test video.
+var BitratesKbps = []float64{300, 750, 1200, 1850, 2850, 4300}
+
+// NumBitrates is the size of the ABR action space.
+const NumBitrates = 6
+
+// HistoryLen is how many past chunks of throughput/download-time history the
+// Pensieve state carries.
+const HistoryLen = 8
+
+// StateDim is the dimensionality of the flattened Pensieve state:
+// last bitrate, buffer, 8×throughput, 8×download time, 6×next chunk size,
+// remaining chunks.
+const StateDim = 2 + 2*HistoryLen + NumBitrates + 1
+
+// Feature indices into the flattened state, used by the decision-tree
+// interpretations to print human-readable rules (Fig. 7).
+const (
+	FeatLastBitrate  = 0 // r_t, normalized by the max bitrate
+	FeatBuffer       = 1 // B, seconds / 10
+	FeatThroughput   = 2 // θ_t window starts here (newest at +HistoryLen-1)
+	FeatDownloadTime = 2 + HistoryLen
+	FeatChunkSizes   = 2 + 2*HistoryLen
+	FeatRemain       = StateDim - 1
+)
+
+// FeatureNames returns a name for each state dimension, matching the symbols
+// used in the paper's Figure 7 (r_t, B, θ_t, T_t).
+func FeatureNames() []string {
+	names := make([]string, StateDim)
+	names[FeatLastBitrate] = "r_t"
+	names[FeatBuffer] = "B"
+	for i := 0; i < HistoryLen; i++ {
+		names[FeatThroughput+i] = fmt.Sprintf("θ_t-%d", HistoryLen-1-i)
+	}
+	names[FeatThroughput+HistoryLen-1] = "θ_t"
+	for i := 0; i < HistoryLen; i++ {
+		names[FeatDownloadTime+i] = fmt.Sprintf("T_t-%d", HistoryLen-1-i)
+	}
+	names[FeatDownloadTime+HistoryLen-1] = "T_t"
+	for i := 0; i < NumBitrates; i++ {
+		names[FeatChunkSizes+i] = fmt.Sprintf("size_%dkbps", int(BitratesKbps[i]))
+	}
+	names[FeatRemain] = "remain"
+	return names
+}
+
+// Video is a chunked video with per-chunk, per-bitrate sizes in bits.
+type Video struct {
+	NumChunks int
+	// SizesBits[k][q] is the size in bits of chunk k at quality q.
+	SizesBits [][]float64
+}
+
+// StandardVideo builds a video of numChunks 4-second chunks whose per-chunk
+// sizes vary ±8% around the nominal bitrate·duration, mimicking VBR encoding.
+func StandardVideo(numChunks int, seed int64) *Video {
+	rng := rand.New(rand.NewSource(seed))
+	v := &Video{NumChunks: numChunks, SizesBits: make([][]float64, numChunks)}
+	for k := 0; k < numChunks; k++ {
+		row := make([]float64, NumBitrates)
+		noise := 1 + (rng.Float64()*2-1)*0.08
+		for q, br := range BitratesKbps {
+			row[q] = br * 1000 * ChunkSeconds * noise
+		}
+		v.SizesBits[k] = row
+	}
+	return v
+}
+
+// Config parameterizes the ABR environment.
+type Config struct {
+	Video  *Video
+	Traces []*trace.Trace
+	// RTTSec is the per-chunk request latency (default 0.08 s).
+	RTTSec float64
+	// BufferCapSec is the maximum client buffer (default 60 s).
+	BufferCapSec float64
+	// RebufPenalty is the QoE weight on rebuffering seconds (default 4.3,
+	// matching Pensieve's QoE_lin).
+	RebufPenalty float64
+	// SmoothPenalty weights bitrate switches in Mbps (default 1).
+	SmoothPenalty float64
+	// RandomStart offsets each episode's start position in the trace.
+	RandomStart bool
+}
+
+func (c *Config) defaults() {
+	if c.RTTSec == 0 {
+		c.RTTSec = 0.08
+	}
+	if c.BufferCapSec == 0 {
+		c.BufferCapSec = 60
+	}
+	if c.RebufPenalty == 0 {
+		c.RebufPenalty = 4.3
+	}
+	if c.SmoothPenalty == 0 {
+		c.SmoothPenalty = 1
+	}
+}
+
+// Env is the ABR environment. It implements rl.Env and rl.Snapshotter.
+type Env struct {
+	cfg Config
+
+	tr        *trace.Trace
+	timeSec   float64
+	chunk     int
+	buffer    float64
+	last      int
+	tputHist  []float64 // kbps, newest last
+	dtimeHist []float64 // seconds, newest last
+
+	// LastRebufferSec is the rebuffering incurred by the most recent Step.
+	LastRebufferSec float64
+}
+
+// NewEnv creates an ABR environment from cfg.
+func NewEnv(cfg Config) *Env {
+	cfg.defaults()
+	if cfg.Video == nil {
+		panic("abr: Config.Video is required")
+	}
+	if len(cfg.Traces) == 0 {
+		panic("abr: Config.Traces is required")
+	}
+	return &Env{cfg: cfg}
+}
+
+// Config returns the environment's configuration.
+func (e *Env) Config() Config { return e.cfg }
+
+// StateDim implements rl.Env.
+func (e *Env) StateDim() int { return StateDim }
+
+// NumActions implements rl.Env.
+func (e *Env) NumActions() int { return NumBitrates }
+
+// Reset implements rl.Env: it selects a trace by seed and restarts playback.
+func (e *Env) Reset(seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	e.tr = e.cfg.Traces[int(uint64(seed)%uint64(len(e.cfg.Traces)))]
+	e.timeSec = 0
+	if e.cfg.RandomStart {
+		e.timeSec = rng.Float64() * e.tr.Duration()
+	}
+	e.chunk = 0
+	e.buffer = 0
+	e.last = 0
+	e.tputHist = make([]float64, HistoryLen)
+	e.dtimeHist = make([]float64, HistoryLen)
+	e.LastRebufferSec = 0
+	return e.State()
+}
+
+// downloadTime walks the trace from the current time and returns the seconds
+// needed to transfer sizeBits, including RTT.
+func (e *Env) downloadTime(sizeBits float64) float64 {
+	t := e.timeSec
+	remaining := sizeBits
+	elapsed := e.cfg.RTTSec
+	for remaining > 0 {
+		bw := e.tr.BandwidthAt(t) * 1000 // bits per second
+		if bw <= 0 {
+			bw = 1000
+		}
+		// Time to the next 1-second trace boundary.
+		frac := 1 - (t - float64(int(t)))
+		if frac <= 0 {
+			frac = 1
+		}
+		canSend := bw * frac
+		if canSend >= remaining {
+			dt := remaining / bw
+			elapsed += dt
+			t += dt
+			remaining = 0
+		} else {
+			remaining -= canSend
+			elapsed += frac
+			t += frac
+		}
+	}
+	return elapsed
+}
+
+// Step implements rl.Env: download chunk at quality `action`, advance buffer
+// dynamics, and return the per-chunk QoE reward.
+func (e *Env) Step(action int) ([]float64, float64, bool) {
+	if action < 0 || action >= NumBitrates {
+		panic(fmt.Sprintf("abr: invalid action %d", action))
+	}
+	size := e.cfg.Video.SizesBits[e.chunk][action]
+	dt := e.downloadTime(size)
+	e.timeSec += dt
+
+	rebuf := 0.0
+	if dt > e.buffer {
+		rebuf = dt - e.buffer
+		e.buffer = 0
+	} else {
+		e.buffer -= dt
+	}
+	e.buffer += ChunkSeconds
+	if e.buffer > e.cfg.BufferCapSec {
+		wait := e.buffer - e.cfg.BufferCapSec
+		e.timeSec += wait
+		e.buffer = e.cfg.BufferCapSec
+	}
+	e.LastRebufferSec = rebuf
+
+	tput := size / dt / 1000 // kbps achieved
+	e.tputHist = append(e.tputHist[1:], tput)
+	e.dtimeHist = append(e.dtimeHist[1:], dt)
+
+	r := BitratesKbps[action]/1000 -
+		e.cfg.RebufPenalty*rebuf -
+		e.cfg.SmoothPenalty*abs(BitratesKbps[action]-BitratesKbps[e.last])/1000
+	e.last = action
+	e.chunk++
+	done := e.chunk >= e.cfg.Video.NumChunks
+	return e.State(), r, done
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// State returns the flattened 25-dim Pensieve state at the current position.
+func (e *Env) State() []float64 {
+	s := make([]float64, StateDim)
+	s[FeatLastBitrate] = BitratesKbps[e.last] / BitratesKbps[NumBitrates-1]
+	s[FeatBuffer] = e.buffer / 10
+	for i, v := range e.tputHist {
+		s[FeatThroughput+i] = v / 1000 // Mbps
+	}
+	for i, v := range e.dtimeHist {
+		s[FeatDownloadTime+i] = v / 10
+	}
+	k := e.chunk
+	if k >= e.cfg.Video.NumChunks {
+		k = e.cfg.Video.NumChunks - 1
+	}
+	for q := 0; q < NumBitrates; q++ {
+		s[FeatChunkSizes+q] = e.cfg.Video.SizesBits[k][q] / 8e6 // megabytes
+	}
+	s[FeatRemain] = float64(e.cfg.Video.NumChunks-e.chunk) / float64(e.cfg.Video.NumChunks)
+	return s
+}
+
+// Observation is the richer view consumed by heuristic baselines.
+type Observation struct {
+	LastAction      int
+	BufferSec       float64
+	ThroughputKbps  []float64 // newest last; zero entries mean "no history yet"
+	DownloadTimeSec []float64
+	NextChunkBits   []float64
+	ChunkIndex      int
+	TotalChunks     int
+}
+
+// Observe builds the baseline-facing observation for the current position.
+func (e *Env) Observe() Observation {
+	k := e.chunk
+	if k >= e.cfg.Video.NumChunks {
+		k = e.cfg.Video.NumChunks - 1
+	}
+	return Observation{
+		LastAction:      e.last,
+		BufferSec:       e.buffer,
+		ThroughputKbps:  append([]float64(nil), e.tputHist...),
+		DownloadTimeSec: append([]float64(nil), e.dtimeHist...),
+		NextChunkBits:   append([]float64(nil), e.cfg.Video.SizesBits[k]...),
+		ChunkIndex:      e.chunk,
+		TotalChunks:     e.cfg.Video.NumChunks,
+	}
+}
+
+// snapshot captures the full mutable state of the environment.
+type snapshot struct {
+	tr        *trace.Trace
+	timeSec   float64
+	chunk     int
+	buffer    float64
+	last      int
+	tputHist  []float64
+	dtimeHist []float64
+	rebuf     float64
+}
+
+// Snapshot implements rl.Snapshotter.
+func (e *Env) Snapshot() any {
+	return snapshot{
+		tr: e.tr, timeSec: e.timeSec, chunk: e.chunk, buffer: e.buffer,
+		last:      e.last,
+		tputHist:  append([]float64(nil), e.tputHist...),
+		dtimeHist: append([]float64(nil), e.dtimeHist...),
+		rebuf:     e.LastRebufferSec,
+	}
+}
+
+// Restore implements rl.Snapshotter.
+func (e *Env) Restore(s any) {
+	sn := s.(snapshot)
+	e.tr = sn.tr
+	e.timeSec = sn.timeSec
+	e.chunk = sn.chunk
+	e.buffer = sn.buffer
+	e.last = sn.last
+	e.tputHist = append([]float64(nil), sn.tputHist...)
+	e.dtimeHist = append([]float64(nil), sn.dtimeHist...)
+	e.LastRebufferSec = sn.rebuf
+}

@@ -1,0 +1,84 @@
+package abr
+
+// ChunkRecord captures one chunk decision during an episode.
+type ChunkRecord struct {
+	Action      int
+	RewardQoE   float64
+	RebufferSec float64
+	BufferSec   float64
+	TimeSec     float64
+}
+
+// EpisodeResult summarizes one played episode.
+type EpisodeResult struct {
+	TotalQoE float64
+	Chunks   []ChunkRecord
+}
+
+// MeanQoE returns QoE per chunk.
+func (r *EpisodeResult) MeanQoE() float64 {
+	if len(r.Chunks) == 0 {
+		return 0
+	}
+	return r.TotalQoE / float64(len(r.Chunks))
+}
+
+// ActionFrequencies returns the fraction of chunks at each bitrate.
+func (r *EpisodeResult) ActionFrequencies() []float64 {
+	freq := make([]float64, NumBitrates)
+	for _, c := range r.Chunks {
+		freq[c.Action]++
+	}
+	for i := range freq {
+		freq[i] /= float64(len(r.Chunks))
+	}
+	return freq
+}
+
+// Selector chooses the next bitrate; both heuristics and distilled policies
+// satisfy it through small adapters.
+type Selector func(e *Env) int
+
+// AlgorithmSelector adapts a heuristic Algorithm to a Selector.
+func AlgorithmSelector(a Algorithm) Selector {
+	return func(e *Env) int { return a.Select(e.Observe()) }
+}
+
+// PolicySelector adapts a function over the flattened state (e.g. a DNN or
+// decision-tree policy) to a Selector.
+func PolicySelector(act func(state []float64) int) Selector {
+	return func(e *Env) int { return act(e.State()) }
+}
+
+// RunEpisode plays one full episode of env with the given selector, starting
+// from Reset(seed).
+func RunEpisode(env *Env, sel Selector, seed int64) EpisodeResult {
+	env.Reset(seed)
+	var res EpisodeResult
+	for {
+		a := sel(env)
+		_, r, done := env.Step(a)
+		res.TotalQoE += r
+		res.Chunks = append(res.Chunks, ChunkRecord{
+			Action:      a,
+			RewardQoE:   r,
+			RebufferSec: env.LastRebufferSec,
+			BufferSec:   env.buffer,
+			TimeSec:     env.timeSec,
+		})
+		if done {
+			return res
+		}
+	}
+}
+
+// RunTraces plays one episode per seed 0..n-1 (each seed selects a trace)
+// and returns the per-episode mean QoE values.
+func RunTraces(env *Env, sel Selector, n int) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		res := RunEpisode(env, sel, int64(i))
+		out[i] = res.MeanQoE()
+	}
+	return out
+}

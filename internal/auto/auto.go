@@ -1,0 +1,245 @@
+// Package auto implements the AuTO teacher agents (Chen et al., SIGCOMM
+// 2018) on top of the dcn fabric simulator: sRLA, which outputs continuous
+// MLFQ demotion thresholds from a workload summary state, and lRLA, which
+// assigns strict priorities to individual long flows. Both are deterministic
+// policies trained with evolution strategies (substituting for AuTO's
+// DDPG/PG optimizers; the Metis pipeline only needs a converged
+// state→decision mapping).
+package auto
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/dcn"
+	"repro/internal/nn"
+	"repro/internal/rl"
+)
+
+// SRLAStateDim is the dimension of the workload summary state consumed by
+// sRLA.
+const SRLAStateDim = 6
+
+// NumThresholds is how many MLFQ demotion thresholds sRLA outputs.
+const NumThresholds = dcn.NumQueues - 1
+
+// WorkloadState summarizes a sample of (finished or offered) flows into the
+// sRLA state vector: log-scale size percentiles, volume, and arrival rate.
+func WorkloadState(flows []*dcn.Flow, capBps float64) []float64 {
+	if len(flows) == 0 {
+		return make([]float64, SRLAStateDim)
+	}
+	sizes := make([]float64, len(flows))
+	total := 0.0
+	for i, f := range flows {
+		sizes[i] = f.SizeBits / 8
+		total += f.SizeBits
+	}
+	sort.Float64s(sizes)
+	pct := func(p float64) float64 { return sizes[int(p*float64(len(sizes)-1))] }
+	dur := flows[len(flows)-1].ArrivalS - flows[0].ArrivalS
+	if dur <= 0 {
+		dur = 1e-6
+	}
+	return []float64{
+		math.Log10(pct(0.50) + 1),
+		math.Log10(pct(0.90) + 1),
+		math.Log10(pct(0.99) + 1),
+		math.Log10(total/8 + 1),
+		math.Log10(float64(len(flows))/dur + 1),
+		total / dur / capBps, // offered load estimate
+	}
+}
+
+// SRLA is the short-flow agent: workload summary state → MLFQ thresholds.
+type SRLA struct {
+	Net *nn.Network
+}
+
+// NewSRLA builds an untrained sRLA.
+func NewSRLA(seed int64) *SRLA {
+	return &SRLA{Net: nn.NewNetwork(nn.Config{
+		Sizes:  []int{SRLAStateDim, 32, 32, NumThresholds},
+		Hidden: nn.Tanh, Output: nn.Identity, Seed: seed,
+	})}
+}
+
+// Thresholds maps the network output to strictly increasing byte thresholds.
+// Output o is interpreted multiplicatively: t0 = 1 KB · e^{o0},
+// t_{i} = t_{i-1} · e^{1+softplus(o_i)} so thresholds stay ordered.
+func (s *SRLA) Thresholds(state []float64) []float64 {
+	out := s.Net.Forward(state)
+	th := make([]float64, NumThresholds)
+	t := 1e3 * math.Exp(clamp(out[0], -4, 8))
+	th[0] = t
+	for i := 1; i < NumThresholds; i++ {
+		t *= math.Exp(1 + softplus(clamp(out[i], -6, 4)))
+		th[i] = t
+	}
+	return th
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func softplus(x float64) float64 { return math.Log1p(math.Exp(x)) }
+
+// LRLA is the long-flow agent: per-flow state → strict priority.
+// The hidden width mirrors AuTO's large fully connected layers, which is
+// what makes DNN inference slow relative to a decision tree (Fig. 16a).
+type LRLA struct {
+	Net *nn.Network
+}
+
+// LRLAHidden is the hidden width of the lRLA network.
+const LRLAHidden = 256
+
+// NewLRLA builds an untrained lRLA.
+func NewLRLA(seed int64) *LRLA {
+	return &LRLA{Net: nn.NewNetwork(nn.Config{
+		Sizes:  []int{dcn.LongFlowStateDim, LRLAHidden, LRLAHidden, dcn.NumQueues},
+		Hidden: nn.ReLU, Output: nn.SoftmaxAct, Seed: seed,
+	})}
+}
+
+// Decide implements dcn.Agent.
+func (l *LRLA) Decide(state []float64) int {
+	return nn.Argmax(l.Net.Forward(state))
+}
+
+// ActionProbs implements rl.Policy (used by interpretation baselines).
+func (l *LRLA) ActionProbs(state []float64) []float64 {
+	out := l.Net.Forward(state)
+	probs := make([]float64, len(out))
+	copy(probs, out)
+	return probs
+}
+
+// TrainConfig controls teacher training.
+type TrainConfig struct {
+	Workload    dcn.Workload
+	FlowsPerRun int
+	Load        float64
+	Generations int
+	Seed        int64
+}
+
+func (c *TrainConfig) defaults() {
+	if c.FlowsPerRun == 0 {
+		c.FlowsPerRun = 400
+	}
+	if c.Load == 0 {
+		c.Load = 0.6
+	}
+	if c.Generations == 0 {
+		c.Generations = 30
+	}
+}
+
+// evalThresholds runs a workload under the given thresholds and returns the
+// mean-log-FCT score (higher is better).
+func evalThresholds(w dcn.Workload, th []float64, flowsPerRun int, load float64, seed int64) float64 {
+	flows := dcn.GenerateFlows(w, flowsPerRun, 16, dcn.DefaultCapBps, load, seed)
+	fab := dcn.NewFabric(dcn.Config{Thresholds: th})
+	fab.Run(flows)
+	s := dcn.ComputeFCTStats(flows)
+	if s.Count == 0 {
+		return -100
+	}
+	return -math.Log(s.Mean + 1e-9)
+}
+
+// TrainSRLA optimizes the sRLA with ES on the given workload and returns the
+// per-generation best scores.
+func TrainSRLA(s *SRLA, cfg TrainConfig) []float64 {
+	cfg.defaults()
+	es := rl.NewES()
+	es.Population = 12
+	es.Evals = 1
+	eval := func(net *nn.Network, seed int64) float64 {
+		probe := dcn.GenerateFlows(cfg.Workload, cfg.FlowsPerRun, 16, dcn.DefaultCapBps, cfg.Load, seed)
+		state := WorkloadState(probe, dcn.DefaultCapBps)
+		th := (&SRLA{Net: net}).Thresholds(state)
+		return evalThresholds(cfg.Workload, th, cfg.FlowsPerRun, cfg.Load, seed+1)
+	}
+	return es.Train(s.Net, eval, cfg.Generations, cfg.Seed)
+}
+
+// TrainLRLA optimizes the lRLA with ES: the score is the negative mean log
+// FCT of a fabric run in which the candidate assigns long-flow priorities.
+func TrainLRLA(l *LRLA, cfg TrainConfig) []float64 {
+	cfg.defaults()
+	es := rl.NewES()
+	es.Population = 10
+	es.Evals = 1
+	es.Sigma = 0.05
+	eval := func(net *nn.Network, seed int64) float64 {
+		flows := dcn.GenerateFlows(cfg.Workload, cfg.FlowsPerRun, 16, dcn.DefaultCapBps, cfg.Load, seed)
+		fab := dcn.NewFabric(dcn.Config{LongFlowAgent: &LRLA{Net: net}})
+		fab.Run(flows)
+		s := dcn.ComputeFCTStats(flows)
+		if s.Count == 0 {
+			return -100
+		}
+		return -math.Log(s.Mean + 1e-9)
+	}
+	return es.Train(l.Net, eval, cfg.Generations, cfg.Seed)
+}
+
+// CollectSRLADataset samples workload states and the teacher's threshold
+// outputs — the regression distillation set for Metis+AuTO-sRLA.
+func CollectSRLADataset(s *SRLA, w dcn.Workload, samples int, seed int64) (states, targets [][]float64) {
+	for i := 0; i < samples; i++ {
+		load := 0.3 + 0.5*float64(i%7)/6
+		flows := dcn.GenerateFlows(w, 300, 16, dcn.DefaultCapBps, load, seed+int64(i))
+		st := WorkloadState(flows, dcn.DefaultCapBps)
+		th := s.Thresholds(st)
+		logTh := make([]float64, len(th))
+		for k, v := range th {
+			logTh[k] = math.Log10(v)
+		}
+		states = append(states, st)
+		targets = append(targets, logTh)
+	}
+	return states, targets
+}
+
+// CollectLRLADataset runs fabrics with the teacher in the loop and records
+// every (long-flow state, priority) decision — the classification
+// distillation set for Metis+AuTO-lRLA.
+func CollectLRLADataset(l *LRLA, w dcn.Workload, runs int, seed int64) (states [][]float64, actions []int) {
+	rec := &recordingAgent{inner: l}
+	for r := 0; r < runs; r++ {
+		flows := dcn.GenerateFlows(w, 300, 16, dcn.DefaultCapBps, 0.6, seed+int64(r))
+		fab := dcn.NewFabric(dcn.Config{LongFlowAgent: rec})
+		fab.Run(flows)
+	}
+	return rec.states, rec.actions
+}
+
+// recordingAgent wraps an Agent and records its decisions.
+type recordingAgent struct {
+	inner   dcn.Agent
+	states  [][]float64
+	actions []int
+}
+
+// Decide implements dcn.Agent.
+func (r *recordingAgent) Decide(state []float64) int {
+	a := r.inner.Decide(state)
+	r.states = append(r.states, append([]float64(nil), state...))
+	r.actions = append(r.actions, a)
+	return a
+}
+
+// LongFlowStateNames labels the lRLA state features for tree rule printing.
+func LongFlowStateNames() []string {
+	return []string{"log_sent", "log_remaining", "age_s", "active/100", "src_load/10", "dst_load/10", "src/hosts", "dst/hosts"}
+}

@@ -1,0 +1,150 @@
+package auto
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dcn"
+	"repro/internal/metis/dtree"
+)
+
+func TestWorkloadStateShape(t *testing.T) {
+	flows := dcn.GenerateFlows(dcn.WebSearch, 200, 16, dcn.DefaultCapBps, 0.5, 1)
+	st := WorkloadState(flows, dcn.DefaultCapBps)
+	if len(st) != SRLAStateDim {
+		t.Fatalf("state dim %d, want %d", len(st), SRLAStateDim)
+	}
+	for i, v := range st {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("state[%d] = %v", i, v)
+		}
+	}
+	if empty := WorkloadState(nil, dcn.DefaultCapBps); len(empty) != SRLAStateDim {
+		t.Fatal("empty workload state has wrong dim")
+	}
+}
+
+func TestSRLAThresholdsIncreasing(t *testing.T) {
+	s := NewSRLA(1)
+	flows := dcn.GenerateFlows(dcn.DataMining, 200, 16, dcn.DefaultCapBps, 0.5, 2)
+	th := s.Thresholds(WorkloadState(flows, dcn.DefaultCapBps))
+	if len(th) != NumThresholds {
+		t.Fatalf("got %d thresholds, want %d", len(th), NumThresholds)
+	}
+	for i := 1; i < len(th); i++ {
+		if th[i] <= th[i-1] {
+			t.Fatalf("thresholds not increasing: %v", th)
+		}
+	}
+	if th[0] <= 0 {
+		t.Fatalf("first threshold %v not positive", th[0])
+	}
+}
+
+func TestLRLADecideInRange(t *testing.T) {
+	l := NewLRLA(3)
+	st := make([]float64, dcn.LongFlowStateDim)
+	p := l.Decide(st)
+	if p < 0 || p >= dcn.NumQueues {
+		t.Fatalf("priority %d out of range", p)
+	}
+	probs := l.ActionProbs(st)
+	sum := 0.0
+	for _, v := range probs {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probs sum %v", sum)
+	}
+}
+
+func TestTrainSRLAImproves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := NewSRLA(5)
+	hist := TrainSRLA(s, TrainConfig{Workload: dcn.WebSearch, FlowsPerRun: 150, Generations: 8, Seed: 9})
+	if len(hist) != 8 {
+		t.Fatalf("history length %d", len(hist))
+	}
+	// Scores are -log(meanFCT): they must be finite and non-degenerate.
+	for _, h := range hist {
+		if math.IsNaN(h) || h < -50 {
+			t.Fatalf("bad training score %v", h)
+		}
+	}
+}
+
+func TestCollectLRLADatasetLabelsMatchTeacher(t *testing.T) {
+	l := NewLRLA(7)
+	states, actions := CollectLRLADataset(l, dcn.WebSearch, 2, 11)
+	if len(states) == 0 {
+		t.Fatal("no long-flow decisions recorded")
+	}
+	if len(states) != len(actions) {
+		t.Fatalf("states %d actions %d", len(states), len(actions))
+	}
+	for i := range states {
+		if got := l.Decide(states[i]); got != actions[i] {
+			t.Fatalf("recorded action %d != teacher %d", actions[i], got)
+		}
+	}
+}
+
+func TestDistillLRLATree(t *testing.T) {
+	l := NewLRLA(13)
+	states, actions := CollectLRLADataset(l, dcn.DataMining, 3, 17)
+	if len(states) < 10 {
+		t.Skipf("only %d samples collected", len(states))
+	}
+	tree, err := dtree.FitDataset(&dtree.Dataset{X: states, Y: actions}, dtree.DistillConfig{
+		MaxLeaves: 50, FeatureNames: LongFlowStateNames(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for i := range states {
+		if tree.Predict(states[i]) == actions[i] {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(states)); frac < 0.8 {
+		t.Fatalf("tree fidelity %.3f", frac)
+	}
+}
+
+func TestDistillSRLARegressionTree(t *testing.T) {
+	s := NewSRLA(19)
+	states, targets := CollectSRLADataset(s, dcn.WebSearch, 40, 23)
+	tree, err := dtree.FitDataset(&dtree.Dataset{X: states, YReg: targets}, dtree.DistillConfig{MaxLeaves: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.IsRegression() {
+		t.Fatal("expected a regression tree")
+	}
+	// RMSE of log10 thresholds should be small relative to their range.
+	se, n := 0.0, 0
+	for i := range states {
+		pred := tree.PredictReg(states[i])
+		for k := range pred {
+			d := pred[k] - targets[i][k]
+			se += d * d
+			n++
+		}
+	}
+	if rmse := math.Sqrt(se / float64(n)); rmse > 1.0 {
+		t.Fatalf("log-threshold RMSE %.3f too high", rmse)
+	}
+}
+
+func TestLRLAInFabricLoop(t *testing.T) {
+	l := NewLRLA(29)
+	flows := dcn.GenerateFlows(dcn.WebSearch, 200, 16, dcn.DefaultCapBps, 0.6, 31)
+	fab := dcn.NewFabric(dcn.Config{LongFlowAgent: l})
+	fab.Run(flows)
+	if s := dcn.ComputeFCTStats(flows); s.Count != 200 {
+		t.Fatalf("completed %d/200 with lRLA in the loop", s.Count)
+	}
+}

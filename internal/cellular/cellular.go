@@ -1,0 +1,208 @@
+// Package cellular implements the Appendix B.2 scenario: ultra-dense
+// network user association. Mobile users are hypergraph vertices, base
+// station coverage areas are hyperedges, and a connection means "station e
+// covers user v". A residual-capacity association policy stands in for the
+// DL traffic optimizer; the mask adapter lets Metis rank which individual
+// user-station coverage relations are critical to the association outcome.
+package cellular
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/hypergraph"
+	"repro/internal/nn"
+)
+
+// Network describes an ultra-dense deployment.
+type Network struct {
+	// UserDemand[u] is user u's traffic demand.
+	UserDemand []float64
+	// StationCapacity[b] is station b's capacity.
+	StationCapacity []float64
+	// Coverage[b] lists users covered by station b.
+	Coverage [][]int
+}
+
+// RandomNetwork generates a deployment where every user is covered by 2–3
+// of the stations nearest to it on a unit square.
+func RandomNetwork(users, stations int, seed int64) Network {
+	rng := rand.New(rand.NewSource(seed))
+	type pt struct{ x, y float64 }
+	up := make([]pt, users)
+	sp := make([]pt, stations)
+	for i := range up {
+		up[i] = pt{rng.Float64(), rng.Float64()}
+	}
+	for i := range sp {
+		sp[i] = pt{rng.Float64(), rng.Float64()}
+	}
+	n := Network{
+		UserDemand:      make([]float64, users),
+		StationCapacity: make([]float64, stations),
+		Coverage:        make([][]int, stations),
+	}
+	for u := range n.UserDemand {
+		n.UserDemand[u] = 1 + rng.Float64()*4
+	}
+	for b := range n.StationCapacity {
+		n.StationCapacity[b] = 20 + rng.Float64()*30
+	}
+	for u := range up {
+		// The 2–3 nearest stations cover this user.
+		k := 2 + rng.Intn(2)
+		type cand struct {
+			b int
+			d float64
+		}
+		var cands []cand
+		for b := range sp {
+			dx, dy := up[u].x-sp[b].x, up[u].y-sp[b].y
+			cands = append(cands, cand{b: b, d: dx*dx + dy*dy})
+		}
+		for i := 0; i < k; i++ {
+			best := i
+			for j := i + 1; j < len(cands); j++ {
+				if cands[j].d < cands[best].d {
+					best = j
+				}
+			}
+			cands[i], cands[best] = cands[best], cands[i]
+			n.Coverage[cands[i].b] = append(n.Coverage[cands[i].b], u)
+		}
+	}
+	return n
+}
+
+// coveringStations returns, for each user, the stations covering it.
+func (n Network) coveringStations() [][]int {
+	cov := make([][]int, len(n.UserDemand))
+	for b, users := range n.Coverage {
+		for _, u := range users {
+			cov[u] = append(cov[u], b)
+		}
+	}
+	return cov
+}
+
+// Association assigns each user to one covering station.
+type Association struct {
+	Net     Network
+	Station []int // per user; -1 if uncovered
+}
+
+// Associate runs the residual-capacity-greedy association: users in demand
+// order pick the covering station with the most remaining capacity.
+func Associate(n Network) *Association {
+	cov := n.coveringStations()
+	res := append([]float64(nil), n.StationCapacity...)
+	a := &Association{Net: n, Station: make([]int, len(n.UserDemand))}
+	for u := range a.Station {
+		a.Station[u] = -1
+	}
+	order := make([]int, len(n.UserDemand))
+	for i := range order {
+		order[i] = i
+	}
+	// Largest demand first.
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if n.UserDemand[order[j]] > n.UserDemand[order[i]] {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	for _, u := range order {
+		best, bestRes := -1, math.Inf(-1)
+		for _, b := range cov[u] {
+			if res[b] > bestRes {
+				bestRes = res[b]
+				best = b
+			}
+		}
+		if best >= 0 {
+			a.Station[u] = best
+			res[best] -= n.UserDemand[u]
+		}
+	}
+	return a
+}
+
+// connIndex maps (station, position-in-coverage-list) pairs to the flat
+// hyperedge-major connection order used by the mask.
+func (n Network) connIndex() map[[2]int]int {
+	idx := map[[2]int]int{}
+	ci := 0
+	for b, users := range n.Coverage {
+		for _, u := range users {
+			idx[[2]int{b, u}] = ci
+			ci++
+		}
+	}
+	return idx
+}
+
+// System adapts an association to the critical-connection search: the
+// output concatenates, per user, the softmax preference over its covering
+// stations, where a masked coverage connection scales the station's
+// attractiveness for that user.
+type System struct {
+	Assoc *Association
+
+	cov [][]int
+	idx map[[2]int]int
+}
+
+// NewSystem prepares the adapter.
+func NewSystem(a *Association) *System {
+	return &System{Assoc: a, cov: a.Net.coveringStations(), idx: a.Net.connIndex()}
+}
+
+// NumConnections implements mask.System.
+func (s *System) NumConnections() int {
+	n := 0
+	for _, users := range s.Assoc.Net.Coverage {
+		n += len(users)
+	}
+	return n
+}
+
+// Discrete implements mask.System.
+func (s *System) Discrete() bool { return true }
+
+// Output implements mask.System.
+func (s *System) Output(mask []float64) []float64 {
+	n := s.Assoc.Net
+	// Residual capacity under the unmasked association.
+	res := append([]float64(nil), n.StationCapacity...)
+	for u, b := range s.Assoc.Station {
+		if b >= 0 {
+			res[b] -= n.UserDemand[u]
+		}
+	}
+	var out []float64
+	for u, stations := range s.cov {
+		if len(stations) == 0 {
+			continue
+		}
+		scores := make([]float64, len(stations))
+		for i, b := range stations {
+			w := 1.0
+			if mask != nil {
+				w = mask[s.idx[[2]int{b, u}]]
+			}
+			scores[i] = w * res[b] / 10
+		}
+		out = append(out, nn.Softmax(scores, nil)...)
+	}
+	return out
+}
+
+// Hypergraph returns the scenario-#3 hypergraph.
+func (s *System) Hypergraph() *hypergraph.Hypergraph {
+	return hypergraph.FromCellular(hypergraph.CellularCoverage{
+		UserDemand:      s.Assoc.Net.UserDemand,
+		StationCapacity: s.Assoc.Net.StationCapacity,
+		Coverage:        s.Assoc.Net.Coverage,
+	})
+}

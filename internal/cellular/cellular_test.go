@@ -1,0 +1,95 @@
+package cellular
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRandomNetworkCoverage(t *testing.T) {
+	n := RandomNetwork(30, 6, 1)
+	cov := n.coveringStations()
+	for u, stations := range cov {
+		if len(stations) < 2 || len(stations) > 3 {
+			t.Fatalf("user %d covered by %d stations, want 2–3", u, len(stations))
+		}
+	}
+}
+
+func TestAssociateAssignsCoveredUsers(t *testing.T) {
+	n := RandomNetwork(30, 6, 2)
+	a := Associate(n)
+	cov := n.coveringStations()
+	for u, b := range a.Station {
+		if b < 0 {
+			t.Fatalf("user %d unassigned despite coverage", u)
+		}
+		found := false
+		for _, c := range cov[u] {
+			if c == b {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("user %d assigned to non-covering station %d", u, b)
+		}
+	}
+}
+
+func TestSystemOutputIsDistribution(t *testing.T) {
+	n := RandomNetwork(20, 5, 3)
+	sys := NewSystem(Associate(n))
+	out := sys.Output(nil)
+	// Output concatenates per-user softmaxes; total mass = #users with
+	// coverage.
+	sum := 0.0
+	for _, v := range out {
+		if v < 0 || v > 1 {
+			t.Fatalf("probability %v out of range", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-20) > 1e-6 {
+		t.Fatalf("total probability mass %v, want 20", sum)
+	}
+}
+
+func TestMaskShiftsPreference(t *testing.T) {
+	n := RandomNetwork(20, 5, 4)
+	sys := NewSystem(Associate(n))
+	base := sys.Output(nil)
+	m := make([]float64, sys.NumConnections())
+	for i := range m {
+		m[i] = 0.05
+	}
+	masked := sys.Output(m)
+	diff := 0.0
+	for i := range base {
+		diff += math.Abs(base[i] - masked[i])
+	}
+	if diff < 1e-6 {
+		t.Fatal("strong mask had no effect on association preferences")
+	}
+}
+
+func TestHypergraphMatchesAdapter(t *testing.T) {
+	n := RandomNetwork(15, 4, 5)
+	sys := NewSystem(Associate(n))
+	h := sys.Hypergraph()
+	if len(h.Connections()) != sys.NumConnections() {
+		t.Fatalf("hypergraph connections %d, adapter %d", len(h.Connections()), sys.NumConnections())
+	}
+	if h.NumV != 15 || h.NumE != 4 {
+		t.Fatalf("hypergraph %dx%d", h.NumE, h.NumV)
+	}
+}
+
+func TestDeterministicAssociation(t *testing.T) {
+	n := RandomNetwork(25, 6, 6)
+	a := Associate(n)
+	b := Associate(n)
+	for u := range a.Station {
+		if a.Station[u] != b.Station[u] {
+			t.Fatal("association not deterministic")
+		}
+	}
+}

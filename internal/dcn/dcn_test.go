@@ -1,0 +1,200 @@
+package dcn
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleSizeMatchesCDF(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 20000
+	small := 0
+	for i := 0; i < n; i++ {
+		if DataMining.SampleSize(rng) <= 10e3 {
+			small++
+		}
+	}
+	frac := float64(small) / n
+	if math.Abs(frac-0.80) > 0.02 {
+		t.Fatalf("DM P(size ≤ 10KB) = %.3f, want ≈0.80", frac)
+	}
+}
+
+func TestWorkloadMeansOrdered(t *testing.T) {
+	ws, dm := WebSearch.MeanSizeBytes(), DataMining.MeanSizeBytes()
+	if ws <= 0 || dm <= 0 {
+		t.Fatalf("non-positive means: ws=%v dm=%v", ws, dm)
+	}
+	// Data mining has a much heavier tail → larger mean.
+	if dm <= ws {
+		t.Fatalf("DM mean %.0f should exceed WS mean %.0f", dm, ws)
+	}
+}
+
+func TestGenerateFlows(t *testing.T) {
+	flows := GenerateFlows(WebSearch, 500, 16, DefaultCapBps, 0.6, 7)
+	if len(flows) != 500 {
+		t.Fatalf("got %d flows", len(flows))
+	}
+	prev := 0.0
+	for _, f := range flows {
+		if f.ArrivalS < prev {
+			t.Fatal("arrivals not monotonically increasing")
+		}
+		prev = f.ArrivalS
+		if f.Src == f.Dst {
+			t.Fatal("self-flow generated")
+		}
+		if f.SizeBits <= 0 {
+			t.Fatal("non-positive flow size")
+		}
+	}
+}
+
+func TestFabricCompletesAllFlows(t *testing.T) {
+	flows := GenerateFlows(WebSearch, 300, 16, DefaultCapBps, 0.5, 3)
+	fab := NewFabric(Config{})
+	fab.Run(flows)
+	stats := ComputeFCTStats(flows)
+	if stats.Count != 300 {
+		t.Fatalf("completed %d/300 flows", stats.Count)
+	}
+	if stats.Mean <= 0 {
+		t.Fatalf("mean FCT %v", stats.Mean)
+	}
+}
+
+func TestSingleFlowFCTMatchesCapacity(t *testing.T) {
+	// One 10 MB flow on an idle 10 Gbps fabric: FCT = 80e6/10e9 = 8 ms.
+	fl := &Flow{ID: 0, Src: 0, Dst: 1, SizeBits: 80e6, ArrivalS: 0}
+	fab := NewFabric(Config{})
+	fab.Run([]*Flow{fl})
+	if math.Abs(fl.FCT()-0.008) > 0.002 {
+		t.Fatalf("FCT = %v, want ≈8ms", fl.FCT())
+	}
+}
+
+func TestShortFlowsBeatLongFlowsUnderMLFQ(t *testing.T) {
+	// A long flow and a burst of short flows share one src-dst pair; with
+	// MLFQ the shorts should finish near line rate despite the elephant.
+	var flows []*Flow
+	flows = append(flows, &Flow{ID: 0, Src: 0, Dst: 1, SizeBits: 800e6, ArrivalS: 0})
+	for i := 1; i <= 20; i++ {
+		flows = append(flows, &Flow{ID: i, Src: 0, Dst: 1, SizeBits: 80e3, ArrivalS: 0.01 + float64(i)*0.001})
+	}
+	fab := NewFabric(Config{})
+	fab.Run(flows)
+	shortStats := ComputeFCTStats(flows[1:])
+	// Each 10 KB flow takes 8 µs at line rate; allow queueing slack.
+	if shortStats.P99 > 0.005 {
+		t.Fatalf("short flow p99 FCT %v too high under MLFQ", shortStats.P99)
+	}
+	if !flows[0].done {
+		t.Fatal("long flow never finished")
+	}
+}
+
+func TestThresholdsChangePriority(t *testing.T) {
+	fab := NewFabric(Config{Thresholds: []float64{1e3, 1e6, 1e9}})
+	if q := fab.queueOf(500); q != 0 {
+		t.Fatalf("queueOf(500B) = %d, want 0", q)
+	}
+	if q := fab.queueOf(2e3); q != 1 {
+		t.Fatalf("queueOf(2KB) = %d, want 1", q)
+	}
+	if q := fab.queueOf(2e9); q != 3 {
+		t.Fatalf("queueOf(2GB) = %d, want 3", q)
+	}
+}
+
+// fixedAgent always answers the same priority and counts invocations.
+type fixedAgent struct {
+	prio  int
+	calls int
+}
+
+func (a *fixedAgent) Decide([]float64) int {
+	a.calls++
+	return a.prio
+}
+
+func TestAgentConsultedForLongFlows(t *testing.T) {
+	flows := []*Flow{
+		{ID: 0, Src: 0, Dst: 1, SizeBits: 100e6 * 8, ArrivalS: 0}, // 100 MB
+		{ID: 1, Src: 2, Dst: 3, SizeBits: 5e3 * 8, ArrivalS: 0},   // 5 KB
+	}
+	ag := &fixedAgent{prio: 0}
+	fab := NewFabric(Config{LongFlowAgent: ag})
+	fab.Run(flows)
+	if ag.calls == 0 {
+		t.Fatal("agent never consulted for the elephant flow")
+	}
+	if fab.Decisions != ag.calls {
+		t.Fatalf("Decisions=%d but agent saw %d calls", fab.Decisions, ag.calls)
+	}
+}
+
+func TestAgentLatencyDelaysEffect(t *testing.T) {
+	// With a huge decision latency the agent's priority boost cannot help;
+	// with zero latency it can. Boosting the elephant to priority 0 hurts
+	// a competing short-flow burst, so compare elephant FCTs instead.
+	mk := func(latency float64) float64 {
+		flows := []*Flow{
+			{ID: 0, Src: 0, Dst: 1, SizeBits: 400e6, ArrivalS: 0},
+		}
+		for i := 1; i <= 30; i++ {
+			flows = append(flows, &Flow{ID: i, Src: 0, Dst: 1, SizeBits: 800e3, ArrivalS: 0.001 * float64(i)})
+		}
+		ag := &fixedAgent{prio: 0} // always boost the long flow
+		fab := NewFabric(Config{LongFlowAgent: ag, AgentLatencyS: latency})
+		fab.Run(flows)
+		return flows[0].FCT()
+	}
+	fast := mk(0)
+	slow := mk(10)
+	if fast >= slow {
+		t.Fatalf("boosting with zero latency (FCT %v) should beat 10s latency (FCT %v)", fast, slow)
+	}
+}
+
+func TestFCTStatsPercentilesOrdered(t *testing.T) {
+	f := func(seed int64) bool {
+		flows := GenerateFlows(DataMining, 200, 8, DefaultCapBps, 0.4, seed)
+		NewFabric(Config{Hosts: 8}).Run(flows)
+		s := ComputeFCTStats(flows)
+		return s.P50 <= s.P75 && s.P75 <= s.P90 && s.P90 <= s.P95 && s.P95 <= s.P99
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConservationOfBytes(t *testing.T) {
+	flows := GenerateFlows(WebSearch, 100, 16, DefaultCapBps, 0.5, 11)
+	want := make([]float64, len(flows))
+	for i, f := range flows {
+		want[i] = f.SizeBits
+	}
+	NewFabric(Config{}).Run(flows)
+	sort.Slice(flows, func(a, b int) bool { return flows[a].ID < flows[b].ID })
+	for i, f := range flows {
+		if math.Abs(f.SentBits-want[i]) > 1 {
+			t.Fatalf("flow %d sent %.0f bits, size %.0f", f.ID, f.SentBits, want[i])
+		}
+	}
+}
+
+func TestFilterBySize(t *testing.T) {
+	flows := []*Flow{
+		{SizeBits: 8 * 1e3},
+		{SizeBits: 8 * 1e6},
+		{SizeBits: 8 * 1e9},
+	}
+	mid := FilterBySize(flows, 1e4, 1e8)
+	if len(mid) != 1 || mid[0] != flows[1] {
+		t.Fatalf("FilterBySize returned %d flows", len(mid))
+	}
+}

@@ -1,0 +1,302 @@
+package dcn
+
+import (
+	"math"
+	"sort"
+)
+
+// NumQueues is the number of strict-priority queues in the fabric (AuTO uses
+// a small number of hardware priorities; we use 4).
+const NumQueues = 4
+
+// DefaultCapBps is the per-host link capacity (10 Gbps).
+const DefaultCapBps = 10e9
+
+// Agent observes the fabric and sets flow priorities; AuTO's lRLA satisfies
+// it, and so does its distilled decision tree.
+type Agent interface {
+	// Decide returns the strict priority (0 = highest) for a long flow that
+	// has just exceeded the last MLFQ threshold. The state vector is
+	// produced by LongFlowState.
+	Decide(state []float64) int
+}
+
+// Config parameterizes a fabric simulation.
+type Config struct {
+	// Hosts is the number of servers (default 16).
+	Hosts int
+	// CapBps is the per-host link capacity (default 10 Gbps).
+	CapBps float64
+	// Thresholds are the MLFQ demotion thresholds in bytes sent
+	// (len NumQueues-1, ascending). A flow's queue is the number of
+	// thresholds it has crossed.
+	Thresholds []float64
+	// LongFlowAgent, if non-nil, decides priorities for flows that cross
+	// the last threshold instead of leaving them in the lowest queue.
+	LongFlowAgent Agent
+	// AgentLatencyS is the decision latency of LongFlowAgent: the priority
+	// takes effect only this long after the crossing (models AuTO's 62 ms
+	// DNN inference vs the tree's microseconds).
+	AgentLatencyS float64
+	// MedianFlowAgent, if true, also consults the agent at the middle
+	// threshold (the §6.4 median-flow extension).
+	MedianFlowAgent bool
+}
+
+func (c *Config) defaults() {
+	if c.Hosts == 0 {
+		c.Hosts = 16
+	}
+	if c.CapBps == 0 {
+		c.CapBps = DefaultCapBps
+	}
+	if c.Thresholds == nil {
+		c.Thresholds = DefaultThresholds()
+	}
+}
+
+// DefaultThresholds returns PIAS-style MLFQ demotion thresholds (bytes).
+func DefaultThresholds() []float64 {
+	return []float64{20e3, 200e3, 2e6}
+}
+
+// Fabric simulates a single-switch data center at flow granularity using a
+// fluid model: at any instant each link serves its highest-priority active
+// flows with an equal share, and a flow's rate is the minimum of its shares
+// at the source egress and destination ingress links.
+type Fabric struct {
+	cfg Config
+
+	// EventCount tallies processed simulation events (diagnostics).
+	EventCount int
+	// Decisions records the number of agent consultations.
+	Decisions int
+
+	activeFlows []*Flow
+	now         float64
+}
+
+// NewFabric creates a fabric simulator.
+func NewFabric(cfg Config) *Fabric {
+	cfg.defaults()
+	return &Fabric{cfg: cfg}
+}
+
+// Config returns the simulator configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// queueOf returns the MLFQ queue index for the given bytes sent.
+func (f *Fabric) queueOf(sentBytes float64) int {
+	q := 0
+	for _, th := range f.cfg.Thresholds {
+		if sentBytes >= th {
+			q++
+		}
+	}
+	return q
+}
+
+// LongFlowState builds the agent-facing state for a flow: log size proxies,
+// progress, and fabric load features.
+func (f *Fabric) LongFlowState(fl *Flow) []float64 {
+	active := float64(len(f.activeFlows))
+	srcLoad, dstLoad := 0.0, 0.0
+	for _, o := range f.activeFlows {
+		if o.Src == fl.Src {
+			srcLoad++
+		}
+		if o.Dst == fl.Dst {
+			dstLoad++
+		}
+	}
+	return []float64{
+		math.Log10(fl.SentBits/8 + 1),
+		math.Log10(fl.Remaining()/8 + 1),
+		f.now - fl.ArrivalS,
+		active / 100,
+		srcLoad / 10,
+		dstLoad / 10,
+		float64(fl.Src) / float64(f.cfg.Hosts),
+		float64(fl.Dst) / float64(f.cfg.Hosts),
+	}
+}
+
+// LongFlowStateDim is the dimension of LongFlowState vectors.
+const LongFlowStateDim = 8
+
+// pendingDecision defers an agent priority until its latency has elapsed.
+type pendingDecision struct {
+	flow    *Flow
+	applyAt float64
+	state   []float64
+}
+
+// Run simulates the given flows to completion and returns them with FCTs
+// filled in. The flows are mutated in place.
+func (f *Fabric) Run(flows []*Flow) []*Flow {
+	// Reset per-run mutable state.
+	for _, fl := range flows {
+		fl.SentBits = 0
+		fl.FinishS = 0
+		fl.Priority = 0
+		fl.Pinned = false
+		fl.done = false
+	}
+	sort.Slice(flows, func(a, b int) bool { return flows[a].ArrivalS < flows[b].ArrivalS })
+	f.activeFlows = f.activeFlows[:0]
+	f.now = 0
+	f.EventCount = 0
+	f.Decisions = 0
+	next := 0
+	var pending []pendingDecision
+
+	for next < len(flows) || len(f.activeFlows) > 0 {
+		f.EventCount++
+		f.allocateRates()
+
+		// Next event: arrival, completion, threshold crossing, or a pending
+		// agent decision taking effect.
+		dt := math.Inf(1)
+		if next < len(flows) {
+			dt = flows[next].ArrivalS - f.now
+		}
+		for _, fl := range f.activeFlows {
+			if fl.rate <= 0 {
+				continue
+			}
+			if t := fl.Remaining() / fl.rate; t < dt {
+				dt = t
+			}
+			// Threshold crossings change queueing behaviour.
+			if !fl.Pinned {
+				sentB := fl.SentBits / 8
+				for _, th := range f.cfg.Thresholds {
+					if sentB < th {
+						if t := (th*8 - fl.SentBits) / fl.rate; t < dt {
+							dt = t
+						}
+						break
+					}
+				}
+			}
+		}
+		for _, p := range pending {
+			if t := p.applyAt - f.now; t < dt {
+				dt = t
+			}
+		}
+		if math.IsInf(dt, 1) {
+			break // idle fabric and no arrivals left: done
+		}
+		if dt < 0 {
+			dt = 0
+		}
+
+		// Advance time.
+		f.now += dt
+		for _, fl := range f.activeFlows {
+			fl.SentBits += fl.rate * dt
+		}
+
+		// Apply matured agent decisions.
+		kept := pending[:0]
+		for _, p := range pending {
+			if p.applyAt <= f.now+1e-12 && !p.flow.done {
+				p.flow.Priority = f.cfg.LongFlowAgent.Decide(p.state)
+				p.flow.Pinned = true
+			} else if !p.flow.done {
+				kept = append(kept, p)
+			}
+		}
+		pending = kept
+
+		// Completions.
+		still := f.activeFlows[:0]
+		for _, fl := range f.activeFlows {
+			if fl.Remaining() <= 1e-6 {
+				fl.done = true
+				fl.FinishS = f.now
+			} else {
+				still = append(still, fl)
+			}
+		}
+		f.activeFlows = still
+
+		// MLFQ demotion and agent consultation.
+		lastTh := f.cfg.Thresholds[len(f.cfg.Thresholds)-1]
+		midTh := f.cfg.Thresholds[len(f.cfg.Thresholds)/2]
+		for _, fl := range f.activeFlows {
+			if fl.Pinned {
+				continue
+			}
+			fl.Priority = f.queueOf(fl.SentBits / 8)
+			consult := fl.SentBits/8 >= lastTh ||
+				(f.cfg.MedianFlowAgent && fl.SentBits/8 >= midTh)
+			if consult && f.cfg.LongFlowAgent != nil {
+				f.Decisions++
+				st := f.LongFlowState(fl)
+				if f.cfg.AgentLatencyS <= 0 {
+					fl.Priority = f.cfg.LongFlowAgent.Decide(st)
+					fl.Pinned = true
+				} else {
+					fl.Pinned = true // freeze queue while the decision is in flight
+					pending = append(pending, pendingDecision{flow: fl, applyAt: f.now + f.cfg.AgentLatencyS, state: st})
+				}
+			}
+		}
+
+		// Arrivals at the new time.
+		for next < len(flows) && flows[next].ArrivalS <= f.now+1e-12 {
+			f.activeFlows = append(f.activeFlows, flows[next])
+			next++
+		}
+	}
+	return flows
+}
+
+// allocateRates assigns each active flow a rate: strict priority per link,
+// equal split within the top priority class on that link, and a flow's rate
+// is the min of its src-egress and dst-ingress shares.
+func (f *Fabric) allocateRates() {
+	type linkState struct {
+		best  int
+		count int
+	}
+	eg := make([]linkState, f.cfg.Hosts)
+	in := make([]linkState, f.cfg.Hosts)
+	for i := range eg {
+		eg[i].best = math.MaxInt32
+		in[i].best = math.MaxInt32
+	}
+	for _, fl := range f.activeFlows {
+		if fl.Priority < eg[fl.Src].best {
+			eg[fl.Src].best = fl.Priority
+			eg[fl.Src].count = 0
+		}
+		if fl.Priority == eg[fl.Src].best {
+			eg[fl.Src].count++
+		}
+		if fl.Priority < in[fl.Dst].best {
+			in[fl.Dst].best = fl.Priority
+			in[fl.Dst].count = 0
+		}
+		if fl.Priority == in[fl.Dst].best {
+			in[fl.Dst].count++
+		}
+	}
+	for _, fl := range f.activeFlows {
+		rate := 0.0
+		if fl.Priority == eg[fl.Src].best && fl.Priority == in[fl.Dst].best {
+			rs := f.cfg.CapBps / float64(eg[fl.Src].count)
+			rd := f.cfg.CapBps / float64(in[fl.Dst].count)
+			rate = math.Min(rs, rd)
+		} else if fl.Priority == eg[fl.Src].best || fl.Priority == in[fl.Dst].best {
+			// Partially blocked: gets a trickle to avoid total starvation
+			// (models lower-priority queue service).
+			rate = f.cfg.CapBps * 0.01
+		} else {
+			rate = f.cfg.CapBps * 0.001
+		}
+		fl.rate = rate
+	}
+}

@@ -1,0 +1,98 @@
+package dcn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStrictPriorityStarvesLowerQueue(t *testing.T) {
+	// Two flows share a link; one is pinned to priority 0, the other to the
+	// lowest queue by crossing all thresholds immediately (huge flow). The
+	// high-priority flow should finish at nearly line rate.
+	hi := &Flow{ID: 0, Src: 0, Dst: 1, SizeBits: 8e6, ArrivalS: 0}   // 1 MB
+	lo := &Flow{ID: 1, Src: 0, Dst: 1, SizeBits: 800e6, ArrivalS: 0} // 100 MB
+	fab := NewFabric(Config{Thresholds: []float64{1, 2, 3}})         // lo demotes instantly
+	fab.Run([]*Flow{hi, lo})
+	// 1 MB at 10 Gbps = 0.8 ms; allow the first instants of equal share.
+	if hi.FCT() > 0.005 {
+		t.Fatalf("high-priority flow FCT %v, want ≈0.8ms", hi.FCT())
+	}
+	if lo.FCT() <= hi.FCT() {
+		t.Fatal("elephant finished before the mouse under strict priority")
+	}
+}
+
+func TestFabricDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		a := GenerateFlows(WebSearch, 150, 8, DefaultCapBps, 0.5, seed)
+		b := GenerateFlows(WebSearch, 150, 8, DefaultCapBps, 0.5, seed)
+		NewFabric(Config{Hosts: 8}).Run(a)
+		NewFabric(Config{Hosts: 8}).Run(b)
+		for i := range a {
+			if math.Abs(a[i].FinishS-b[i].FinishS) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFCTNeverBelowIdeal(t *testing.T) {
+	// Property: no flow can finish faster than size/capacity.
+	flows := GenerateFlows(DataMining, 200, 16, DefaultCapBps, 0.6, 5)
+	NewFabric(Config{}).Run(flows)
+	for _, f := range flows {
+		ideal := f.SizeBits / DefaultCapBps
+		if f.FCT() < ideal-1e-9 {
+			t.Fatalf("flow %d FCT %v below ideal %v", f.ID, f.FCT(), ideal)
+		}
+	}
+}
+
+func TestHigherLoadSlowsFCT(t *testing.T) {
+	run := func(load float64) float64 {
+		flows := GenerateFlows(WebSearch, 300, 16, DefaultCapBps, load, 7)
+		NewFabric(Config{}).Run(flows)
+		return ComputeFCTStats(flows).P99
+	}
+	light := run(0.2)
+	heavy := run(0.9)
+	if heavy <= light {
+		t.Fatalf("p99 FCT at 90%% load (%v) not above 20%% load (%v)", heavy, light)
+	}
+}
+
+func TestRunIsReentrant(t *testing.T) {
+	// Running the same flow slice twice must reset mutable state and give
+	// identical results.
+	flows := GenerateFlows(WebSearch, 100, 16, DefaultCapBps, 0.5, 9)
+	fab := NewFabric(Config{})
+	fab.Run(flows)
+	first := make([]float64, len(flows))
+	for i, f := range flows {
+		first[i] = f.FinishS
+	}
+	fab.Run(flows)
+	for i, f := range flows {
+		if math.Abs(f.FinishS-first[i]) > 1e-9 {
+			t.Fatalf("second Run diverged on flow %d", i)
+		}
+	}
+}
+
+func TestMedianFlowAgentConsultsMore(t *testing.T) {
+	flows := func() []*Flow { return GenerateFlows(DataMining, 300, 16, DefaultCapBps, 0.6, 11) }
+	ag1 := &fixedAgent{prio: 1}
+	fab1 := NewFabric(Config{LongFlowAgent: ag1})
+	fab1.Run(flows())
+	ag2 := &fixedAgent{prio: 1}
+	fab2 := NewFabric(Config{LongFlowAgent: ag2, MedianFlowAgent: true})
+	fab2.Run(flows())
+	if fab2.Decisions <= fab1.Decisions {
+		t.Fatalf("median-flow mode decisions %d not above long-only %d", fab2.Decisions, fab1.Decisions)
+	}
+}

@@ -1,0 +1,182 @@
+// Package dcn implements the data-center substrate for the AuTO experiments:
+// a flow-level fluid simulator of a 16-server single-switch fabric with
+// strict-priority queueing, multi-level feedback queues (MLFQ) with
+// configurable demotion thresholds, and Poisson flow workloads drawn from the
+// published web-search (DCTCP) and data-mining (VL2) size distributions.
+package dcn
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// cdfPoint is one point of a piecewise log-linear size CDF.
+type cdfPoint struct {
+	bytes float64
+	prob  float64
+}
+
+// webSearchCDF approximates the DCTCP web-search flow size distribution.
+var webSearchCDF = []cdfPoint{
+	{6e3, 0.15}, {13e3, 0.20}, {19e3, 0.30}, {33e3, 0.40}, {53e3, 0.53},
+	{133e3, 0.60}, {667e3, 0.70}, {1333e3, 0.80}, {3333e3, 0.90},
+	{6667e3, 0.97}, {20e6, 1.00},
+}
+
+// dataMiningCDF approximates the VL2 data-mining flow size distribution:
+// ~80% of flows under 10 KB with a tail reaching 1 GB.
+var dataMiningCDF = []cdfPoint{
+	{100, 0.50}, {1e3, 0.60}, {10e3, 0.80}, {100e3, 0.85}, {1e6, 0.90},
+	{10e6, 0.95}, {100e6, 0.98}, {1e9, 1.00},
+}
+
+// Workload identifies a flow size distribution.
+type Workload int
+
+// The two workloads evaluated by AuTO.
+const (
+	WebSearch Workload = iota
+	DataMining
+)
+
+// String implements fmt.Stringer.
+func (w Workload) String() string {
+	if w == WebSearch {
+		return "WS"
+	}
+	return "DM"
+}
+
+func (w Workload) cdf() []cdfPoint {
+	if w == WebSearch {
+		return webSearchCDF
+	}
+	return dataMiningCDF
+}
+
+// MeanSizeBytes returns the mean flow size of the workload (log-linear
+// interpolation between CDF points).
+func (w Workload) MeanSizeBytes() float64 {
+	cdf := w.cdf()
+	mean := 0.0
+	prev := cdfPoint{bytes: 50, prob: 0}
+	for _, p := range cdf {
+		// Approximate each segment's conditional mean by the log midpoint.
+		mid := math.Sqrt(prev.bytes * p.bytes)
+		mean += (p.prob - prev.prob) * mid
+		prev = p
+	}
+	return mean
+}
+
+// SampleSize draws one flow size in bytes.
+func (w Workload) SampleSize(rng *rand.Rand) float64 {
+	cdf := w.cdf()
+	u := rng.Float64()
+	prev := cdfPoint{bytes: 50, prob: 0}
+	for _, p := range cdf {
+		if u <= p.prob {
+			// Log-linear interpolation within the segment.
+			frac := (u - prev.prob) / (p.prob - prev.prob)
+			return prev.bytes * math.Pow(p.bytes/prev.bytes, frac)
+		}
+		prev = p
+	}
+	return cdf[len(cdf)-1].bytes
+}
+
+// Flow is one network flow in the fabric.
+type Flow struct {
+	ID       int
+	Src, Dst int
+	SizeBits float64
+	ArrivalS float64
+	// Mutable simulation state:
+	SentBits float64
+	FinishS  float64 // completion time, set when done
+	Priority int     // current strict priority (0 = highest)
+	Pinned   bool    // true if the priority was set by an external agent
+	rate     float64 // current allocated rate (bits/s)
+	done     bool
+}
+
+// Remaining returns the unsent bits.
+func (f *Flow) Remaining() float64 { return f.SizeBits - f.SentBits }
+
+// FCT returns the flow completion time in seconds (valid once finished).
+func (f *Flow) FCT() float64 { return f.FinishS - f.ArrivalS }
+
+// GenerateFlows produces a Poisson arrival sequence of n flows at the given
+// offered load (fraction of per-host capacity) on a fabric with hosts
+// hosts of capacity capBps.
+func GenerateFlows(w Workload, n, hosts int, capBps, load float64, seed int64) []*Flow {
+	rng := rand.New(rand.NewSource(seed))
+	mean := w.MeanSizeBytes() * 8 // bits
+	// Aggregate arrival rate so that total offered bits ≈ load × hosts × cap.
+	lambda := load * float64(hosts) * capBps / mean
+	t := 0.0
+	flows := make([]*Flow, n)
+	for i := 0; i < n; i++ {
+		t += rng.ExpFloat64() / lambda
+		src := rng.Intn(hosts)
+		dst := rng.Intn(hosts - 1)
+		if dst >= src {
+			dst++
+		}
+		flows[i] = &Flow{
+			ID: i, Src: src, Dst: dst,
+			SizeBits: w.SampleSize(rng) * 8,
+			ArrivalS: t,
+		}
+	}
+	return flows
+}
+
+// FCTStats summarizes flow completion times.
+type FCTStats struct {
+	Mean, P50, P75, P90, P95, P99 float64
+	Count                         int
+}
+
+// ComputeFCTStats aggregates completion times of the given flows; flows that
+// never finished are ignored.
+func ComputeFCTStats(flows []*Flow) FCTStats {
+	var fcts []float64
+	for _, f := range flows {
+		if f.done {
+			fcts = append(fcts, f.FCT())
+		}
+	}
+	if len(fcts) == 0 {
+		return FCTStats{}
+	}
+	sort.Float64s(fcts)
+	sum := 0.0
+	for _, v := range fcts {
+		sum += v
+	}
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(fcts)-1))
+		return fcts[idx]
+	}
+	return FCTStats{
+		Mean: sum / float64(len(fcts)),
+		P50:  pct(0.50), P75: pct(0.75), P90: pct(0.90),
+		P95: pct(0.95), P99: pct(0.99),
+		Count: len(fcts),
+	}
+}
+
+// FilterBySize returns the finished flows whose size in bytes lies in
+// [loBytes, hiBytes).
+func FilterBySize(flows []*Flow, loBytes, hiBytes float64) []*Flow {
+	var out []*Flow
+	for _, f := range flows {
+		b := f.SizeBits / 8
+		if b >= loBytes && b < hiBytes {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/auto"
+	"repro/internal/dcn"
+	"repro/internal/interp/cluster"
+	"repro/internal/interp/lemna"
+	"repro/internal/interp/lime"
+)
+
+// Fig27AutoResult extends the Appendix E comparison to the AuTO agents:
+// lRLA (classification accuracy + RMSE over action probabilities) and sRLA
+// (RMSE over continuous threshold outputs; accuracy does not apply, matching
+// the paper's Figure 27(e)).
+type Fig27AutoResult struct {
+	Clusters []int
+
+	// lRLA metrics.
+	LRLATreeAcc, LRLATreeRMSE   float64
+	LRLALimeAcc, LRLALimeRMSE   []float64
+	LRLALemnaAcc, LRLALemnaRMSE []float64
+
+	// sRLA metrics (regression: RMSE only).
+	SRLATreeRMSE  float64
+	SRLALimeRMSE  []float64
+	SRLALemnaRMSE []float64
+}
+
+// String renders the result.
+func (r *Fig27AutoResult) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 27 (AuTO) — interpretation fidelity vs teachers\n")
+	fmt.Fprintf(&b, "lRLA Metis tree: accuracy %.3f, RMSE %.3f; sRLA Metis tree RMSE %.3f\n",
+		r.LRLATreeAcc, r.LRLATreeRMSE, r.SRLATreeRMSE)
+	fmt.Fprintf(&b, "%-9s %10s %10s %10s %10s %11s %11s\n",
+		"clusters", "LIME acc", "LIME rmse", "LEMNA acc", "LEMNA rmse", "sLIME rmse", "sLEMNA rmse")
+	for i, k := range r.Clusters {
+		fmt.Fprintf(&b, "%-9d %10.3f %10.3f %10.3f %10.3f %11.3f %11.3f\n",
+			k, r.LRLALimeAcc[i], r.LRLALimeRMSE[i], r.LRLALemnaAcc[i], r.LRLALemnaRMSE[i],
+			r.SRLALimeRMSE[i], r.SRLALemnaRMSE[i])
+	}
+	b.WriteString("(paper: Metis beats LIME/LEMNA on both AuTO agents)\n")
+	return b.String()
+}
+
+// Fig27Auto runs the clustered-baseline protocol on both AuTO teachers.
+func Fig27Auto(f *Fixture, clusterSettings []int) *Fig27AutoResult {
+	lrla, srla, lrlaTree, srlaTree := f.AuTo()
+
+	// --- lRLA: classification over long-flow states. ---
+	states, _ := collectStates(f, 400)
+	if len(states) < 20 {
+		panic("experiments: fig27auto: too few lRLA states")
+	}
+	half := len(states) / 2
+	trainX, evalX := states[:half], states[half:]
+	probsOf := func(x []float64) []float64 { return lrla.ActionProbs(x) }
+	evalY := make([][]float64, len(evalX))
+	evalA := make([]int, len(evalX))
+	for i, x := range evalX {
+		evalY[i] = append([]float64(nil), probsOf(x)...)
+		evalA[i] = argmax(evalY[i])
+	}
+
+	r := &Fig27AutoResult{Clusters: clusterSettings}
+	agree, se, n := 0, 0.0, 0
+	for i, x := range evalX {
+		if lrlaTree.Predict(x) == evalA[i] {
+			agree++
+		}
+		dist := normalizedDist(lrlaTree, x)
+		for k := range dist {
+			d := dist[k] - evalY[i][k]
+			se += d * d
+			n++
+		}
+	}
+	r.LRLATreeAcc = float64(agree) / float64(len(evalX))
+	r.LRLATreeRMSE = sqrt(se / float64(n))
+
+	// --- sRLA: regression over workload states. ---
+	sStates, sTargets := auto.CollectSRLADataset(srla, dcn.WebSearch, 120, 61)
+	sHalf := len(sStates) / 2
+	sTrainX, sEvalX := sStates[:sHalf], sStates[sHalf:]
+	sEvalY := sTargets[sHalf:]
+	se, n = 0, 0
+	for i, x := range sEvalX {
+		pred := srlaTree.PredictReg(x)
+		for k := range pred {
+			d := pred[k] - sEvalY[i][k]
+			se += d * d
+			n++
+		}
+	}
+	r.SRLATreeRMSE = sqrt(se / float64(n))
+	srlaOut := func(x []float64) []float64 {
+		th := srla.Thresholds(x)
+		out := make([]float64, len(th))
+		for k, v := range th {
+			out[k] = log10(v)
+		}
+		return out
+	}
+
+	for _, k := range clusterSettings {
+		// lRLA baselines.
+		la, lr, ma, mr := clusteredBaselines(trainX, evalX, evalY, evalA, probsOf, k)
+		r.LRLALimeAcc = append(r.LRLALimeAcc, la)
+		r.LRLALimeRMSE = append(r.LRLALimeRMSE, lr)
+		r.LRLALemnaAcc = append(r.LRLALemnaAcc, ma)
+		r.LRLALemnaRMSE = append(r.LRLALemnaRMSE, mr)
+
+		// sRLA baselines (regression: reuse the protocol, ignore accuracy).
+		sEvalYf := make([][]float64, len(sEvalX))
+		sEvalAf := make([]int, len(sEvalX))
+		for i, x := range sEvalX {
+			sEvalYf[i] = srlaOut(x)
+		}
+		_, slr, _, smr := clusteredBaselines(sTrainX, sEvalX, sEvalYf, sEvalAf, srlaOut, k)
+		r.SRLALimeRMSE = append(r.SRLALimeRMSE, slr)
+		r.SRLALemnaRMSE = append(r.SRLALemnaRMSE, smr)
+	}
+	return r
+}
+
+// clusteredBaselines runs the Appendix E protocol (k-means clusters, one
+// LIME model per centroid, one LEMNA mixture per cluster/output) against a
+// blackbox f and returns (limeAcc, limeRMSE, lemnaAcc, lemnaRMSE).
+func clusteredBaselines(trainX, evalX, evalY [][]float64, evalA []int, f func([]float64) []float64, k int) (float64, float64, float64, float64) {
+	km, assign := cluster.Fit(trainX, k, 30, 57)
+	limeModels := make([]*lime.Model, len(km.Centroids))
+	for ci := range km.Centroids {
+		if m, err := lime.Explain(f, km.Centroids[ci], nil, lime.Config{Samples: 120, Seed: int64(ci)}); err == nil {
+			limeModels[ci] = m
+		}
+	}
+	dims := len(evalY[0])
+	lemnaModels := make([][]*lemna.Model, len(km.Centroids))
+	for ci := range km.Centroids {
+		var X [][]float64
+		for i := range trainX {
+			if assign[i] == ci {
+				X = append(X, trainX[i])
+			}
+		}
+		if len(X) < 8 {
+			continue
+		}
+		lemnaModels[ci] = make([]*lemna.Model, dims)
+		for d := 0; d < dims; d++ {
+			y := make([]float64, len(X))
+			for i, x := range X {
+				y[i] = f(x)[d]
+			}
+			if m, err := lemna.Fit(X, y, lemna.Config{Components: 2, Iterations: 10, Seed: int64(ci*10 + d)}); err == nil {
+				lemnaModels[ci][d] = m
+			}
+		}
+	}
+	score := func(predict func(ci int, x []float64) []float64) (float64, float64) {
+		agree, se, n := 0, 0.0, 0
+		for i, x := range evalX {
+			ci := km.Predict(x)
+			pred := predict(ci, x)
+			if pred == nil {
+				pred = make([]float64, dims)
+			}
+			if argmax(pred) == evalA[i] {
+				agree++
+			}
+			for d := range pred {
+				dv := pred[d] - evalY[i][d]
+				se += dv * dv
+				n++
+			}
+		}
+		return float64(agree) / float64(len(evalX)), sqrt(se / float64(n))
+	}
+	la, lr := score(func(ci int, x []float64) []float64 {
+		if ci >= len(limeModels) || limeModels[ci] == nil {
+			return nil
+		}
+		return limeModels[ci].Predict(x)
+	})
+	ma, mr := score(func(ci int, x []float64) []float64 {
+		if ci >= len(lemnaModels) || lemnaModels[ci] == nil {
+			return nil
+		}
+		out := make([]float64, dims)
+		for d, m := range lemnaModels[ci] {
+			if m != nil {
+				out[d] = m.Predict(x)
+			}
+		}
+		return out
+	})
+	return la, lr, ma, mr
+}
+
+func log10(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Log10(x)
+}

@@ -1,0 +1,209 @@
+// Package experiments contains one harness per table and figure of the
+// paper's evaluation (§6 and the appendices). Each harness returns a typed
+// result with a human-readable rendering; cmd/metis-exp prints them and
+// EXPERIMENTS.md records paper-versus-measured values.
+//
+// Heavy artifacts (trained teachers, distilled trees, the RouteNet model)
+// are built once per Fixture and shared across harnesses. Two scales are
+// provided: TestScale (seconds, used by tests and benchmarks) and FullScale
+// (minutes, used for the recorded results).
+package experiments
+
+import (
+	"sync"
+
+	"repro/internal/abr"
+	"repro/internal/auto"
+	"repro/internal/dcn"
+	"repro/internal/metis/dtree"
+	"repro/internal/pensieve"
+	"repro/internal/routenet"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// Scale bundles every knob that trades run time for fidelity.
+type Scale struct {
+	Name string
+
+	// ABR side.
+	NumTraces    int
+	TraceSeconds int
+	VideoChunks  int
+	PretrainEps  int
+	FinetuneEps  int
+	EvalEpisodes int
+	DistillEps   int // episodes per DAgger iteration
+	DistillIters int
+	TreeLeaves   int
+
+	// DCN side.
+	FlowsPerRun     int
+	AuToGenerations int
+	AuToRuns        int // fabric runs for dataset collection / evaluation
+
+	// Routing side.
+	RouteDemands   int
+	RouteNetGens   int
+	MaskIterations int
+	TrafficSamples int // paper: 50
+}
+
+// TestScale finishes in seconds; used by go test and the benches.
+var TestScale = Scale{
+	Name:      "test",
+	NumTraces: 12, TraceSeconds: 400, VideoChunks: 48,
+	PretrainEps: 200, FinetuneEps: 400, EvalEpisodes: 12,
+	DistillEps: 15, DistillIters: 3, TreeLeaves: 150,
+	FlowsPerRun: 250, AuToGenerations: 6, AuToRuns: 3,
+	RouteDemands: 10, RouteNetGens: 30, MaskIterations: 60, TrafficSamples: 8,
+}
+
+// FullScale approximates the paper's settings while staying laptop-friendly.
+var FullScale = Scale{
+	Name:      "full",
+	NumTraces: 60, TraceSeconds: 600, VideoChunks: 48,
+	PretrainEps: 400, FinetuneEps: 3000, EvalEpisodes: 40,
+	DistillEps: 25, DistillIters: 3, TreeLeaves: 200,
+	FlowsPerRun: 600, AuToGenerations: 25, AuToRuns: 8,
+	RouteDemands: 20, RouteNetGens: 150, MaskIterations: 150, TrafficSamples: 50,
+}
+
+// Fixture lazily builds and caches the trained artifacts shared by the
+// harnesses. All methods are safe for sequential use; the fixture is not
+// goroutine-safe.
+type Fixture struct {
+	Scale Scale
+
+	onceEnv      sync.Once
+	envHSDPA     *abr.Env
+	envFCC       *abr.Env
+	envHSDPATest *abr.Env
+
+	oncePensieve sync.Once
+	agent        *pensieve.Agent
+
+	onceTree sync.Once
+	tree     *dtree.DistillResult
+
+	onceAuto sync.Once
+	lrla     *auto.LRLA
+	srla     *auto.SRLA
+	lrlaTree *dtree.Tree
+	srlaTree *dtree.Tree
+
+	onceRoute sync.Once
+	graph     *topo.Graph
+	rnet      *routenet.Model
+}
+
+// NewFixture creates a fixture at the given scale.
+func NewFixture(s Scale) *Fixture { return &Fixture{Scale: s} }
+
+func (f *Fixture) envs() {
+	f.onceEnv.Do(func() {
+		s := f.Scale
+		video := abr.StandardVideo(s.VideoChunks, 1)
+		f.envHSDPA = abr.NewEnv(abr.Config{Video: video, Traces: trace.HSDPA(s.NumTraces, s.TraceSeconds, 7)})
+		f.envFCC = abr.NewEnv(abr.Config{Video: video, Traces: trace.FCC(s.NumTraces, s.TraceSeconds, 11)})
+		f.envHSDPATest = abr.NewEnv(abr.Config{Video: video, Traces: trace.HSDPA(s.NumTraces, s.TraceSeconds, 1013)})
+	})
+}
+
+// EnvHSDPA returns the HSDPA-like training environment.
+func (f *Fixture) EnvHSDPA() *abr.Env { f.envs(); return f.envHSDPA }
+
+// EnvFCC returns the FCC-like environment.
+func (f *Fixture) EnvFCC() *abr.Env { f.envs(); return f.envFCC }
+
+// EnvHSDPATest returns a held-out HSDPA-like environment.
+func (f *Fixture) EnvHSDPATest() *abr.Env { f.envs(); return f.envHSDPATest }
+
+// FixedEnv returns a fresh environment on a constant-bandwidth link.
+func (f *Fixture) FixedEnv(kbps float64, chunks int) *abr.Env {
+	return abr.NewEnv(abr.Config{
+		Video:  abr.StandardVideo(chunks, 1),
+		Traces: []*trace.Trace{trace.Fixed(kbps, 2000)},
+	})
+}
+
+// Pensieve returns the trained Pensieve teacher (trained on first use).
+func (f *Fixture) Pensieve() *pensieve.Agent {
+	f.oncePensieve.Do(func() {
+		f.agent = pensieve.NewAgent(2, false)
+		pensieve.Pretrain(f.agent, f.EnvHSDPA(), f.Scale.PretrainEps, 5)
+		f.agent.A2C.Train(f.EnvHSDPA(), f.Scale.FinetuneEps, f.Scale.VideoChunks+2, 6)
+	})
+	return f.agent
+}
+
+// PensieveTree returns the distilled Metis+Pensieve tree (with resampling).
+func (f *Fixture) PensieveTree() *dtree.DistillResult {
+	f.onceTree.Do(func() {
+		res, err := dtree.DistillPolicy(f.EnvHSDPA(), f.Pensieve(), dtree.DistillConfig{
+			MaxLeaves:       f.Scale.TreeLeaves,
+			Iterations:      f.Scale.DistillIters,
+			EpisodesPerIter: f.Scale.DistillEps,
+			MaxSteps:        f.Scale.VideoChunks + 2,
+			Resample:        true,
+			QHorizon:        5,
+			FeatureNames:    abr.FeatureNames(),
+			Seed:            3,
+		})
+		if err != nil {
+			panic("experiments: distill pensieve: " + err.Error())
+		}
+		f.tree = res
+	})
+	return f.tree
+}
+
+// AuTo returns the trained AuTO teachers and their distilled trees.
+func (f *Fixture) AuTo() (lrla *auto.LRLA, srla *auto.SRLA, lrlaTree, srlaTree *dtree.Tree) {
+	f.onceAuto.Do(func() {
+		s := f.Scale
+		f.lrla = auto.NewLRLA(21)
+		auto.TrainLRLA(f.lrla, auto.TrainConfig{Workload: dcn.WebSearch, FlowsPerRun: s.FlowsPerRun, Generations: s.AuToGenerations, Seed: 23})
+		f.srla = auto.NewSRLA(25)
+		auto.TrainSRLA(f.srla, auto.TrainConfig{Workload: dcn.WebSearch, FlowsPerRun: s.FlowsPerRun, Generations: s.AuToGenerations, Seed: 27})
+
+		states, actions := auto.CollectLRLADataset(f.lrla, dcn.WebSearch, s.AuToRuns, 31)
+		if len(states) == 0 {
+			panic("experiments: no lRLA decisions collected")
+		}
+		tr, err := dtree.FitDataset(&dtree.Dataset{X: states, Y: actions}, dtree.DistillConfig{
+			MaxLeaves: 2000, FeatureNames: auto.LongFlowStateNames(),
+		})
+		if err != nil {
+			panic("experiments: distill lRLA: " + err.Error())
+		}
+		f.lrlaTree = tr
+
+		sStates, sTargets := auto.CollectSRLADataset(f.srla, dcn.WebSearch, 60, 33)
+		rt, err := dtree.FitDataset(&dtree.Dataset{X: sStates, YReg: sTargets}, dtree.DistillConfig{MaxLeaves: 200})
+		if err != nil {
+			panic("experiments: distill sRLA: " + err.Error())
+		}
+		f.srlaTree = rt
+	})
+	return f.lrla, f.srla, f.lrlaTree, f.srlaTree
+}
+
+// RouteNet returns the NSFNet graph and a trained RouteNet model.
+func (f *Fixture) RouteNet() (*topo.Graph, *routenet.Model) {
+	f.onceRoute.Do(func() {
+		f.graph = topo.NSFNet(10)
+		f.rnet = routenet.NewModel(41)
+		f.rnet.Train(f.graph, routenet.TrainConfig{
+			Demands:     f.Scale.RouteDemands,
+			Generations: f.Scale.RouteNetGens,
+			Seed:        43,
+		})
+	})
+	return f.graph, f.rnet
+}
+
+// TreePolicy adapts a distilled classification tree to an abr.Selector.
+func TreePolicy(t *dtree.Tree) abr.Selector {
+	return abr.PolicySelector(t.Predict)
+}

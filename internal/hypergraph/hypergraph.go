@@ -1,0 +1,173 @@
+// Package hypergraph implements the hypergraph formulation of §4.1: vertices
+// and hyperedges with feature vectors, incidence matrices, and builders for
+// the four Table 2 scenarios (SDN routing, NFV placement, ultra-dense
+// cellular coverage, and cluster-scheduling DAGs).
+package hypergraph
+
+import (
+	"fmt"
+
+	"repro/internal/topo"
+)
+
+// Connection identifies one hyperedge-vertex incidence (e covers v).
+type Connection struct {
+	E, V int
+}
+
+// Hypergraph is a hypergraph with optional vertex/hyperedge features.
+type Hypergraph struct {
+	NumV, NumE int
+	// Covers[e] lists the vertices covered by hyperedge e, in order
+	// (order matters for path-like hyperedges).
+	Covers [][]int
+	// FV and FE are optional per-vertex / per-hyperedge feature vectors.
+	FV, FE [][]float64
+}
+
+// New creates a hypergraph with the given vertex count and no hyperedges.
+func New(numV int) *Hypergraph {
+	return &Hypergraph{NumV: numV}
+}
+
+// AddHyperedge appends a hyperedge covering the given vertices and returns
+// its index.
+func (h *Hypergraph) AddHyperedge(vertices []int) int {
+	for _, v := range vertices {
+		if v < 0 || v >= h.NumV {
+			panic(fmt.Sprintf("hypergraph: vertex %d out of range [0,%d)", v, h.NumV))
+		}
+	}
+	h.Covers = append(h.Covers, append([]int(nil), vertices...))
+	h.NumE++
+	return h.NumE - 1
+}
+
+// Connections returns all incidences in deterministic (hyperedge-major)
+// order. The slice index of a connection is the mask index used by the
+// critical-connection search.
+func (h *Hypergraph) Connections() []Connection {
+	var out []Connection
+	for e, vs := range h.Covers {
+		for _, v := range vs {
+			out = append(out, Connection{E: e, V: v})
+		}
+	}
+	return out
+}
+
+// Incidence returns the dense |E|×|V| 0-1 incidence matrix (Equation 3).
+func (h *Hypergraph) Incidence() [][]float64 {
+	m := make([][]float64, h.NumE)
+	for e := range m {
+		m[e] = make([]float64, h.NumV)
+		for _, v := range h.Covers[e] {
+			m[e][v] = 1
+		}
+	}
+	return m
+}
+
+// VertexDegree returns how many hyperedges cover each vertex.
+func (h *Hypergraph) VertexDegree() []int {
+	deg := make([]int, h.NumV)
+	for _, vs := range h.Covers {
+		for _, v := range vs {
+			deg[v]++
+		}
+	}
+	return deg
+}
+
+// FromRouting builds the scenario-#1 hypergraph: physical links are vertices
+// and routed paths are hyperedges. FV is [capacity], FE is [demand volume].
+func FromRouting(g *topo.Graph, paths []topo.Path, demands []float64) *Hypergraph {
+	h := New(len(g.Links))
+	h.FV = make([][]float64, len(g.Links))
+	for i, l := range g.Links {
+		h.FV[i] = []float64{l.CapMbps}
+	}
+	for i, p := range paths {
+		h.AddHyperedge([]int(p))
+		h.FE = append(h.FE, []float64{demands[i]})
+	}
+	return h
+}
+
+// NFVPlacement describes scenario #2: instance placements of network
+// functions onto servers.
+type NFVPlacement struct {
+	// Servers[s] is the processing capacity of server s.
+	Servers []float64
+	// NFs[f] is the processing demand of network function f.
+	NFs []float64
+	// Instances[f] lists the servers hosting an instance of NF f.
+	Instances [][]int
+}
+
+// FromNFVPlacement builds the scenario-#2 hypergraph: servers are vertices,
+// NFs are hyperedges, and Iev=1 means an instance of NF e runs on server v.
+func FromNFVPlacement(p NFVPlacement) *Hypergraph {
+	h := New(len(p.Servers))
+	h.FV = make([][]float64, len(p.Servers))
+	for s, c := range p.Servers {
+		h.FV[s] = []float64{c}
+	}
+	for f, servers := range p.Instances {
+		h.AddHyperedge(servers)
+		h.FE = append(h.FE, []float64{p.NFs[f]})
+	}
+	return h
+}
+
+// CellularCoverage describes scenario #3: base stations covering users.
+type CellularCoverage struct {
+	// UserDemand[u] is user u's traffic demand.
+	UserDemand []float64
+	// StationCapacity[b] is station b's capacity.
+	StationCapacity []float64
+	// Coverage[b] lists the users covered by station b.
+	Coverage [][]int
+}
+
+// FromCellular builds the scenario-#3 hypergraph: users are vertices,
+// station coverage areas are hyperedges.
+func FromCellular(c CellularCoverage) *Hypergraph {
+	h := New(len(c.UserDemand))
+	h.FV = make([][]float64, len(c.UserDemand))
+	for u, d := range c.UserDemand {
+		h.FV[u] = []float64{d}
+	}
+	for b, users := range c.Coverage {
+		h.AddHyperedge(users)
+		h.FE = append(h.FE, []float64{c.StationCapacity[b]})
+	}
+	return h
+}
+
+// JobDAG describes scenario #4: a cluster-scheduling job whose nodes are
+// execution stages and whose dependencies connect them.
+type JobDAG struct {
+	// NodeWork[n] is the work of stage n.
+	NodeWork []float64
+	// Deps[d] lists the stage nodes related by dependency d (parents plus
+	// child), so a dependency is naturally a hyperedge over ≥2 nodes.
+	Deps [][]int
+	// DepData[d] is the data transferred along dependency d.
+	DepData []float64
+}
+
+// FromJobDAG builds the scenario-#4 hypergraph: job stages are vertices and
+// dependencies are hyperedges.
+func FromJobDAG(j JobDAG) *Hypergraph {
+	h := New(len(j.NodeWork))
+	h.FV = make([][]float64, len(j.NodeWork))
+	for n, w := range j.NodeWork {
+		h.FV[n] = []float64{w}
+	}
+	for d, nodes := range j.Deps {
+		h.AddHyperedge(nodes)
+		h.FE = append(h.FE, []float64{j.DepData[d]})
+	}
+	return h
+}

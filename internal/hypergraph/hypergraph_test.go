@@ -1,0 +1,132 @@
+package hypergraph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/routing"
+	"repro/internal/topo"
+)
+
+func TestIncidenceMatchesPaperExample(t *testing.T) {
+	// Figure 5(c): 8 links, e1 covers {2,5,6}, e2 covers {1,3,6,8}
+	// (0-indexed here: e1 {1,4,5}, e2 {0,2,5,7}).
+	h := New(8)
+	h.AddHyperedge([]int{1, 4, 5})
+	h.AddHyperedge([]int{0, 2, 5, 7})
+	inc := h.Incidence()
+	wantE1 := []float64{0, 1, 0, 0, 1, 1, 0, 0}
+	wantE2 := []float64{1, 0, 1, 0, 0, 1, 0, 1}
+	for v := range wantE1 {
+		if inc[0][v] != wantE1[v] || inc[1][v] != wantE2[v] {
+			t.Fatalf("incidence = %v / %v, want %v / %v (Equation 3)", inc[0], inc[1], wantE1, wantE2)
+		}
+	}
+	conns := h.Connections()
+	if len(conns) != 7 {
+		t.Fatalf("connections = %d, want 7", len(conns))
+	}
+}
+
+func TestVertexDegree(t *testing.T) {
+	h := New(4)
+	h.AddHyperedge([]int{0, 1})
+	h.AddHyperedge([]int{1, 2, 3})
+	deg := h.VertexDegree()
+	want := []int{1, 2, 1, 1}
+	for i := range want {
+		if deg[i] != want[i] {
+			t.Fatalf("degree = %v, want %v", deg, want)
+		}
+	}
+}
+
+func TestAddHyperedgeValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range vertex")
+		}
+	}()
+	New(2).AddHyperedge([]int{5})
+}
+
+func TestFromRouting(t *testing.T) {
+	g := topo.NSFNet(10)
+	demands := routing.RandomDemands(g, 5, 2, 8, 1)
+	r := routing.ShortestPathRouting(g, demands)
+	vols := make([]float64, len(demands))
+	for i, d := range demands {
+		vols[i] = d.VolumeMbps
+	}
+	h := FromRouting(g, r.Paths, vols)
+	if h.NumV != len(g.Links) {
+		t.Fatalf("vertices = %d, want %d links", h.NumV, len(g.Links))
+	}
+	if h.NumE != 5 {
+		t.Fatalf("hyperedges = %d, want 5", h.NumE)
+	}
+	for e, p := range r.Paths {
+		if len(h.Covers[e]) != len(p) {
+			t.Fatalf("hyperedge %d covers %d vertices, path has %d links", e, len(h.Covers[e]), len(p))
+		}
+	}
+	if len(h.FV) != h.NumV || len(h.FE) != h.NumE {
+		t.Fatal("features not populated")
+	}
+}
+
+func TestFromNFVPlacement(t *testing.T) {
+	h := FromNFVPlacement(NFVPlacement{
+		Servers:   []float64{10, 10, 20, 20},
+		NFs:       []float64{3, 5, 2, 4},
+		Instances: [][]int{{0, 1, 2}, {0, 2, 3}, {1}, {1, 2, 3}},
+	})
+	if h.NumV != 4 || h.NumE != 4 {
+		t.Fatalf("shape %dx%d", h.NumE, h.NumV)
+	}
+	if len(h.Connections()) != 3+3+1+3 {
+		t.Fatalf("connections = %d", len(h.Connections()))
+	}
+}
+
+func TestFromCellularAndJobDAG(t *testing.T) {
+	c := FromCellular(CellularCoverage{
+		UserDemand:      []float64{1, 2, 3},
+		StationCapacity: []float64{10, 5},
+		Coverage:        [][]int{{0, 1}, {1, 2}},
+	})
+	if c.NumE != 2 || c.VertexDegree()[1] != 2 {
+		t.Fatal("cellular hypergraph wrong")
+	}
+	j := FromJobDAG(JobDAG{
+		NodeWork: []float64{1, 1, 2},
+		Deps:     [][]int{{0, 2}, {1, 2}},
+		DepData:  []float64{5, 7},
+	})
+	if j.NumE != 2 || j.NumV != 3 {
+		t.Fatal("job DAG hypergraph wrong")
+	}
+}
+
+func TestConnectionsOrderStable(t *testing.T) {
+	f := func(n uint8) bool {
+		size := int(n)%5 + 2
+		h := New(size)
+		h.AddHyperedge([]int{0, size - 1})
+		h.AddHyperedge([]int{1})
+		a := h.Connections()
+		b := h.Connections()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return a[0].E == 0 && a[len(a)-1].E == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+// Package cluster implements k-means clustering, used by the Appendix E
+// protocol: the interpretation baselines (LIME, LEMNA) fit one local model
+// per cluster of teacher states.
+package cluster
+
+import (
+	"math"
+	"math/rand"
+)
+
+// KMeans holds fitted centroids.
+type KMeans struct {
+	Centroids [][]float64
+}
+
+// Fit runs Lloyd's algorithm with k-means++-style seeding for iters
+// iterations (or until assignments stabilize) and returns the model plus the
+// final assignment of each sample.
+func Fit(X [][]float64, k, iters int, seed int64) (*KMeans, []int) {
+	if k < 1 {
+		k = 1
+	}
+	if k > len(X) {
+		k = len(X)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := len(X[0])
+
+	// k-means++ seeding.
+	centroids := make([][]float64, 0, k)
+	centroids = append(centroids, clone(X[rng.Intn(len(X))]))
+	for len(centroids) < k {
+		dists := make([]float64, len(X))
+		total := 0.0
+		for i, x := range X {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if dd := sqDist(x, c); dd < best {
+					best = dd
+				}
+			}
+			dists[i] = best
+			total += best
+		}
+		if total == 0 {
+			centroids = append(centroids, clone(X[rng.Intn(len(X))]))
+			continue
+		}
+		u := rng.Float64() * total
+		acc := 0.0
+		idx := len(X) - 1
+		for i, dd := range dists {
+			acc += dd
+			if u <= acc {
+				idx = i
+				break
+			}
+		}
+		centroids = append(centroids, clone(X[idx]))
+	}
+
+	assign := make([]int, len(X))
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, x := range X {
+			best, bestD := 0, math.Inf(1)
+			for ci, c := range centroids {
+				if dd := sqDist(x, c); dd < bestD {
+					bestD = dd
+					best = ci
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Update centroids.
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for ci := range sums {
+			sums[ci] = make([]float64, d)
+		}
+		for i, x := range X {
+			counts[assign[i]]++
+			for j, v := range x {
+				sums[assign[i]][j] += v
+			}
+		}
+		for ci := range centroids {
+			if counts[ci] == 0 {
+				continue
+			}
+			for j := range centroids[ci] {
+				centroids[ci][j] = sums[ci][j] / float64(counts[ci])
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return &KMeans{Centroids: centroids}, assign
+}
+
+// Predict returns the index of the nearest centroid.
+func (m *KMeans) Predict(x []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for ci, c := range m.Centroids {
+		if dd := sqDist(x, c); dd < bestD {
+			bestD = dd
+			best = ci
+		}
+	}
+	return best
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func clone(x []float64) []float64 { return append([]float64(nil), x...) }

@@ -1,0 +1,138 @@
+// Package interp_test exercises the LIME/LEMNA baselines and the clustering
+// protocol end to end against synthetic blackboxes.
+package interp_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/interp/cluster"
+	"repro/internal/interp/lemna"
+	"repro/internal/interp/lime"
+)
+
+func TestLimeRecoversLinearModel(t *testing.T) {
+	f := func(x []float64) []float64 {
+		return []float64{3*x[0] - 2*x[1] + 1}
+	}
+	x0 := []float64{0.5, 0.5}
+	m, err := lime.Explain(f, x0, nil, lime.Config{Samples: 400, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Coef[0][0]-3) > 0.05 || math.Abs(m.Coef[0][1]+2) > 0.05 {
+		t.Fatalf("coefficients %v, want [3 -2]", m.Coef[0])
+	}
+	got := m.Predict([]float64{0.7, 0.2})[0]
+	want := f([]float64{0.7, 0.2})[0]
+	if math.Abs(got-want) > 0.05 {
+		t.Fatalf("prediction %v, want %v", got, want)
+	}
+}
+
+func TestLimeMultiOutput(t *testing.T) {
+	f := func(x []float64) []float64 {
+		return []float64{x[0], -x[0] + x[1]}
+	}
+	m, err := lime.Explain(f, []float64{0, 0}, []float64{0.5, 0.5}, lime.Config{Samples: 300, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Coef) != 2 {
+		t.Fatalf("outputs = %d", len(m.Coef))
+	}
+	if math.Abs(m.Coef[1][0]+1) > 0.05 || math.Abs(m.Coef[1][1]-1) > 0.05 {
+		t.Fatalf("second output coefs %v", m.Coef[1])
+	}
+}
+
+func TestLimeIsLocal(t *testing.T) {
+	// A piecewise function: LIME around x0=2 should see slope ≈ 2, not the
+	// global average.
+	f := func(x []float64) []float64 {
+		if x[0] < 0 {
+			return []float64{-5 * x[0]}
+		}
+		return []float64{2 * x[0]}
+	}
+	m, err := lime.Explain(f, []float64{2}, []float64{0.3}, lime.Config{Samples: 400, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Coef[0][0]-2) > 0.2 {
+		t.Fatalf("local slope %v, want ≈2", m.Coef[0][0])
+	}
+}
+
+func TestLemnaFitsMixture(t *testing.T) {
+	// Data from two linear regimes; a single linear model cannot fit both,
+	// a 2-component mixture can.
+	rng := rand.New(rand.NewSource(4))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 400; i++ {
+		x := rng.Float64()*2 - 1
+		X = append(X, []float64{x})
+		if x < 0 {
+			y = append(y, -3*x+rng.NormFloat64()*0.01)
+		} else {
+			y = append(y, 5*x+rng.NormFloat64()*0.01)
+		}
+	}
+	m, err := lemna.Fit(X, y, lemna.Config{Components: 2, Iterations: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two recovered slopes should approximate {-3, 5} in some order.
+	s0, s1 := m.Beta[0][1], m.Beta[1][1]
+	if s0 > s1 {
+		s0, s1 = s1, s0
+	}
+	if math.Abs(s0+3) > 0.7 || math.Abs(s1-5) > 0.7 {
+		t.Fatalf("recovered slopes %.2f %.2f, want ≈ -3 and 5", s0, s1)
+	}
+	pi := m.Pi[0] + m.Pi[1]
+	if math.Abs(pi-1) > 1e-6 {
+		t.Fatalf("mixture weights sum %v", pi)
+	}
+}
+
+func TestKMeansSeparatesClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var X [][]float64
+	for i := 0; i < 100; i++ {
+		X = append(X, []float64{rng.NormFloat64()*0.1 + 0, rng.NormFloat64()*0.1 + 0})
+	}
+	for i := 0; i < 100; i++ {
+		X = append(X, []float64{rng.NormFloat64()*0.1 + 5, rng.NormFloat64()*0.1 + 5})
+	}
+	km, assign := cluster.Fit(X, 2, 50, 7)
+	if len(km.Centroids) != 2 {
+		t.Fatalf("centroids = %d", len(km.Centroids))
+	}
+	// All points of each blob share an assignment, and the two differ.
+	first, second := assign[0], assign[100]
+	if first == second {
+		t.Fatal("blobs merged")
+	}
+	for i := 0; i < 100; i++ {
+		if assign[i] != first || assign[100+i] != second {
+			t.Fatal("inconsistent assignment within a blob")
+		}
+	}
+	if km.Predict([]float64{5.1, 4.9}) != second {
+		t.Fatal("Predict disagrees with assignment")
+	}
+}
+
+func TestKMeansDegenerateK(t *testing.T) {
+	X := [][]float64{{1}, {2}}
+	km, assign := cluster.Fit(X, 10, 5, 8)
+	if len(km.Centroids) > 2 {
+		t.Fatalf("k clamped wrong: %d centroids", len(km.Centroids))
+	}
+	if len(assign) != 2 {
+		t.Fatal("assignment length wrong")
+	}
+}

@@ -1,0 +1,156 @@
+// Package lemna implements the LEMNA interpretation baseline (Guo et al.,
+// CCS 2018) used in Appendix E: a mixture of K linear regressions fitted by
+// expectation-maximization, which can capture locally nonlinear decision
+// boundaries better than a single linear model. (The original also applies a
+// fused-lasso prior for sequence data; our networking states are not
+// sequences of tokens, so plain ridge components are used — documented in
+// DESIGN.md.)
+package lemna
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/nn"
+)
+
+// Config controls mixture fitting.
+type Config struct {
+	// Components is the mixture size K (default 3).
+	Components int
+	// Iterations of EM (default 20).
+	Iterations int
+	// Ridge regularizes each linear component (default 1e-3).
+	Ridge float64
+	// Seed drives initialization.
+	Seed int64
+}
+
+func (c *Config) defaults() {
+	if c.Components == 0 {
+		c.Components = 3
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 20
+	}
+	if c.Ridge == 0 {
+		c.Ridge = 1e-3
+	}
+}
+
+// Model is a fitted mixture of linear regressions for a scalar target.
+type Model struct {
+	// Pi are mixture weights, Beta the per-component coefficients
+	// (intercept first), Sigma2 the per-component noise variances.
+	Pi     []float64
+	Beta   [][]float64
+	Sigma2 []float64
+}
+
+// Predict returns the mixture-mean prediction at x.
+func (m *Model) Predict(x []float64) float64 {
+	s := 0.0
+	for k, pi := range m.Pi {
+		s += pi * m.linear(k, x)
+	}
+	return s
+}
+
+func (m *Model) linear(k int, x []float64) float64 {
+	b := m.Beta[k]
+	s := b[0]
+	for j, v := range x {
+		s += b[j+1] * v
+	}
+	return s
+}
+
+// Fit runs EM on (X, y).
+func Fit(X [][]float64, y []float64, cfg Config) (*Model, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := len(X)
+	d := len(X[0])
+	K := cfg.Components
+
+	m := &Model{
+		Pi:     make([]float64, K),
+		Beta:   make([][]float64, K),
+		Sigma2: make([]float64, K),
+	}
+	// Responsibilities, randomly initialized.
+	resp := make([][]float64, n)
+	for i := range resp {
+		resp[i] = make([]float64, K)
+		k := rng.Intn(K)
+		resp[i][k] = 1
+	}
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		// M-step: weighted ridge regression per component.
+		for k := 0; k < K; k++ {
+			dim := d + 1
+			ata := nn.NewMatrix(dim, dim)
+			atb := make([]float64, dim)
+			row := make([]float64, dim)
+			wsum := 0.0
+			for i := range X {
+				w := resp[i][k]
+				if w < 1e-12 {
+					continue
+				}
+				wsum += w
+				row[0] = 1
+				copy(row[1:], X[i])
+				for a := 0; a < dim; a++ {
+					if row[a] == 0 {
+						continue
+					}
+					fa := w * row[a]
+					r := ata.Row(a)
+					for b := 0; b < dim; b++ {
+						r[b] += fa * row[b]
+					}
+					atb[a] += fa * y[i]
+				}
+			}
+			for a := 0; a < dim; a++ {
+				ata.Set(a, a, ata.At(a, a)+cfg.Ridge)
+			}
+			beta, err := nn.SolveLinear(ata, atb)
+			if err != nil {
+				return nil, err
+			}
+			m.Beta[k] = beta
+			m.Pi[k] = wsum / float64(n)
+			// Weighted residual variance.
+			se := 0.0
+			for i := range X {
+				if resp[i][k] < 1e-12 {
+					continue
+				}
+				r := y[i] - m.linear(k, X[i])
+				se += resp[i][k] * r * r
+			}
+			if wsum > 0 {
+				m.Sigma2[k] = se/wsum + 1e-6
+			} else {
+				m.Sigma2[k] = 1
+			}
+		}
+		// E-step: Gaussian responsibilities.
+		for i := range X {
+			total := 0.0
+			for k := 0; k < K; k++ {
+				r := y[i] - m.linear(k, X[i])
+				p := m.Pi[k] * math.Exp(-r*r/(2*m.Sigma2[k])) / math.Sqrt(2*math.Pi*m.Sigma2[k])
+				resp[i][k] = p + 1e-12
+				total += resp[i][k]
+			}
+			for k := 0; k < K; k++ {
+				resp[i][k] /= total
+			}
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,135 @@
+// Package lime implements the LIME interpretation baseline (Ribeiro et al.,
+// KDD 2016) used in Appendix E: a blackbox model is explained around an
+// anchor point by sampling Gaussian perturbations, weighting them with a
+// proximity kernel, and fitting a ridge-regularized weighted linear model.
+package lime
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/nn"
+)
+
+// Config controls explanation fitting.
+type Config struct {
+	// Samples is the number of perturbations (default 200).
+	Samples int
+	// Kernel is the proximity kernel width in normalized distance units
+	// (default 0.75).
+	Kernel float64
+	// Ridge is the L2 regularization strength (default 1e-3).
+	Ridge float64
+	// Noise is the perturbation standard deviation per feature (default
+	// 0.3; a per-feature scale can be supplied to Explain).
+	Noise float64
+	// Seed makes fitting deterministic.
+	Seed int64
+}
+
+func (c *Config) defaults() {
+	if c.Samples == 0 {
+		c.Samples = 200
+	}
+	if c.Kernel == 0 {
+		c.Kernel = 0.75
+	}
+	if c.Ridge == 0 {
+		c.Ridge = 1e-3
+	}
+	if c.Noise == 0 {
+		c.Noise = 0.3
+	}
+}
+
+// Model is a fitted local linear surrogate: ŷ_k = intercept_k + coef_k·(x−x0).
+type Model struct {
+	X0        []float64
+	Intercept []float64
+	Coef      [][]float64 // outputs × features
+}
+
+// Predict evaluates the surrogate at x.
+func (m *Model) Predict(x []float64) []float64 {
+	out := make([]float64, len(m.Intercept))
+	for k := range out {
+		s := m.Intercept[k]
+		for j, c := range m.Coef[k] {
+			s += c * (x[j] - m.X0[j])
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// Explain fits a local surrogate of f around x0. scale optionally gives a
+// per-feature perturbation scale (nil uses Config.Noise for all features).
+func Explain(f func([]float64) []float64, x0 []float64, scale []float64, cfg Config) (*Model, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := len(x0)
+	y0 := f(x0)
+	k := len(y0)
+
+	// Sample perturbations and blackbox outputs.
+	X := make([][]float64, cfg.Samples)
+	Y := make([][]float64, cfg.Samples)
+	W := make([]float64, cfg.Samples)
+	for i := 0; i < cfg.Samples; i++ {
+		x := make([]float64, d)
+		dist := 0.0
+		for j := range x {
+			s := cfg.Noise
+			if scale != nil {
+				s = scale[j]
+			}
+			eps := rng.NormFloat64() * s
+			x[j] = x0[j] + eps
+			if s > 0 {
+				dist += (eps / s) * (eps / s)
+			}
+		}
+		X[i] = x
+		Y[i] = append([]float64(nil), f(x)...)
+		W[i] = math.Exp(-dist / (cfg.Kernel * cfg.Kernel * float64(d)))
+	}
+
+	// Weighted ridge regression per output: features are (x−x0) plus an
+	// intercept column.
+	model := &Model{X0: append([]float64(nil), x0...), Intercept: make([]float64, k), Coef: make([][]float64, k)}
+	dim := d + 1
+	for out := 0; out < k; out++ {
+		ata := nn.NewMatrix(dim, dim)
+		atb := make([]float64, dim)
+		row := make([]float64, dim)
+		for i := range X {
+			row[0] = 1
+			for j := 0; j < d; j++ {
+				row[j+1] = X[i][j] - x0[j]
+			}
+			w := W[i]
+			for a := 0; a < dim; a++ {
+				if row[a] == 0 {
+					continue
+				}
+				fa := w * row[a]
+				r := ata.Row(a)
+				for b := 0; b < dim; b++ {
+					r[b] += fa * row[b]
+				}
+				atb[a] += fa * Y[i][out]
+			}
+		}
+		for a := 1; a < dim; a++ {
+			ata.Set(a, a, ata.At(a, a)+cfg.Ridge)
+		}
+		ata.Set(0, 0, ata.At(0, 0)+1e-9)
+		beta, err := nn.SolveLinear(ata, atb)
+		if err != nil {
+			return nil, err
+		}
+		model.Intercept[out] = beta[0]
+		model.Coef[out] = beta[1:]
+	}
+	return model, nil
+}

@@ -1,0 +1,181 @@
+// Package jobs implements the Appendix B.3 scenario: cluster job scheduling
+// over a DAG of execution stages (the Decima setting). Stages are hypergraph
+// vertices and dependencies are hyperedges. A critical-path list scheduler
+// stands in for the DL scheduler; the mask adapter lets Metis rank which
+// dependencies dominate the job completion time — the expected answer is the
+// critical path, which the tests verify.
+package jobs
+
+import (
+	"math/rand"
+
+	"repro/internal/hypergraph"
+)
+
+// DAG is a job of staged work with precedence dependencies.
+type DAG struct {
+	// Work[n] is the execution time of stage n on one executor.
+	Work []float64
+	// Parents[n] lists stages that must finish before n starts.
+	Parents [][]int
+}
+
+// RandomDAG generates a layered DAG with the given number of stages.
+func RandomDAG(stages int, seed int64) DAG {
+	rng := rand.New(rand.NewSource(seed))
+	d := DAG{Work: make([]float64, stages), Parents: make([][]int, stages)}
+	for n := 0; n < stages; n++ {
+		d.Work[n] = 1 + rng.Float64()*9
+		// Each stage depends on 0–2 earlier stages.
+		if n > 0 {
+			k := rng.Intn(3)
+			for i := 0; i < k; i++ {
+				p := rng.Intn(n)
+				dup := false
+				for _, e := range d.Parents[n] {
+					if e == p {
+						dup = true
+					}
+				}
+				if !dup {
+					d.Parents[n] = append(d.Parents[n], p)
+				}
+			}
+		}
+	}
+	return d
+}
+
+// Dependencies returns the hyperedges: one per (parent, child) relation,
+// covering both stages. Order is deterministic (child-major).
+func (d DAG) Dependencies() [][2]int {
+	var deps [][2]int
+	for n, ps := range d.Parents {
+		for _, p := range ps {
+			deps = append(deps, [2]int{p, n})
+		}
+	}
+	return deps
+}
+
+// Schedule computes stage completion times on unlimited executors with
+// fractional precedence: a dependency masked with weight w only forces the
+// child to wait for w·(parent finish time). Mask nil means full precedence.
+// Each dependency contributes 2 connections (parent then child vertex), in
+// hyperedge-major order, matching the hypergraph formulation; the parent-
+// side connection carries the precedence weight, the child-side connection
+// scales how much of the wait the child observes.
+func (d DAG) Schedule(mask []float64) []float64 {
+	deps := d.Dependencies()
+	finish := make([]float64, len(d.Work))
+	// Stages are topologically ordered by construction (parents < child).
+	for n := range d.Work {
+		start := 0.0
+		for di, dep := range deps {
+			if dep[1] != n {
+				continue
+			}
+			wp, wc := 1.0, 1.0
+			if mask != nil {
+				wp = mask[2*di]
+				wc = mask[2*di+1]
+			}
+			if t := wp * wc * finish[dep[0]]; t > start {
+				start = t
+			}
+		}
+		finish[n] = start + d.Work[n]
+	}
+	return finish
+}
+
+// Makespan is the job completion time.
+func (d DAG) Makespan() float64 {
+	finish := d.Schedule(nil)
+	max := 0.0
+	for _, f := range finish {
+		if f > max {
+			max = f
+		}
+	}
+	return max
+}
+
+// CriticalPath returns the stage sequence realizing the makespan.
+func (d DAG) CriticalPath() []int {
+	finish := d.Schedule(nil)
+	// Find the sink with maximal finish, then walk back through the parent
+	// whose finish time dominates.
+	end, max := 0, 0.0
+	for n, f := range finish {
+		if f > max {
+			max = f
+			end = n
+		}
+	}
+	path := []int{end}
+	for {
+		n := path[len(path)-1]
+		if len(d.Parents[n]) == 0 {
+			break
+		}
+		best, bestF := -1, -1.0
+		for _, p := range d.Parents[n] {
+			if finish[p] > bestF {
+				bestF = finish[p]
+				best = p
+			}
+		}
+		// The parent only matters if waiting for it set the start time.
+		if bestF <= 0 {
+			break
+		}
+		path = append(path, best)
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// System adapts a DAG schedule to the critical-connection search: the
+// output is the stage completion-time profile (continuous → MSE).
+type System struct {
+	DAG DAG
+}
+
+// NumConnections implements mask.System.
+func (s *System) NumConnections() int { return 2 * len(s.DAG.Dependencies()) }
+
+// Discrete implements mask.System.
+func (s *System) Discrete() bool { return false }
+
+// Output implements mask.System.
+func (s *System) Output(mask []float64) []float64 {
+	finish := s.DAG.Schedule(mask)
+	// Normalize by makespan so the MSE scale is dimensionless.
+	mk := s.DAG.Makespan()
+	out := make([]float64, len(finish))
+	for i, f := range finish {
+		out[i] = f / mk
+	}
+	return out
+}
+
+// Hypergraph returns the scenario-#4 hypergraph.
+func (s *System) Hypergraph() *hypergraph.Hypergraph {
+	deps := s.DAG.Dependencies()
+	j := hypergraph.JobDAG{NodeWork: s.DAG.Work}
+	for _, dep := range deps {
+		j.Deps = append(j.Deps, []int{dep[0], dep[1]})
+		j.DepData = append(j.DepData, 1)
+	}
+	return hypergraph.FromJobDAG(j)
+}
+
+// DependencyOfConnection maps a flat connection index back to its
+// (parent, child) dependency.
+func (s *System) DependencyOfConnection(ci int) [2]int {
+	return s.DAG.Dependencies()[ci/2]
+}

@@ -1,0 +1,135 @@
+package jobs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metis/mask"
+)
+
+// diamond builds the classic diamond DAG: 0 → {1,2} → 3, with stage 1 far
+// heavier than stage 2, so the critical path is 0→1→3.
+func diamond() DAG {
+	return DAG{
+		Work:    []float64{2, 10, 1, 3},
+		Parents: [][]int{{}, {0}, {0}, {1, 2}},
+	}
+}
+
+func TestScheduleRespectsPrecedence(t *testing.T) {
+	d := diamond()
+	finish := d.Schedule(nil)
+	if finish[0] != 2 {
+		t.Fatalf("stage 0 finish %v", finish[0])
+	}
+	if finish[1] != 12 || finish[2] != 3 {
+		t.Fatalf("layer finishes %v %v", finish[1], finish[2])
+	}
+	if finish[3] != 15 {
+		t.Fatalf("sink finish %v, want 15", finish[3])
+	}
+	if d.Makespan() != 15 {
+		t.Fatalf("makespan %v", d.Makespan())
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	d := diamond()
+	cp := d.CriticalPath()
+	want := []int{0, 1, 3}
+	if len(cp) != len(want) {
+		t.Fatalf("critical path %v, want %v", cp, want)
+	}
+	for i := range want {
+		if cp[i] != want[i] {
+			t.Fatalf("critical path %v, want %v", cp, want)
+		}
+	}
+}
+
+func TestMaskRelaxesPrecedence(t *testing.T) {
+	d := diamond()
+	sys := &System{DAG: d}
+	m := make([]float64, sys.NumConnections())
+	for i := range m {
+		m[i] = 1
+	}
+	// Dependency (1,3) is index 2 in child-major order: deps are
+	// (0,1), (0,2), (1,3), (2,3).
+	m[2*2] = 0 // fully relax the 1→3 precedence
+	finish := d.Schedule(m)
+	// Stage 3 now only waits for stage 2 (finish 3) → 3+3 = 6.
+	if math.Abs(finish[3]-6) > 1e-9 {
+		t.Fatalf("relaxed finish %v, want 6", finish[3])
+	}
+}
+
+func TestMaskSearchFindsCriticalDependency(t *testing.T) {
+	d := diamond()
+	sys := &System{DAG: d}
+	res := mask.Search(sys, mask.Options{Lambda1: 0.05, Lambda2: 0.05, Iterations: 300, Seed: 1})
+	// Relaxing dependency (1,3) cuts the makespan from 15 to 6 — by far the
+	// most output-critical connection; (0,2) sits on the slack branch and
+	// barely matters. The search must rank them accordingly, and the top
+	// connection must map to a critical-path edge.
+	critical := avg2(res.W, 2) // dep (1,3)
+	slack := avg2(res.W, 1)    // dep (0,2)
+	if critical <= slack+0.2 {
+		t.Fatalf("critical mask %.3f not clearly above slack mask %.3f (W=%v)", critical, slack, res.W)
+	}
+	top := sys.DependencyOfConnection(res.TopConnections(1)[0])
+	cp := d.CriticalPath() // 0→1→3
+	onPath := false
+	for i := 1; i < len(cp); i++ {
+		if top == [2]int{cp[i-1], cp[i]} {
+			onPath = true
+		}
+	}
+	if !onPath {
+		t.Fatalf("top connection %v not on the critical path %v", top, cp)
+	}
+}
+
+func avg2(w []float64, dep int) float64 { return (w[2*dep] + w[2*dep+1]) / 2 }
+
+func TestRandomDAGTopological(t *testing.T) {
+	d := RandomDAG(40, 7)
+	for n, ps := range d.Parents {
+		for _, p := range ps {
+			if p >= n {
+				t.Fatalf("stage %d depends on later stage %d", n, p)
+			}
+		}
+	}
+	if d.Makespan() <= 0 {
+		t.Fatal("non-positive makespan")
+	}
+}
+
+func TestSystemOutputNormalized(t *testing.T) {
+	d := RandomDAG(25, 8)
+	sys := &System{DAG: d}
+	out := sys.Output(nil)
+	max := 0.0
+	for _, v := range out {
+		if v < 0 {
+			t.Fatalf("negative completion %v", v)
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if math.Abs(max-1) > 1e-9 {
+		t.Fatalf("normalized makespan %v, want 1", max)
+	}
+	if sys.NumConnections() != 2*len(d.Dependencies()) {
+		t.Fatal("connection count mismatch")
+	}
+}
+
+func TestDependencyOfConnection(t *testing.T) {
+	sys := &System{DAG: diamond()}
+	if dep := sys.DependencyOfConnection(5); dep != [2]int{1, 3} {
+		t.Fatalf("connection 5 maps to %v, want (1,3)", dep)
+	}
+}

@@ -1,0 +1,370 @@
+package dtree
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Dataset is a weighted supervised dataset. Exactly one of Y (classification
+// labels) or YReg (regression targets, possibly multi-output) must be set.
+// W are per-sample weights; nil means uniform.
+type Dataset struct {
+	X    [][]float64
+	Y    []int
+	YReg [][]float64
+	W    []float64
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// isRegression reports whether the dataset has continuous targets.
+func (d *Dataset) isRegression() bool { return d.YReg != nil }
+
+func (d *Dataset) validate() error {
+	if len(d.X) == 0 {
+		return fmt.Errorf("dtree: empty dataset")
+	}
+	if (d.Y == nil) == (d.YReg == nil) {
+		return fmt.Errorf("dtree: exactly one of Y and YReg must be set")
+	}
+	if d.Y != nil && len(d.Y) != len(d.X) {
+		return fmt.Errorf("dtree: len(Y)=%d != len(X)=%d", len(d.Y), len(d.X))
+	}
+	if d.YReg != nil && len(d.YReg) != len(d.X) {
+		return fmt.Errorf("dtree: len(YReg)=%d != len(X)=%d", len(d.YReg), len(d.X))
+	}
+	if d.W != nil && len(d.W) != len(d.X) {
+		return fmt.Errorf("dtree: len(W)=%d != len(X)=%d", len(d.W), len(d.X))
+	}
+	return nil
+}
+
+// weight returns the weight of sample i.
+func (d *Dataset) weight(i int) float64 {
+	if d.W == nil {
+		return 1
+	}
+	return d.W[i]
+}
+
+// BuildOptions configures tree growth.
+type BuildOptions struct {
+	// MaxLeaves bounds the number of leaves grown (best-first). ≤0 means
+	// unlimited.
+	MaxLeaves int
+	// MinSamplesLeaf is the minimum weighted samples per leaf (default 1).
+	MinSamplesLeaf float64
+	// MinImpurityDecrease skips splits that improve impurity by less.
+	MinImpurityDecrease float64
+	// FeatureNames optionally labels features on the resulting tree.
+	FeatureNames []string
+}
+
+// nodeStats summarizes the label statistics of an index set.
+type nodeStats struct {
+	weight   float64
+	dist     []float64 // classification: per-class weight
+	mean     []float64 // regression: weighted mean target
+	impurity float64
+}
+
+func classStats(d *Dataset, idx []int, numClasses int) nodeStats {
+	s := nodeStats{dist: make([]float64, numClasses)}
+	for _, i := range idx {
+		w := d.weight(i)
+		s.weight += w
+		s.dist[d.Y[i]] += w
+	}
+	s.impurity = gini(s.dist, s.weight)
+	return s
+}
+
+func gini(dist []float64, total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, v := range dist {
+		p := v / total
+		g -= p * p
+	}
+	return g
+}
+
+func regStats(d *Dataset, idx []int, dims int) nodeStats {
+	s := nodeStats{mean: make([]float64, dims)}
+	for _, i := range idx {
+		w := d.weight(i)
+		s.weight += w
+		for k, v := range d.YReg[i] {
+			s.mean[k] += w * v
+		}
+	}
+	if s.weight > 0 {
+		for k := range s.mean {
+			s.mean[k] /= s.weight
+		}
+	}
+	// Impurity is the summed per-output weighted variance.
+	for _, i := range idx {
+		w := d.weight(i)
+		for k, v := range d.YReg[i] {
+			dv := v - s.mean[k]
+			s.impurity += w * dv * dv
+		}
+	}
+	if s.weight > 0 {
+		s.impurity /= s.weight
+	}
+	return s
+}
+
+// splitCandidate is the best split found for a node.
+type splitCandidate struct {
+	feature   int
+	threshold float64
+	decrease  float64 // weighted impurity decrease (scaled by node weight)
+	leftIdx   []int
+	rightIdx  []int
+}
+
+// growItem is a heap entry for best-first expansion.
+type growItem struct {
+	node  *Node
+	idx   []int
+	cand  *splitCandidate
+	index int
+}
+
+type growHeap []*growItem
+
+func (h growHeap) Len() int           { return len(h) }
+func (h growHeap) Less(i, j int) bool { return h[i].cand.decrease > h[j].cand.decrease }
+func (h growHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *growHeap) Push(x any) {
+	it := x.(*growItem)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *growHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Build fits a CART tree on the dataset with best-first growth: the split
+// with the largest impurity decrease anywhere in the frontier is applied
+// first, so a MaxLeaves budget keeps the globally most valuable splits.
+func Build(d *Dataset, opts BuildOptions) (*Tree, error) {
+	if err := d.validate(); err != nil {
+		return nil, err
+	}
+	if opts.MinSamplesLeaf <= 0 {
+		opts.MinSamplesLeaf = 1
+	}
+	numClasses := 0
+	dims := 0
+	if d.isRegression() {
+		dims = len(d.YReg[0])
+	} else {
+		for _, y := range d.Y {
+			if y < 0 {
+				return nil, fmt.Errorf("dtree: negative class label %d", y)
+			}
+			if y+1 > numClasses {
+				numClasses = y + 1
+			}
+		}
+	}
+	t := &Tree{
+		NumFeatures:  len(d.X[0]),
+		NumClasses:   numClasses,
+		FeatureNames: opts.FeatureNames,
+	}
+	all := make([]int, d.Len())
+	for i := range all {
+		all[i] = i
+	}
+	t.Root = makeLeaf(d, all, numClasses, dims)
+
+	h := &growHeap{}
+	if cand := bestSplit(d, all, numClasses, dims, opts); cand != nil {
+		heap.Push(h, &growItem{node: t.Root, idx: all, cand: cand})
+	}
+	leaves := 1
+	for h.Len() > 0 && (opts.MaxLeaves <= 0 || leaves < opts.MaxLeaves) {
+		it := heap.Pop(h).(*growItem)
+		n, cand := it.node, it.cand
+		n.Feature = cand.feature
+		n.Threshold = cand.threshold
+		n.Left = makeLeaf(d, cand.leftIdx, numClasses, dims)
+		n.Right = makeLeaf(d, cand.rightIdx, numClasses, dims)
+		leaves++
+		if lc := bestSplit(d, cand.leftIdx, numClasses, dims, opts); lc != nil {
+			heap.Push(h, &growItem{node: n.Left, idx: cand.leftIdx, cand: lc})
+		}
+		if rc := bestSplit(d, cand.rightIdx, numClasses, dims, opts); rc != nil {
+			heap.Push(h, &growItem{node: n.Right, idx: cand.rightIdx, cand: rc})
+		}
+	}
+	return t, nil
+}
+
+// makeLeaf builds a leaf node from an index set.
+func makeLeaf(d *Dataset, idx []int, numClasses, dims int) *Node {
+	n := &Node{Feature: -1}
+	if d.isRegression() {
+		s := regStats(d, idx, dims)
+		n.Value = s.mean
+		n.Samples = s.weight
+		n.Impurity = s.impurity
+	} else {
+		s := classStats(d, idx, numClasses)
+		n.ClassDist = s.dist
+		n.Samples = s.weight
+		n.Impurity = s.impurity
+		best := 0
+		for c, w := range s.dist {
+			if w > s.dist[best] {
+				best = c
+			}
+		}
+		n.Class = best
+	}
+	return n
+}
+
+// bestSplit searches all features for the split with maximum weighted
+// impurity decrease, or nil if no admissible split exists.
+func bestSplit(d *Dataset, idx []int, numClasses, dims int, opts BuildOptions) *splitCandidate {
+	if len(idx) < 2 {
+		return nil
+	}
+	var parent nodeStats
+	if d.isRegression() {
+		parent = regStats(d, idx, dims)
+	} else {
+		parent = classStats(d, idx, numClasses)
+	}
+	if parent.impurity <= 1e-12 {
+		return nil
+	}
+	numFeatures := len(d.X[0])
+	order := make([]int, len(idx))
+
+	var best *splitCandidate
+	for f := 0; f < numFeatures; f++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return d.X[order[a]][f] < d.X[order[b]][f] })
+
+		if d.isRegression() {
+			scanRegression(d, order, f, dims, parent, opts, &best)
+		} else {
+			scanClassification(d, order, f, numClasses, parent, opts, &best)
+		}
+	}
+	if best != nil {
+		// Materialize the index partition once, for the winning split only.
+		for _, i := range idx {
+			if d.X[i][best.feature] < best.threshold {
+				best.leftIdx = append(best.leftIdx, i)
+			} else {
+				best.rightIdx = append(best.rightIdx, i)
+			}
+		}
+	}
+	return best
+}
+
+func scanClassification(d *Dataset, order []int, f, numClasses int, parent nodeStats, opts BuildOptions, best **splitCandidate) {
+	leftDist := make([]float64, numClasses)
+	leftW := 0.0
+	for pos := 0; pos < len(order)-1; pos++ {
+		i := order[pos]
+		w := d.weight(i)
+		leftW += w
+		leftDist[d.Y[i]] += w
+		xi, xj := d.X[i][f], d.X[order[pos+1]][f]
+		if xi == xj {
+			continue
+		}
+		rightW := parent.weight - leftW
+		if leftW < opts.MinSamplesLeaf || rightW < opts.MinSamplesLeaf {
+			continue
+		}
+		rightDist := make([]float64, numClasses)
+		for c := range rightDist {
+			rightDist[c] = parent.dist[c] - leftDist[c]
+		}
+		children := (leftW*gini(leftDist, leftW) + rightW*gini(rightDist, rightW)) / parent.weight
+		dec := (parent.impurity - children) * parent.weight
+		if dec > opts.MinImpurityDecrease && (*best == nil || dec > (*best).decrease) {
+			*best = &splitCandidate{feature: f, threshold: (xi + xj) / 2, decrease: dec}
+		}
+	}
+}
+
+func scanRegression(d *Dataset, order []int, f, dims int, parent nodeStats, opts BuildOptions, best **splitCandidate) {
+	// Incremental weighted sums for variance computation:
+	// Var = Σw·y² /W − (Σw·y /W)².
+	leftW := 0.0
+	leftSum := make([]float64, dims)
+	leftSq := make([]float64, dims)
+	totSum := make([]float64, dims)
+	totSq := make([]float64, dims)
+	for _, i := range order {
+		w := d.weight(i)
+		for k, v := range d.YReg[i] {
+			totSum[k] += w * v
+			totSq[k] += w * v * v
+		}
+	}
+	impurityOf := func(sum, sq []float64, w float64) float64 {
+		if w <= 0 {
+			return 0
+		}
+		imp := 0.0
+		for k := range sum {
+			m := sum[k] / w
+			imp += sq[k]/w - m*m
+		}
+		return imp
+	}
+	for pos := 0; pos < len(order)-1; pos++ {
+		i := order[pos]
+		w := d.weight(i)
+		leftW += w
+		for k, v := range d.YReg[i] {
+			leftSum[k] += w * v
+			leftSq[k] += w * v * v
+		}
+		xi, xj := d.X[i][f], d.X[order[pos+1]][f]
+		if xi == xj {
+			continue
+		}
+		rightW := parent.weight - leftW
+		if leftW < opts.MinSamplesLeaf || rightW < opts.MinSamplesLeaf {
+			continue
+		}
+		rightSum := make([]float64, dims)
+		rightSq := make([]float64, dims)
+		for k := range rightSum {
+			rightSum[k] = totSum[k] - leftSum[k]
+			rightSq[k] = totSq[k] - leftSq[k]
+		}
+		children := (leftW*impurityOf(leftSum, leftSq, leftW) + rightW*impurityOf(rightSum, rightSq, rightW)) / parent.weight
+		dec := (parent.impurity - children) * parent.weight
+		if dec > opts.MinImpurityDecrease && (*best == nil || dec > (*best).decrease) {
+			*best = &splitCandidate{feature: f, threshold: (xi + xj) / 2, decrease: dec}
+		}
+	}
+}

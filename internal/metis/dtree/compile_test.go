@@ -1,0 +1,102 @@
+package dtree
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func compiledFixture(t testing.TB) (*Tree, *Compiled) {
+	t.Helper()
+	d := axisDataset(600, 21)
+	rng := rand.New(rand.NewSource(22))
+	for i := range d.Y {
+		if rng.Float64() < 0.1 {
+			d.Y[i] = 1 - d.Y[i]
+		}
+	}
+	tree, err := Build(d, BuildOptions{MaxLeaves: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tree.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, c
+}
+
+func TestCompiledMatchesTree(t *testing.T) {
+	tree, c := compiledFixture(t)
+	f := func(a, b float64) bool {
+		x := []float64{math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))}
+		return c.Predict(x) == tree.Predict(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompiledNodeCount(t *testing.T) {
+	tree, c := compiledFixture(t)
+	if c.NumNodes() != tree.NumNodes() {
+		t.Fatalf("compiled %d nodes, tree %d", c.NumNodes(), tree.NumNodes())
+	}
+}
+
+func TestCompileRejectsRegression(t *testing.T) {
+	d := &Dataset{X: [][]float64{{0}, {1}}, YReg: [][]float64{{1}, {2}}}
+	tree, err := Build(d, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.Compile(); err == nil {
+		t.Fatal("expected error for regression tree")
+	}
+}
+
+func TestGenerateC(t *testing.T) {
+	_, c := compiledFixture(t)
+	src := c.GenerateC("metis_decide", 1e4)
+	for _, want := range []string{"int metis_decide(", "if (x[", "return"} {
+		if !strings.Contains(src, want) {
+			t.Fatalf("generated C missing %q:\n%s", want, src[:200])
+		}
+	}
+	// Branch-only: the body must not contain arithmetic on features.
+	for _, forbidden := range []string{"*", "/", "+ x", "float", "double"} {
+		body := src[strings.Index(src, "{"):]
+		if strings.Contains(body, forbidden) {
+			t.Fatalf("generated C contains non-branch construct %q", forbidden)
+		}
+	}
+}
+
+func TestPredictScaledMatchesFloat(t *testing.T) {
+	tree, c := compiledFixture(t)
+	const scale = 1e6
+	rng := rand.New(rand.NewSource(23))
+	mismatches := 0
+	for i := 0; i < 1000; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		xi := []int64{int64(x[0] * scale), int64(x[1] * scale)}
+		if c.PredictScaled(xi, scale) != tree.Predict(x) {
+			mismatches++
+		}
+	}
+	// Quantization can flip points exactly on a threshold; allow a sliver.
+	if mismatches > 5 {
+		t.Fatalf("%d/1000 integer-space mismatches", mismatches)
+	}
+}
+
+func BenchmarkCompiledPredict(b *testing.B) {
+	_, c := compiledFixture(b)
+	x := []float64{0.4, 0.6}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Predict(x)
+	}
+}

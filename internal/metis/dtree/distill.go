@@ -1,0 +1,280 @@
+package dtree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/rl"
+)
+
+// DistillConfig configures the teacher-student conversion of §3.2.
+type DistillConfig struct {
+	// MaxLeaves is the target leaf budget after CCP pruning (paper default
+	// 200 for Pensieve, 2000 for AuTO).
+	MaxLeaves int
+	// GrowFactor over-grows the tree before pruning (default 4×MaxLeaves).
+	GrowFactor int
+	// MinSamplesLeaf is the minimum weighted samples per leaf (default 2).
+	MinSamplesLeaf float64
+	// Iterations is the number of DAgger rounds: round 0 follows the
+	// teacher, later rounds follow the current student and relabel with the
+	// teacher (default 3). Step 1 of §3.2.
+	Iterations int
+	// EpisodesPerIter is how many episodes are collected per round
+	// (default 20).
+	EpisodesPerIter int
+	// MaxSteps bounds episode length.
+	MaxSteps int
+	// Resample enables the Equation 1 advantage-based sample weighting
+	// (requires the environment to implement rl.Snapshotter). Step 2.
+	Resample bool
+	// Gamma and QHorizon parameterize the Q estimation rollouts.
+	Gamma    float64
+	QHorizon int
+	// Oversample maps action → minimum frequency; classes rarer than their
+	// target get their sample weight boosted (the §6.3 debugging hook).
+	Oversample map[int]float64
+	// FeatureNames labels features on the resulting tree.
+	FeatureNames []string
+	// Seed drives all stochasticity.
+	Seed int64
+}
+
+func (c *DistillConfig) defaults() {
+	if c.MaxLeaves == 0 {
+		c.MaxLeaves = 200
+	}
+	if c.GrowFactor == 0 {
+		c.GrowFactor = 4
+	}
+	if c.MinSamplesLeaf == 0 {
+		c.MinSamplesLeaf = 2
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 3
+	}
+	if c.EpisodesPerIter == 0 {
+		c.EpisodesPerIter = 20
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 1000
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 0.9
+	}
+	if c.QHorizon == 0 {
+		c.QHorizon = 10
+	}
+}
+
+// DistillResult is the outcome of a policy distillation.
+type DistillResult struct {
+	// Tree is the pruned student policy.
+	Tree *Tree
+	// UnprunedLeaves is the leaf count before CCP pruning.
+	UnprunedLeaves int
+	// DatasetSize is the number of aggregated (state, action) pairs.
+	DatasetSize int
+	// Fidelity is the student-teacher action agreement on the dataset.
+	Fidelity float64
+	// Dataset is the final aggregated training set (useful for debugging
+	// and the Appendix E baselines).
+	Dataset *Dataset
+}
+
+// DistillPolicy converts a discrete-action teacher policy into a decision
+// tree by the paper's four-step recipe: trajectory collection with DAgger
+// takeover, advantage resampling, CART fitting, and CCP pruning.
+func DistillPolicy(env rl.Env, teacher rl.Policy, cfg DistillConfig) (*DistillResult, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	_ = rng
+
+	var q *rl.QEstimator
+	if cfg.Resample {
+		if _, ok := env.(rl.Snapshotter); !ok {
+			return nil, fmt.Errorf("dtree: Resample requires a Snapshotter environment")
+		}
+		q = &rl.QEstimator{Policy: teacher, Gamma: cfg.Gamma, Horizon: cfg.QHorizon}
+	}
+
+	ds := &Dataset{}
+	var student *Tree
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		for ep := 0; ep < cfg.EpisodesPerIter; ep++ {
+			seed := cfg.Seed + int64(iter*cfg.EpisodesPerIter+ep)
+			s := env.Reset(seed)
+			for step := 0; step < cfg.MaxSteps; step++ {
+				label := rl.Greedy(teacher, s)
+				w := 1.0
+				if q != nil {
+					w = q.Weight(env)
+				}
+				ds.X = append(ds.X, append([]float64(nil), s...))
+				ds.Y = append(ds.Y, label)
+				ds.W = append(ds.W, w)
+
+				// Student controls the rollout after round 0 (DAgger): the
+				// tree visits its own induced state distribution while the
+				// teacher provides corrective labels.
+				act := label
+				if iter > 0 && student != nil {
+					act = student.Predict(s)
+				}
+				next, _, done := env.Step(act)
+				if done {
+					break
+				}
+				s = next
+			}
+		}
+		fit := fittingCopy(ds, cfg.Oversample)
+		grown, err := Build(fit, BuildOptions{
+			MaxLeaves:      cfg.MaxLeaves * cfg.GrowFactor,
+			MinSamplesLeaf: cfg.MinSamplesLeaf,
+			FeatureNames:   cfg.FeatureNames,
+		})
+		if err != nil {
+			return nil, err
+		}
+		student = grown.PruneToLeaves(cfg.MaxLeaves)
+	}
+
+	final := fittingCopy(ds, cfg.Oversample)
+	grown, err := Build(final, BuildOptions{
+		MaxLeaves:      cfg.MaxLeaves * cfg.GrowFactor,
+		MinSamplesLeaf: cfg.MinSamplesLeaf,
+		FeatureNames:   cfg.FeatureNames,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &DistillResult{
+		UnprunedLeaves: grown.NumLeaves(),
+		DatasetSize:    ds.Len(),
+		Dataset:        final,
+	}
+	res.Tree = grown.PruneToLeaves(cfg.MaxLeaves)
+	agree := 0
+	for i, x := range ds.X {
+		if res.Tree.Predict(x) == ds.Y[i] {
+			agree++
+		}
+	}
+	res.Fidelity = float64(agree) / float64(ds.Len())
+	return res, nil
+}
+
+// fittingCopy returns a dataset sharing X/Y with ds but carrying normalized,
+// oversample-boosted weights. Raw advantage weights stay untouched in ds so
+// that repeated DAgger rounds never re-normalize an already-normalized mix.
+func fittingCopy(ds *Dataset, oversample map[int]float64) *Dataset {
+	fit := &Dataset{X: ds.X, Y: ds.Y, YReg: ds.YReg}
+	if ds.W != nil {
+		fit.W = append([]float64(nil), ds.W...)
+	}
+	normalizeWeights(fit)
+	applyOversample(fit, oversample)
+	return fit
+}
+
+// normalizeWeights rescales weights to mean 1 and winsorizes the tails.
+// Advantage weights (Q-range estimates) are heavy-tailed: a handful of
+// catastrophic states (e.g. rebuffering cliffs) can carry weights two orders
+// of magnitude above typical ones, which after mean normalization pushes
+// typical weights toward zero and starves tree growth through the weighted
+// MinSamplesLeaf constraint. Clipping to [0.1, 20]× the median keeps the
+// prioritization while bounding the skew.
+func normalizeWeights(ds *Dataset) {
+	if len(ds.W) == 0 {
+		return
+	}
+	sum := 0.0
+	for _, w := range ds.W {
+		sum += w
+	}
+	if sum <= 0 {
+		for i := range ds.W {
+			ds.W[i] = 1
+		}
+		return
+	}
+	// Scale by the median, not the mean: the mean is dominated by the few
+	// catastrophic-state outliers, which would push typical weights to the
+	// clip floor.
+	sorted := append([]float64(nil), ds.W...)
+	sort.Float64s(sorted)
+	med := sorted[len(sorted)/2]
+	if med <= 0 {
+		med = sum / float64(len(ds.W))
+	}
+	sum = 0
+	for i := range ds.W {
+		w := ds.W[i] / med
+		if w < 0.1 {
+			w = 0.1
+		}
+		if w > 20 {
+			w = 20
+		}
+		ds.W[i] = w
+		sum += w
+	}
+	// Re-center to mean 1 after clipping so MinSamplesLeaf keeps its
+	// "effective samples" interpretation.
+	mean := sum / float64(len(ds.W))
+	for i := range ds.W {
+		ds.W[i] /= mean
+	}
+}
+
+// applyOversample boosts the weights of under-represented classes so that
+// each class listed in targets reaches at least its target weighted
+// frequency — the §6.3 fix for Pensieve's abandoned bitrates.
+func applyOversample(ds *Dataset, targets map[int]float64) {
+	if len(targets) == 0 {
+		return
+	}
+	if ds.W == nil {
+		ds.W = make([]float64, ds.Len())
+		for i := range ds.W {
+			ds.W[i] = 1
+		}
+	}
+	total := 0.0
+	perClass := map[int]float64{}
+	for i, y := range ds.Y {
+		total += ds.W[i]
+		perClass[y] += ds.W[i]
+	}
+	for class, target := range targets {
+		c := perClass[class]
+		if c <= 0 || c/total >= target || target >= 1 {
+			continue
+		}
+		// Solve boost b such that b·c / (total − c + b·c) = target.
+		boost := target * (total - c) / (c * (1 - target))
+		for i, y := range ds.Y {
+			if y == class {
+				ds.W[i] *= boost
+			}
+		}
+	}
+}
+
+// FitDataset fits and prunes a tree on an already-collected dataset; used for
+// regression teachers (e.g. AuTO's sRLA thresholds) and offline studies.
+func FitDataset(ds *Dataset, cfg DistillConfig) (*Tree, error) {
+	cfg.defaults()
+	grown, err := Build(ds, BuildOptions{
+		MaxLeaves:      cfg.MaxLeaves * cfg.GrowFactor,
+		MinSamplesLeaf: cfg.MinSamplesLeaf,
+		FeatureNames:   cfg.FeatureNames,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return grown.PruneToLeaves(cfg.MaxLeaves), nil
+}

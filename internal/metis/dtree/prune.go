@@ -1,0 +1,115 @@
+package dtree
+
+import "math"
+
+// PruneToLeaves applies cost-complexity pruning (CCP, Breiman et al. 1984):
+// it repeatedly collapses the internal node with the smallest effective alpha
+//
+//	g(t) = (R(t) − R(T_t)) / (|leaves(T_t)| − 1)
+//
+// until the tree has at most maxLeaves leaves, and returns the pruned copy.
+// R is the weighted resubstitution error: misclassification rate for
+// classification trees, variance for regression trees. The original tree is
+// not modified.
+func (t *Tree) PruneToLeaves(maxLeaves int) *Tree {
+	if maxLeaves < 1 {
+		maxLeaves = 1
+	}
+	c := t.Clone()
+	total := c.Root.Samples
+	if total == 0 {
+		total = 1
+	}
+	for countLeaves(c.Root) > maxLeaves {
+		node := weakestLink(c.Root, total, c.IsRegression())
+		if node == nil {
+			break
+		}
+		node.Left = nil
+		node.Right = nil
+		node.Feature = -1
+	}
+	return c
+}
+
+// nodeError returns the weighted resubstitution error contribution of a node
+// treated as a leaf (normalized by total).
+func nodeError(n *Node, total float64, regression bool) float64 {
+	if regression {
+		return n.Impurity * n.Samples / total
+	}
+	// Misclassification cost: weight not belonging to the majority class.
+	maj := 0.0
+	sum := 0.0
+	for _, w := range n.ClassDist {
+		sum += w
+		if w > maj {
+			maj = w
+		}
+	}
+	return (sum - maj) / total
+}
+
+// subtreeError returns Σ_leaf R(leaf) and the leaf count of the subtree.
+func subtreeError(n *Node, total float64, regression bool) (float64, int) {
+	if n.IsLeaf() {
+		return nodeError(n, total, regression), 1
+	}
+	le, lc := subtreeError(n.Left, total, regression)
+	re, rc := subtreeError(n.Right, total, regression)
+	return le + re, lc + rc
+}
+
+// weakestLink finds the internal node with minimal effective alpha. Ties are
+// broken toward the smallest subtree: many subtrees can share alpha (e.g. 0
+// when a split improves gini but not the majority class), and pruning a
+// near-root tie would collapse far more of the tree than the leaf budget
+// asks for.
+func weakestLink(root *Node, total float64, regression bool) *Node {
+	var best *Node
+	bestAlpha := math.Inf(1)
+	bestLeaves := 0
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil || n.IsLeaf() {
+			return
+		}
+		subErr, leaves := subtreeError(n, total, regression)
+		if leaves > 1 {
+			alpha := (nodeError(n, total, regression) - subErr) / float64(leaves-1)
+			const eps = 1e-12
+			if alpha < bestAlpha-eps || (alpha < bestAlpha+eps && (best == nil || leaves < bestLeaves)) {
+				bestAlpha = alpha
+				bestLeaves = leaves
+				best = n
+			}
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(root)
+	return best
+}
+
+// AlphaSequence returns the effective alphas at which CCP would prune,
+// in pruning order, useful for diagnostics and sensitivity sweeps.
+func (t *Tree) AlphaSequence() []float64 {
+	c := t.Clone()
+	total := c.Root.Samples
+	if total == 0 {
+		total = 1
+	}
+	var alphas []float64
+	for countLeaves(c.Root) > 1 {
+		node := weakestLink(c.Root, total, c.IsRegression())
+		if node == nil {
+			break
+		}
+		subErr, leaves := subtreeError(node, total, c.IsRegression())
+		alphas = append(alphas, (nodeError(node, total, c.IsRegression())-subErr)/float64(leaves-1))
+		node.Left = nil
+		node.Right = nil
+		node.Feature = -1
+	}
+	return alphas
+}

@@ -1,0 +1,250 @@
+// Package dtree implements the decision-tree half of Metis (§3 of the
+// paper): CART classification and regression trees with weighted samples,
+// best-first growth, cost-complexity pruning (CCP), and the teacher-student
+// distillation loop — DAgger-style trajectory collection, Equation 1
+// advantage resampling, and the §6.3 oversampling debug hook — that converts
+// a DNN policy into an interpretable rule-based controller.
+package dtree
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"strings"
+)
+
+// Node is a tree node. Internal nodes route on X[Feature] < Threshold
+// (left if true); leaves carry either a class distribution or a regression
+// value vector.
+type Node struct {
+	// Feature and Threshold define the split; Feature is -1 on leaves.
+	Feature   int
+	Threshold float64
+	Left      *Node
+	Right     *Node
+
+	// Class is the majority class at this node (classification).
+	Class int
+	// ClassDist is the weighted class frequency distribution at this node;
+	// it is retained on internal nodes too so interpretations can color
+	// nodes by decision frequency (Fig. 7).
+	ClassDist []float64
+	// Value is the mean regression target at this node (regression).
+	Value []float64
+	// Samples is the weighted sample count that reached this node.
+	Samples float64
+	// Impurity is the node's training impurity (gini or variance).
+	Impurity float64
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return n.Left == nil }
+
+// Tree is a fitted CART decision tree.
+type Tree struct {
+	Root *Node
+	// NumFeatures is the input dimensionality.
+	NumFeatures int
+	// NumClasses is the label count for classification trees; 0 means
+	// regression.
+	NumClasses int
+	// FeatureNames optionally labels features for rule printing.
+	FeatureNames []string
+}
+
+// IsRegression reports whether the tree predicts continuous values.
+func (t *Tree) IsRegression() bool { return t.NumClasses == 0 }
+
+// leaf returns the leaf reached by x.
+func (t *Tree) leaf(x []float64) *Node {
+	n := t.Root
+	for !n.IsLeaf() {
+		if x[n.Feature] < n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n
+}
+
+// Predict returns the class decision for x (classification trees).
+func (t *Tree) Predict(x []float64) int { return t.leaf(x).Class }
+
+// PredictReg returns the regression output for x (regression trees).
+func (t *Tree) PredictReg(x []float64) []float64 { return t.leaf(x).Value }
+
+// Path returns the root-to-leaf node sequence visited by x.
+func (t *Tree) Path(x []float64) []*Node {
+	var path []*Node
+	n := t.Root
+	for {
+		path = append(path, n)
+		if n.IsLeaf() {
+			return path
+		}
+		if x[n.Feature] < n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+}
+
+// NumLeaves returns the number of leaves.
+func (t *Tree) NumLeaves() int { return countLeaves(t.Root) }
+
+func countLeaves(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	if n.IsLeaf() {
+		return 1
+	}
+	return countLeaves(n.Left) + countLeaves(n.Right)
+}
+
+// NumNodes returns the total node count.
+func (t *Tree) NumNodes() int { return countNodes(t.Root) }
+
+func countNodes(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	return 1 + countNodes(n.Left) + countNodes(n.Right)
+}
+
+// Depth returns the maximum root-to-leaf depth (a lone root has depth 1).
+func (t *Tree) Depth() int { return depth(t.Root) }
+
+func depth(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	if n.IsLeaf() {
+		return 1
+	}
+	l, r := depth(n.Left), depth(n.Right)
+	if l > r {
+		return 1 + l
+	}
+	return 1 + r
+}
+
+// featureName returns a printable name for feature i.
+func (t *Tree) featureName(i int) string {
+	if i >= 0 && i < len(t.FeatureNames) && t.FeatureNames[i] != "" {
+		return t.FeatureNames[i]
+	}
+	return fmt.Sprintf("x[%d]", i)
+}
+
+// Rules renders the top maxDepth levels of the tree as indented
+// human-readable rules, the textual equivalent of the paper's Figure 7.
+// maxDepth ≤ 0 prints the whole tree.
+func (t *Tree) Rules(maxDepth int) string {
+	var b strings.Builder
+	t.renderNode(&b, t.Root, 0, maxDepth)
+	return b.String()
+}
+
+func (t *Tree) renderNode(b *strings.Builder, n *Node, d, maxDepth int) {
+	indent := strings.Repeat("  ", d)
+	if n.IsLeaf() || (maxDepth > 0 && d >= maxDepth) {
+		if t.IsRegression() {
+			fmt.Fprintf(b, "%s→ value=%v (n=%.0f)\n", indent, fmtVals(n.Value), n.Samples)
+		} else {
+			fmt.Fprintf(b, "%s→ class=%d dist=%s (n=%.0f)\n", indent, n.Class, fmtDist(n.ClassDist), n.Samples)
+		}
+		return
+	}
+	fmt.Fprintf(b, "%sif %s < %.4g:\n", indent, t.featureName(n.Feature), n.Threshold)
+	t.renderNode(b, n.Left, d+1, maxDepth)
+	fmt.Fprintf(b, "%selse:\n", indent)
+	t.renderNode(b, n.Right, d+1, maxDepth)
+}
+
+func fmtDist(d []float64) string {
+	total := 0.0
+	for _, v := range d {
+		total += v
+	}
+	if total == 0 {
+		return "[]"
+	}
+	parts := make([]string, len(d))
+	for i, v := range d {
+		parts[i] = fmt.Sprintf("%.0f%%", 100*v/total)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+func fmtVals(v []float64) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%.3g", x)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// Clone returns a deep copy of the tree.
+func (t *Tree) Clone() *Tree {
+	c := *t
+	c.Root = cloneNode(t.Root)
+	return &c
+}
+
+func cloneNode(n *Node) *Node {
+	if n == nil {
+		return nil
+	}
+	c := *n
+	c.ClassDist = append([]float64(nil), n.ClassDist...)
+	c.Value = append([]float64(nil), n.Value...)
+	c.Left = cloneNode(n.Left)
+	c.Right = cloneNode(n.Right)
+	return &c
+}
+
+// treeWire is the gob wire format. A distinct type is required: encoding
+// Tree directly would re-enter MarshalBinary through gob's BinaryMarshaler
+// support.
+type treeWire struct {
+	Root         *Node
+	NumFeatures  int
+	NumClasses   int
+	FeatureNames []string
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler via gob.
+func (t *Tree) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	w := treeWire{Root: t.Root, NumFeatures: t.NumFeatures, NumClasses: t.NumClasses, FeatureNames: t.FeatureNames}
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("dtree: encode tree: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (t *Tree) UnmarshalBinary(data []byte) error {
+	var w treeWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("dtree: decode tree: %w", err)
+	}
+	t.Root = w.Root
+	t.NumFeatures = w.NumFeatures
+	t.NumClasses = w.NumClasses
+	t.FeatureNames = w.FeatureNames
+	return nil
+}
+
+// SizeBytes returns the serialized model size, the deployment footprint used
+// by the Fig. 17(b) comparison.
+func (t *Tree) SizeBytes() int {
+	b, err := t.MarshalBinary()
+	if err != nil {
+		return 0
+	}
+	return len(b)
+}

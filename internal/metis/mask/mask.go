@@ -1,0 +1,237 @@
+// Package mask implements the hypergraph half of Metis (§4.2 of the paper):
+// the critical-connection search. Given a blackbox global system whose
+// output can be recomputed under a fractional incidence mask W ∈ [0,1]^n
+// (one weight per hyperedge-vertex connection), it minimizes
+//
+//	ℓ(W) = D(Y_W, Y_I) + λ1·‖W‖ + λ2·H(W)            (Equations 4–8)
+//
+// where D is KL divergence for discrete outputs and mean squared error for
+// continuous ones, ‖W‖ penalizes mask scale (conciseness), and H is the
+// binary entropy pushing masks toward 0/1 (determinism). W is parameterized
+// as sigmoid(W′) (the Equation 9 gating), the regularizer gradients are
+// analytic, and the task term D is differentiated with SPSA so the system
+// can stay a blackbox.
+package mask
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// System is a global networking system whose output can be recomputed under
+// a connection mask.
+type System interface {
+	// NumConnections is the number of hyperedge-vertex incidences.
+	NumConnections() int
+	// Output returns the system output under the given mask (length
+	// NumConnections, entries in [0,1]). Callers pass all-ones for Y_I.
+	Output(mask []float64) []float64
+	// Discrete reports whether outputs are probability-like (KL divergence)
+	// rather than continuous values (MSE).
+	Discrete() bool
+}
+
+// Options configures the search.
+type Options struct {
+	// Lambda1 weights conciseness ‖W‖ (paper default 0.25 for RouteNet*).
+	Lambda1 float64
+	// Lambda2 weights determinism H(W) (paper default 1).
+	Lambda2 float64
+	// Iterations of Adam (default 150).
+	Iterations int
+	// LR is the Adam learning rate on W′ (default 0.1).
+	LR float64
+	// SPSASamples averages this many simultaneous-perturbation gradient
+	// estimates per step (default 4).
+	SPSASamples int
+	// Perturbation is the SPSA step c in W′ space (default 0.2).
+	Perturbation float64
+	// InitLogit is the initial W′ value. The default 0 starts every mask
+	// at 0.5, where the entropy term is neutral: the task term must earn a
+	// connection its high mask, and conciseness pushes the rest to 0.
+	InitLogit float64
+	// Seed drives the SPSA perturbations.
+	Seed int64
+}
+
+func (o *Options) defaults() {
+	if o.Lambda1 == 0 {
+		o.Lambda1 = 0.25
+	}
+	if o.Lambda2 == 0 {
+		o.Lambda2 = 1
+	}
+	if o.Iterations == 0 {
+		o.Iterations = 150
+	}
+	if o.LR == 0 {
+		o.LR = 0.1
+	}
+	if o.SPSASamples == 0 {
+		o.SPSASamples = 4
+	}
+	if o.Perturbation == 0 {
+		o.Perturbation = 0.2
+	}
+}
+
+// Result is the outcome of a critical-connection search.
+type Result struct {
+	// W holds the final mask value per connection.
+	W []float64
+	// LossHistory records total loss per iteration.
+	LossHistory []float64
+	// Divergence is the final task term D(Y_W, Y_I).
+	Divergence float64
+	// Norm is Σ W / n and Entropy is the mean binary entropy — the final
+	// regularizer values (normalized per connection).
+	Norm, Entropy float64
+}
+
+// TopConnections returns the indices of the k highest-mask connections in
+// descending mask order.
+func (r *Result) TopConnections(k int) []int {
+	idx := make([]int, len(r.W))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return r.W[idx[a]] > r.W[idx[b]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// sigmoid is the Equation 9 gate.
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// divergence computes D(Y_W, Y_I): KL for discrete outputs, MSE otherwise.
+func divergence(yI, yW []float64, discrete bool) float64 {
+	d := 0.0
+	if discrete {
+		for i := range yI {
+			p := math.Max(yI[i], 1e-9)
+			q := math.Max(yW[i], 1e-9)
+			d += p * math.Log(p/q)
+		}
+		return d
+	}
+	for i := range yI {
+		dv := yW[i] - yI[i]
+		d += dv * dv
+	}
+	return d
+}
+
+// Search runs the critical-connection optimization and returns the mask.
+func Search(sys System, opts Options) *Result {
+	opts.defaults()
+	n := sys.NumConnections()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	yI := append([]float64(nil), sys.Output(ones)...)
+
+	logits := make([]float64, n)
+	for i := range logits {
+		logits[i] = opts.InitLogit
+	}
+
+	taskLoss := func(lg []float64) float64 {
+		w := make([]float64, n)
+		for i, v := range lg {
+			w[i] = sigmoid(v)
+		}
+		return divergence(yI, sys.Output(w), sys.Discrete())
+	}
+
+	// Adam state.
+	m := make([]float64, n)
+	v := make([]float64, n)
+	res := &Result{}
+	grad := make([]float64, n)
+	pl := make([]float64, n)
+	mi := make([]float64, n)
+
+	for it := 1; it <= opts.Iterations; it++ {
+		for i := range grad {
+			grad[i] = 0
+		}
+		// SPSA estimate of dD/dW′.
+		for s := 0; s < opts.SPSASamples; s++ {
+			for i := range pl {
+				if rng.Intn(2) == 0 {
+					pl[i] = logits[i] + opts.Perturbation
+					mi[i] = logits[i] - opts.Perturbation
+				} else {
+					pl[i] = logits[i] - opts.Perturbation
+					mi[i] = logits[i] + opts.Perturbation
+				}
+			}
+			dp := taskLoss(pl)
+			dm := taskLoss(mi)
+			diff := (dp - dm) / (2 * opts.Perturbation)
+			for i := range grad {
+				sign := 1.0
+				if pl[i] < logits[i] {
+					sign = -1
+				}
+				grad[i] += diff * sign / float64(opts.SPSASamples)
+			}
+		}
+		// Analytic regularizer gradients (normalized per connection).
+		for i, lg := range logits {
+			w := sigmoid(lg)
+			dw := w * (1 - w)
+			grad[i] += opts.Lambda1 * dw
+			grad[i] += opts.Lambda2 * (-lg) * dw
+		}
+		// Adam step.
+		b1, b2, eps := 0.9, 0.999, 1e-8
+		bc1 := 1 - math.Pow(b1, float64(it))
+		bc2 := 1 - math.Pow(b2, float64(it))
+		for i, g := range grad {
+			m[i] = b1*m[i] + (1-b1)*g
+			v[i] = b2*v[i] + (1-b2)*g*g
+			logits[i] -= opts.LR * (m[i] / bc1) / (math.Sqrt(v[i]/bc2) + eps)
+		}
+		// Record total loss.
+		d := taskLoss(logits)
+		norm, ent := 0.0, 0.0
+		for _, lg := range logits {
+			w := sigmoid(lg)
+			norm += w
+			ent += binaryEntropy(w)
+		}
+		res.LossHistory = append(res.LossHistory,
+			d+opts.Lambda1*norm+opts.Lambda2*ent)
+	}
+
+	res.W = make([]float64, n)
+	norm, ent := 0.0, 0.0
+	for i, lg := range logits {
+		res.W[i] = sigmoid(lg)
+		norm += res.W[i]
+		ent += binaryEntropy(res.W[i])
+	}
+	res.Divergence = taskLoss(logits)
+	res.Norm = norm / float64(n)
+	res.Entropy = ent / float64(n)
+	return res
+}
+
+// binaryEntropy is H(w) for one connection (Equation 8 summand).
+func binaryEntropy(w float64) float64 {
+	h := 0.0
+	if w > 1e-12 {
+		h -= w * math.Log(w)
+	}
+	if 1-w > 1e-12 {
+		h -= (1 - w) * math.Log(1-w)
+	}
+	return h
+}

@@ -1,0 +1,135 @@
+package mask
+
+import (
+	"math"
+	"testing"
+)
+
+// linearSystem is a synthetic continuous system: the output is the masked
+// sum of connection contributions, so only connections with non-zero
+// coefficients matter.
+type linearSystem struct {
+	coef []float64
+}
+
+func (s *linearSystem) NumConnections() int { return len(s.coef) }
+func (s *linearSystem) Discrete() bool      { return false }
+func (s *linearSystem) Output(mask []float64) []float64 {
+	sum := 0.0
+	for i, w := range mask {
+		sum += w * s.coef[i]
+	}
+	return []float64{sum}
+}
+
+func TestSearchFindsCriticalConnections(t *testing.T) {
+	// Connections 0 and 3 dominate the output; the rest are noise.
+	sys := &linearSystem{coef: []float64{5, 0.01, 0.01, 5, 0.01, 0.01, 0.01, 0.01}}
+	res := Search(sys, Options{Lambda1: 1.2, Lambda2: 0.4, Iterations: 250, Seed: 1})
+	top := res.TopConnections(2)
+	got := map[int]bool{top[0]: true, top[1]: true}
+	if !got[0] || !got[3] {
+		t.Fatalf("top connections = %v (W=%v), want {0,3}", top, res.W)
+	}
+	// Critical masks should stay high, irrelevant ones be suppressed.
+	if res.W[0] < 0.6 || res.W[3] < 0.6 {
+		t.Fatalf("critical masks suppressed: %v", res.W)
+	}
+	mean := 0.0
+	for _, i := range []int{1, 2, 4, 5, 6, 7} {
+		mean += res.W[i]
+	}
+	mean /= 6
+	if mean > res.W[0]-0.2 {
+		t.Fatalf("irrelevant masks %v not clearly below critical %v", mean, res.W[0])
+	}
+}
+
+// softmaxSystem is a discrete system: three connections feed a softmax; the
+// first logit has a large coefficient.
+type softmaxSystem struct{}
+
+func (softmaxSystem) NumConnections() int { return 3 }
+func (softmaxSystem) Discrete() bool      { return true }
+func (softmaxSystem) Output(mask []float64) []float64 {
+	logits := []float64{3 * mask[0], 1 * mask[1], 0.2 * mask[2]}
+	max := logits[0]
+	for _, v := range logits {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	out := make([]float64, 3)
+	for i, v := range logits {
+		out[i] = math.Exp(v - max)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+func TestSearchDiscreteKL(t *testing.T) {
+	res := Search(softmaxSystem{}, Options{Lambda1: 0.25, Lambda2: 0.5, Iterations: 250, Seed: 2})
+	if res.TopConnections(1)[0] != 0 {
+		t.Fatalf("most critical connection = %d (W=%v), want 0", res.TopConnections(1)[0], res.W)
+	}
+	if res.Divergence < 0 {
+		t.Fatalf("negative KL %v", res.Divergence)
+	}
+}
+
+func TestLambda1ShrinksMasks(t *testing.T) {
+	sys := &linearSystem{coef: []float64{1, 1, 1, 1, 1, 1}}
+	low := Search(sys, Options{Lambda1: 0.05, Lambda2: 0.01, Iterations: 150, Seed: 3})
+	high := Search(sys, Options{Lambda1: 5, Lambda2: 0.01, Iterations: 150, Seed: 3})
+	if high.Norm >= low.Norm {
+		t.Fatalf("higher λ1 should shrink ‖W‖: low=%.3f high=%.3f", low.Norm, high.Norm)
+	}
+}
+
+func TestLambda2ReducesEntropy(t *testing.T) {
+	sys := &linearSystem{coef: []float64{2, 0.5, 1, 0.1, 1.5, 0.3}}
+	low := Search(sys, Options{Lambda1: 0.3, Lambda2: 0.05, Iterations: 200, Seed: 4})
+	high := Search(sys, Options{Lambda1: 0.3, Lambda2: 6, Iterations: 200, Seed: 4})
+	if high.Entropy >= low.Entropy {
+		t.Fatalf("higher λ2 should reduce H(W): low=%.3f high=%.3f", low.Entropy, high.Entropy)
+	}
+}
+
+func TestMasksStayInRange(t *testing.T) {
+	sys := &linearSystem{coef: []float64{3, -2, 1, 0, 4, -1, 2, 0.5}}
+	res := Search(sys, Options{Iterations: 100, Seed: 5})
+	for i, w := range res.W {
+		if w < 0 || w > 1 || math.IsNaN(w) {
+			t.Fatalf("mask[%d] = %v out of [0,1]", i, w)
+		}
+	}
+	if len(res.LossHistory) != 100 {
+		t.Fatalf("loss history length %d", len(res.LossHistory))
+	}
+}
+
+func TestLossDecreases(t *testing.T) {
+	sys := &linearSystem{coef: []float64{5, 0.01, 0.01, 5, 0.01, 0.01}}
+	res := Search(sys, Options{Lambda1: 1, Lambda2: 0.3, Iterations: 200, Seed: 6})
+	first := res.LossHistory[0]
+	last := res.LossHistory[len(res.LossHistory)-1]
+	if last >= first {
+		t.Fatalf("loss did not decrease: first %.4f last %.4f", first, last)
+	}
+}
+
+func TestBinaryEntropy(t *testing.T) {
+	if h := binaryEntropy(0.5); math.Abs(h-math.Ln2) > 1e-9 {
+		t.Fatalf("H(0.5) = %v, want ln2", h)
+	}
+	if h := binaryEntropy(0); h != 0 {
+		t.Fatalf("H(0) = %v", h)
+	}
+	if h := binaryEntropy(1); h != 0 {
+		t.Fatalf("H(1) = %v", h)
+	}
+}

@@ -1,0 +1,125 @@
+// Package nfv implements the Appendix B.1 scenario: network function (NF)
+// placement onto servers. Servers are hypergraph vertices, NFs are
+// hyperedges, and a connection means "one instance of NF e runs on server
+// v". A greedy load-balancing placer stands in for the DL placement system
+// (NFVdeep in the paper); the mask adapter lets Metis rank which individual
+// instance placements are critical to the resulting load profile.
+package nfv
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/hypergraph"
+)
+
+// Problem describes an NFV placement instance.
+type Problem struct {
+	// ServerCapacity[s] is server s's processing capacity.
+	ServerCapacity []float64
+	// NFDemand[f] is the total processing demand of NF f.
+	NFDemand []float64
+	// Replicas[f] is how many instances NF f is split into.
+	Replicas []int
+}
+
+// Placement records, for each NF, the servers hosting its instances
+// (parallel to Problem.Replicas; one server per instance, duplicates
+// allowed across NFs but not within one NF).
+type Placement struct {
+	Problem   Problem
+	Instances [][]int
+}
+
+// Greedy places each NF's instances on the servers with the most residual
+// capacity, the standard consolidation heuristic. Deterministic.
+func Greedy(p Problem) *Placement {
+	load := make([]float64, len(p.ServerCapacity))
+	pl := &Placement{Problem: p, Instances: make([][]int, len(p.NFDemand))}
+	for f, demand := range p.NFDemand {
+		per := demand / float64(p.Replicas[f])
+		used := make(map[int]bool)
+		for r := 0; r < p.Replicas[f]; r++ {
+			best, bestRes := -1, math.Inf(-1)
+			for s, cap := range p.ServerCapacity {
+				if used[s] {
+					continue
+				}
+				if res := cap - load[s]; res > bestRes {
+					bestRes = res
+					best = s
+				}
+			}
+			pl.Instances[f] = append(pl.Instances[f], best)
+			load[best] += per
+			used[best] = true
+		}
+		sort.Ints(pl.Instances[f])
+	}
+	return pl
+}
+
+// Loads returns per-server load under a fractional connection mask: a
+// masked placement contributes proportionally less load to its server, as if
+// the instance were throttled. (The mask deliberately does not renormalize
+// within an NF: renormalization would make the load profile invariant to
+// uniform per-NF mask scaling, letting the critical-connection search drive
+// every mask to zero at zero divergence.)
+func (pl *Placement) Loads(mask []float64) []float64 {
+	load := make([]float64, len(pl.Problem.ServerCapacity))
+	ci := 0
+	for f, servers := range pl.Instances {
+		per := pl.Problem.NFDemand[f] / float64(len(servers))
+		for _, s := range servers {
+			w := 1.0
+			if mask != nil {
+				w = mask[ci]
+			}
+			ci++
+			load[s] += per * w
+		}
+	}
+	return load
+}
+
+// NumConnections implements mask.System.
+func (pl *Placement) NumConnections() int {
+	n := 0
+	for _, servers := range pl.Instances {
+		n += len(servers)
+	}
+	return n
+}
+
+// Discrete implements mask.System (load profiles are continuous → MSE).
+func (pl *Placement) Discrete() bool { return false }
+
+// Output implements mask.System: the normalized per-server utilization.
+func (pl *Placement) Output(mask []float64) []float64 {
+	load := pl.Loads(mask)
+	out := make([]float64, len(load))
+	for s, l := range load {
+		out[s] = l / pl.Problem.ServerCapacity[s]
+	}
+	return out
+}
+
+// Hypergraph returns the scenario-#2 hypergraph of the placement.
+func (pl *Placement) Hypergraph() *hypergraph.Hypergraph {
+	return hypergraph.FromNFVPlacement(hypergraph.NFVPlacement{
+		Servers:   pl.Problem.ServerCapacity,
+		NFs:       pl.Problem.NFDemand,
+		Instances: pl.Instances,
+	})
+}
+
+// MaxUtilization is the placement objective (lower is better balanced).
+func (pl *Placement) MaxUtilization() float64 {
+	max := 0.0
+	for _, u := range pl.Output(nil) {
+		if u > max {
+			max = u
+		}
+	}
+	return max
+}

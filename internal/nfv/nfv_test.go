@@ -1,0 +1,102 @@
+package nfv
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metis/mask"
+)
+
+func problem() Problem {
+	return Problem{
+		ServerCapacity: []float64{10, 10, 20, 20},
+		NFDemand:       []float64{6, 9, 3, 8},
+		Replicas:       []int{3, 3, 1, 3},
+	}
+}
+
+func TestGreedyPlacementValid(t *testing.T) {
+	pl := Greedy(problem())
+	for f, servers := range pl.Instances {
+		if len(servers) != pl.Problem.Replicas[f] {
+			t.Fatalf("NF %d has %d instances, want %d", f, len(servers), pl.Problem.Replicas[f])
+		}
+		seen := map[int]bool{}
+		for _, s := range servers {
+			if s < 0 || s >= len(pl.Problem.ServerCapacity) {
+				t.Fatalf("NF %d on invalid server %d", f, s)
+			}
+			if seen[s] {
+				t.Fatalf("NF %d placed twice on server %d", f, s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestLoadsConserveDemand(t *testing.T) {
+	pl := Greedy(problem())
+	loads := pl.Loads(nil)
+	total := 0.0
+	for _, l := range loads {
+		total += l
+	}
+	want := 0.0
+	for _, d := range pl.Problem.NFDemand {
+		want += d
+	}
+	if math.Abs(total-want) > 1e-9 {
+		t.Fatalf("total load %v, want %v", total, want)
+	}
+	// Masking one instance throttles its load contribution.
+	m := make([]float64, pl.NumConnections())
+	for i := range m {
+		m[i] = 1
+	}
+	m[0] = 0.2
+	masked := pl.Loads(m)
+	maskedTotal := 0.0
+	for _, l := range masked {
+		maskedTotal += l
+	}
+	if maskedTotal >= total {
+		t.Fatalf("masked total %v not below unmasked %v", maskedTotal, total)
+	}
+}
+
+func TestGreedyBalances(t *testing.T) {
+	pl := Greedy(problem())
+	if u := pl.MaxUtilization(); u > 1.0 {
+		t.Fatalf("greedy produced overload: max utilization %.2f", u)
+	}
+}
+
+func TestMaskFindsHeavyInstances(t *testing.T) {
+	// One dominant NF: masking its instances changes the load profile most,
+	// so the search should keep their masks higher than the featherweight
+	// NF's.
+	p := Problem{
+		ServerCapacity: []float64{10, 10, 10},
+		NFDemand:       []float64{12, 0.05},
+		Replicas:       []int{2, 2},
+	}
+	pl := Greedy(p)
+	res := mask.Search(pl, mask.Options{Lambda1: 0.15, Lambda2: 0.1, Iterations: 250, Seed: 1})
+	// Connections 0,1 belong to the heavy NF; 2,3 to the light one.
+	heavy := (res.W[0] + res.W[1]) / 2
+	light := (res.W[2] + res.W[3]) / 2
+	if heavy <= light {
+		t.Fatalf("heavy-NF masks %.3f not above light-NF masks %.3f (W=%v)", heavy, light, res.W)
+	}
+}
+
+func TestHypergraphShape(t *testing.T) {
+	pl := Greedy(problem())
+	h := pl.Hypergraph()
+	if h.NumV != 4 || h.NumE != 4 {
+		t.Fatalf("hypergraph %dx%d", h.NumE, h.NumV)
+	}
+	if len(h.Connections()) != pl.NumConnections() {
+		t.Fatal("connection count mismatch with mask adapter")
+	}
+}

@@ -1,0 +1,84 @@
+package nn
+
+import "math"
+
+// Optimizer applies accumulated gradients to a network's parameters.
+type Optimizer interface {
+	// Step applies the current gradients of net and does not clear them;
+	// call net.ZeroGrad afterwards.
+	Step(net *Network)
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	vel [][]float64
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate.
+func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
+
+// Step implements Optimizer.
+func (s *SGD) Step(net *Network) {
+	params := net.Params()
+	if s.vel == nil && s.Momentum != 0 {
+		s.vel = make([][]float64, len(params))
+		for i, p := range params {
+			s.vel[i] = make([]float64, len(p.W))
+		}
+	}
+	for i, p := range params {
+		if s.Momentum != 0 {
+			v := s.vel[i]
+			for j, g := range p.G {
+				v[j] = s.Momentum*v[j] - s.LR*g
+				p.W[j] += v[j]
+			}
+		} else {
+			for j, g := range p.G {
+				p.W[j] -= s.LR * g
+			}
+		}
+	}
+}
+
+// Adam implements the Adam optimizer (Kingma & Ba, 2015).
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	t    int
+	m, v [][]float64
+}
+
+// NewAdam returns an Adam optimizer with standard β/ε defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(net *Network) {
+	params := net.Params()
+	if a.m == nil {
+		a.m = make([][]float64, len(params))
+		a.v = make([][]float64, len(params))
+		for i, p := range params {
+			a.m[i] = make([]float64, len(p.W))
+			a.v[i] = make([]float64, len(p.W))
+		}
+	}
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range params {
+		m, v := a.m[i], a.v[i]
+		for j, g := range p.G {
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
+			mh := m[j] / bc1
+			vh := v[j] / bc2
+			p.W[j] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+	}
+}

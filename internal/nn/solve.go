@@ -1,0 +1,65 @@
+package nn
+
+import "fmt"
+
+// SolveLinear solves A·x = b in place by Gaussian elimination with partial
+// pivoting. A must be square (n×n) and b of length n; both are clobbered.
+// It returns an error if the system is singular.
+func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		return nil, fmt.Errorf("nn: SolveLinear shape mismatch %dx%d / %d", a.Rows, a.Cols, len(b))
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		maxAbs := abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := abs(a.At(r, col)); v > maxAbs {
+				maxAbs = v
+				pivot = r
+			}
+		}
+		if maxAbs < 1e-12 {
+			return nil, fmt.Errorf("nn: SolveLinear singular matrix at column %d", col)
+		}
+		if pivot != col {
+			pr, cr := a.Row(pivot), a.Row(col)
+			for j := range pr {
+				pr[j], cr[j] = cr[j], pr[j]
+			}
+			b[pivot], b[col] = b[col], b[pivot]
+		}
+		// Eliminate below.
+		inv := 1 / a.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := a.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			rr, cr := a.Row(r), a.Row(col)
+			for j := col; j < n; j++ {
+				rr[j] -= f * cr[j]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		rr := a.Row(r)
+		for j := r + 1; j < n; j++ {
+			s -= rr[j] * x[j]
+		}
+		x[r] = s / rr[r]
+	}
+	return x, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,50 @@
+// Package rl provides the reinforcement-learning substrate used to train the
+// teacher policies of the Metis reproduction: an environment interface, an
+// advantage actor-critic (A2C) trainer for discrete-action policies, an
+// evolution-strategies trainer for continuous deterministic policies, and
+// helpers for estimating V/Q values by rolling the simulator forward (the
+// quantities needed by the paper's Equation 1 resampling rule).
+package rl
+
+// Env is a sequential decision environment with discrete actions.
+// Implementations must be deterministic given the seed passed to Reset.
+type Env interface {
+	// Reset starts a new episode and returns the initial state. The seed
+	// selects the episode's randomness (e.g. which bandwidth trace to play).
+	Reset(seed int64) []float64
+	// Step applies a discrete action and returns the next state, the reward,
+	// and whether the episode has ended. After done, Reset must be called.
+	Step(action int) (state []float64, reward float64, done bool)
+	// StateDim is the dimensionality of states returned by Reset/Step.
+	StateDim() int
+	// NumActions is the size of the discrete action space.
+	NumActions() int
+}
+
+// Snapshotter is implemented by environments that can save and restore their
+// full state, enabling counterfactual rollouts (used for Q estimation).
+type Snapshotter interface {
+	// Snapshot captures the complete environment state.
+	Snapshot() any
+	// Restore rewinds the environment to a previously captured state.
+	Restore(snapshot any)
+}
+
+// Policy maps a state to a categorical distribution over actions.
+type Policy interface {
+	// ActionProbs returns the probability of each action in state s. The
+	// returned slice may be reused by subsequent calls.
+	ActionProbs(s []float64) []float64
+}
+
+// Greedy returns the argmax action of p in state s.
+func Greedy(p Policy, s []float64) int {
+	probs := p.ActionProbs(s)
+	best := 0
+	for i, v := range probs {
+		if v > probs[best] {
+			best = i
+		}
+	}
+	return best
+}

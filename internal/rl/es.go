@@ -1,0 +1,118 @@
+package rl
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/nn"
+)
+
+// Evaluator scores a candidate network; higher is better. Used by the
+// evolution-strategies trainer for policies whose reward is only available at
+// episode granularity (e.g. AuTO's threshold agent optimizing mean FCT).
+type Evaluator func(net *nn.Network, seed int64) float64
+
+// ES is a simple (μ,λ) evolution-strategies trainer with rank-based weights.
+// It trains deterministic continuous policies without needing differentiable
+// rewards, substituting for DDPG in the paper's sRLA teacher.
+type ES struct {
+	// Population is the number of perturbations per generation.
+	Population int
+	// Sigma is the perturbation standard deviation.
+	Sigma float64
+	// LR is the parameter-update learning rate.
+	LR float64
+	// Evals is how many episode seeds each candidate is averaged over.
+	Evals int
+}
+
+// NewES returns an ES trainer with reasonable defaults for small policies.
+func NewES() *ES {
+	return &ES{Population: 16, Sigma: 0.1, LR: 0.05, Evals: 2}
+}
+
+// Train optimizes net in place for the given number of generations and
+// returns the best score per generation.
+func (e *ES) Train(net *nn.Network, eval Evaluator, generations int, seed int64) []float64 {
+	return e.TrainParams(net.Params(), func(seed int64) float64 { return eval(net, seed) }, generations, seed)
+}
+
+// TrainParams optimizes an arbitrary flat parameter set in place; eval is
+// called after the candidate parameters have been written. This form lets
+// models composed of several networks (e.g. the RouteNet message-passing
+// blocks) be trained as one parameter vector.
+func (e *ES) TrainParams(params []nn.Param, eval func(seed int64) float64, generations int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	dim := 0
+	for _, p := range params {
+		dim += len(p.W)
+	}
+	history := make([]float64, 0, generations)
+
+	for gen := 0; gen < generations; gen++ {
+		type cand struct {
+			noise []float64
+			score float64
+		}
+		cands := make([]cand, e.Population)
+		base := flatten(params, dim)
+		for c := range cands {
+			noise := make([]float64, dim)
+			for i := range noise {
+				noise[i] = rng.NormFloat64()
+			}
+			setFlat(params, addScaled(base, noise, e.Sigma))
+			score := 0.0
+			for k := 0; k < e.Evals; k++ {
+				score += eval(seed + int64(gen*e.Evals+k))
+			}
+			cands[c] = cand{noise: noise, score: score / float64(e.Evals)}
+		}
+		setFlat(params, base)
+
+		// Rank-based weighting: top half gets positive weight.
+		order := make([]int, len(cands))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return cands[order[a]].score > cands[order[b]].score })
+		grad := make([]float64, dim)
+		for rank, idx := range order {
+			w := float64(len(cands)/2-rank) / float64(len(cands))
+			for i, nz := range cands[idx].noise {
+				grad[i] += w * nz
+			}
+		}
+		step := e.LR / (float64(e.Population) * e.Sigma)
+		for i := range base {
+			base[i] += step * grad[i]
+		}
+		setFlat(params, base)
+		history = append(history, cands[order[0]].score)
+	}
+	return history
+}
+
+func flatten(params []nn.Param, dim int) []float64 {
+	out := make([]float64, 0, dim)
+	for _, p := range params {
+		out = append(out, p.W...)
+	}
+	return out
+}
+
+func setFlat(params []nn.Param, flat []float64) {
+	i := 0
+	for _, p := range params {
+		copy(p.W, flat[i:i+len(p.W)])
+		i += len(p.W)
+	}
+}
+
+func addScaled(base, noise []float64, s float64) []float64 {
+	out := make([]float64, len(base))
+	for i := range base {
+		out[i] = base[i] + s*noise[i]
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package rl
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+// chainEnv is a tiny deterministic MDP: the agent walks on a line of length
+// n; action 1 moves right (+1 reward at the goal), action 0 moves left.
+// Optimal total reward over n steps is 1 (reach goal once, episode ends).
+type chainEnv struct {
+	n, pos int
+	steps  int
+}
+
+func (c *chainEnv) Reset(seed int64) []float64 {
+	c.pos = 0
+	c.steps = 0
+	return c.state()
+}
+
+func (c *chainEnv) state() []float64 {
+	s := make([]float64, c.n)
+	s[c.pos] = 1
+	return s
+}
+
+func (c *chainEnv) Step(a int) ([]float64, float64, bool) {
+	c.steps++
+	r := -0.01
+	if a == 1 {
+		c.pos++
+	} else if c.pos > 0 {
+		c.pos--
+	}
+	done := false
+	if c.pos == c.n-1 {
+		r = 1
+		done = true
+	}
+	if c.steps >= 4*c.n {
+		done = true
+	}
+	return c.state(), r, done
+}
+
+func (c *chainEnv) StateDim() int   { return c.n }
+func (c *chainEnv) NumActions() int { return 2 }
+
+func (c *chainEnv) Snapshot() any { return [2]int{c.pos, c.steps} }
+func (c *chainEnv) Restore(s any) {
+	v := s.([2]int)
+	c.pos, c.steps = v[0], v[1]
+}
+
+func TestA2CLearnsChain(t *testing.T) {
+	env := &chainEnv{n: 6}
+	tr := NewA2C(env.StateDim(), env.NumActions(), 16, 1)
+	tr.Train(env, 300, 50, 42)
+	score := Evaluate(tr, env, 5, 50, 99)
+	// Optimal = 1 - 0.01*4 = 0.96; require clearly-learned behaviour.
+	if score < 0.8 {
+		t.Fatalf("A2C mean reward %.3f, want ≥0.8", score)
+	}
+}
+
+func TestA2CRewardsImprove(t *testing.T) {
+	env := &chainEnv{n: 5}
+	tr := NewA2C(env.StateDim(), env.NumActions(), 16, 2)
+	res := tr.Train(env, 200, 40, 7)
+	first := mean(res.EpisodeRewards[:20])
+	last := mean(res.EpisodeRewards[len(res.EpisodeRewards)-20:])
+	if last <= first {
+		t.Fatalf("training did not improve: first %.3f last %.3f", first, last)
+	}
+}
+
+func TestQEstimatorPrefersCorrectAction(t *testing.T) {
+	env := &chainEnv{n: 5}
+	tr := NewA2C(env.StateDim(), env.NumActions(), 16, 1)
+	tr.Train(env, 300, 40, 42)
+	env.Reset(0)
+	q := &QEstimator{Policy: tr, Gamma: 0.99, Horizon: 30}
+	qs := q.QValues(env)
+	if qs[1] <= qs[0] {
+		t.Fatalf("Q(right)=%.3f should exceed Q(left)=%.3f", qs[1], qs[0])
+	}
+	if w := q.Weight(env); w <= 0 {
+		t.Fatalf("weight = %g, want > 0", w)
+	}
+	// The counterfactual rollouts must not move the live environment.
+	if env.pos != 0 || env.steps != 0 {
+		t.Fatalf("QEstimator disturbed env state: pos=%d steps=%d", env.pos, env.steps)
+	}
+}
+
+func TestGreedyMatchesArgmax(t *testing.T) {
+	env := &chainEnv{n: 4}
+	tr := NewA2C(env.StateDim(), env.NumActions(), 8, 3)
+	s := env.Reset(0)
+	probs := tr.ActionProbs(s)
+	if Greedy(tr, s) != nn.Argmax(probs) {
+		t.Fatal("Greedy disagrees with Argmax of ActionProbs")
+	}
+}
+
+func TestESOptimizesQuadratic(t *testing.T) {
+	// Maximize -(w·x - 3)^2 at fixed x: the net should learn output ≈ 3.
+	net := nn.NewNetwork(nn.Config{Sizes: []int{2, 4, 1}, Hidden: nn.Tanh, Output: nn.Identity, Seed: 1})
+	x := []float64{1, -1}
+	eval := func(n *nn.Network, seed int64) float64 {
+		out := n.Forward(x)[0]
+		return -(out - 3) * (out - 3)
+	}
+	es := NewES()
+	es.Population = 24
+	hist := es.Train(net, eval, 120, 5)
+	final := net.Forward(x)[0]
+	if math.Abs(final-3) > 0.5 {
+		t.Fatalf("ES converged to %.3f, want ≈3 (history tail %.3f)", final, hist[len(hist)-1])
+	}
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,69 @@
+package rl
+
+import "math"
+
+// QEstimator estimates Q(s,a) and the Equation 1 sampling weight
+// V(s) − min_a′ Q(s,a′) by rolling the environment forward under the teacher
+// policy. It requires the environment to support Snapshot/Restore so that the
+// counterfactual branches do not disturb the live trajectory.
+type QEstimator struct {
+	// Policy is the teacher whose value is being estimated.
+	Policy Policy
+	// Gamma is the discount factor used for the rollout returns.
+	Gamma float64
+	// Horizon bounds the length of each estimation rollout.
+	Horizon int
+}
+
+// QValues returns the estimated Q(s,a) for every action at the environment's
+// current state by snapshotting, taking the action, then following the greedy
+// teacher policy for Horizon steps.
+//
+// The environment must currently be *at* the state of interest (i.e. the next
+// Step call applies to that state).
+func (q *QEstimator) QValues(env Env) []float64 {
+	snap, ok := env.(Snapshotter)
+	if !ok {
+		panic("rl: QEstimator requires a Snapshotter environment")
+	}
+	n := env.NumActions()
+	out := make([]float64, n)
+	saved := snap.Snapshot()
+	for a := 0; a < n; a++ {
+		snap.Restore(saved)
+		s, r, done := env.Step(a)
+		g := r
+		discount := q.Gamma
+		for step := 0; step < q.Horizon && !done; step++ {
+			var rr float64
+			s, rr, done = env.Step(Greedy(q.Policy, s))
+			g += discount * rr
+			discount *= q.Gamma
+		}
+		out[a] = g
+	}
+	snap.Restore(saved)
+	return out
+}
+
+// Weight returns the Equation 1 resampling weight
+//
+//	V(s) − min_a′ Q(s,a′)
+//
+// at the environment's current state, where V(s) is approximated by
+// max_a Q(s,a) (the value of acting greedily). States where a wrong action is
+// catastrophic receive large weights; states where all actions are similar
+// receive small ones.
+func (q *QEstimator) Weight(env Env) float64 {
+	qs := q.QValues(env)
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, v := range qs {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return max - min
+}

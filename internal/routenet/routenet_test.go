@@ -1,0 +1,132 @@
+package routenet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/topo"
+)
+
+func TestPredictDelaysShape(t *testing.T) {
+	g := topo.NSFNet(10)
+	m := NewModel(1)
+	demands := routing.RandomDemands(g, 8, 2, 8, 1)
+	r := routing.ShortestPathRouting(g, demands)
+	pred := m.PredictDelays(g, demands, r.Paths, nil)
+	if len(pred) != 8 {
+		t.Fatalf("predictions = %d", len(pred))
+	}
+	for _, p := range pred {
+		if p <= 0 || math.IsNaN(p) {
+			t.Fatalf("bad prediction %v", p)
+		}
+	}
+}
+
+func TestMaskChangesPrediction(t *testing.T) {
+	g := topo.NSFNet(10)
+	m := NewModel(2)
+	demands := routing.RandomDemands(g, 5, 2, 8, 2)
+	r := routing.ShortestPathRouting(g, demands)
+	base := m.PredictDelays(g, demands, r.Paths, nil)
+	mask := make([]float64, NumConnections(r.Paths))
+	for i := range mask {
+		mask[i] = 1
+	}
+	same := m.PredictDelays(g, demands, r.Paths, mask)
+	for i := range base {
+		if math.Abs(base[i]-same[i]) > 1e-9 {
+			t.Fatalf("all-ones mask changed prediction: %v vs %v", base[i], same[i])
+		}
+	}
+	for i := range mask {
+		mask[i] = 0.1
+	}
+	masked := m.PredictDelays(g, demands, r.Paths, mask)
+	diff := 0.0
+	for i := range base {
+		diff += math.Abs(base[i] - masked[i])
+	}
+	if diff == 0 {
+		t.Fatal("strong mask had no effect on predictions")
+	}
+}
+
+func TestConnectionOffsets(t *testing.T) {
+	paths := []topo.Path{{1, 2}, {3}, {4, 5, 6}}
+	off := ConnectionOffsets(paths)
+	if off[0] != 0 || off[1] != 2 || off[2] != 3 {
+		t.Fatalf("offsets = %v", off)
+	}
+	if NumConnections(paths) != 6 {
+		t.Fatalf("NumConnections = %d", NumConnections(paths))
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	g := topo.NSFNet(10)
+	m := NewModel(3)
+	cfg := TrainConfig{Demands: 10, Samples: 3, Generations: 40, Seed: 7}
+	before := m.Loss(g, cfg, 99)
+	m.Train(g, cfg)
+	after := m.Loss(g, cfg, 99)
+	if after >= before {
+		t.Fatalf("training did not reduce loss: before %.4f after %.4f", before, after)
+	}
+}
+
+func TestOptimizerProducesValidRouting(t *testing.T) {
+	g := topo.NSFNet(10)
+	m := NewModel(4)
+	demands := routing.RandomDemands(g, 6, 2, 8, 3)
+	o := &Optimizer{Model: m, Graph: g}
+	r := o.Route(demands)
+	if len(r.Paths) != 6 {
+		t.Fatalf("routed %d demands", len(r.Paths))
+	}
+	for i, p := range r.Paths {
+		nodes := p.Nodes(g)
+		if nodes[0] != demands[i].Src || nodes[len(nodes)-1] != demands[i].Dst {
+			t.Fatalf("path %d endpoints wrong", i)
+		}
+	}
+}
+
+func TestChoiceDistributionValid(t *testing.T) {
+	g := topo.NSFNet(10)
+	m := NewModel(5)
+	demands := routing.RandomDemands(g, 4, 2, 8, 4)
+	o := &Optimizer{Model: m, Graph: g}
+	r := o.Route(demands)
+	mask := make([]float64, NumConnections(r.Paths))
+	for i := range mask {
+		mask[i] = 0.8
+	}
+	for i := range demands {
+		dist := o.ChoiceDistribution(r, i, mask, 1)
+		cands := g.CandidatePaths(demands[i].Src, demands[i].Dst, 1)
+		if len(dist) != len(cands) {
+			t.Fatalf("dist len %d, candidates %d", len(dist), len(cands))
+		}
+		sum := 0.0
+		for _, p := range dist {
+			if p < 0 {
+				t.Fatalf("negative probability %v", p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("distribution sums to %v", sum)
+		}
+	}
+	// ChoiceDistribution must not corrupt the routing it inspects.
+	for i, p := range r.Paths {
+		if len(p) == 0 {
+			t.Fatalf("path %d emptied by ChoiceDistribution", i)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package routing provides the SDN routing substrate: traffic demands, a
+// per-link M/M/1-style queueing delay model over a topology, and utilities
+// for evaluating complete routings. It plays the role of the OMNeT++
+// simulator that generated RouteNet's training data in the original work.
+package routing
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/topo"
+)
+
+// Demand is a src→dst traffic request.
+type Demand struct {
+	Src, Dst int
+	// VolumeMbps is the offered traffic.
+	VolumeMbps float64
+}
+
+// RandomDemands draws n distinct src-dst demands with volumes uniform in
+// [lo, hi] Mbps.
+func RandomDemands(g *topo.Graph, n int, lo, hi float64, seed int64) []Demand {
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[[2]int]bool{}
+	var out []Demand
+	for len(out) < n {
+		s := rng.Intn(g.NumNodes)
+		d := rng.Intn(g.NumNodes)
+		if s == d || seen[[2]int{s, d}] {
+			continue
+		}
+		seen[[2]int{s, d}] = true
+		out = append(out, Demand{Src: s, Dst: d, VolumeMbps: lo + rng.Float64()*(hi-lo)})
+	}
+	return out
+}
+
+// AllPairsDemands returns one demand for every ordered node pair.
+func AllPairsDemands(g *topo.Graph, lo, hi float64, seed int64) []Demand {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Demand
+	for s := 0; s < g.NumNodes; s++ {
+		for d := 0; d < g.NumNodes; d++ {
+			if s == d {
+				continue
+			}
+			out = append(out, Demand{Src: s, Dst: d, VolumeMbps: lo + rng.Float64()*(hi-lo)})
+		}
+	}
+	return out
+}
+
+// Routing assigns one path per demand (parallel slices).
+type Routing struct {
+	Demands []Demand
+	Paths   []topo.Path
+}
+
+// LinkLoads returns the total offered Mbps per link under the routing.
+func (r *Routing) LinkLoads(g *topo.Graph) []float64 {
+	loads := make([]float64, len(g.Links))
+	for i, p := range r.Paths {
+		for _, id := range p {
+			loads[id] += r.Demands[i].VolumeMbps
+		}
+	}
+	return loads
+}
+
+// DelayModel computes per-link delays from loads with an M/M/1-style law.
+type DelayModel struct {
+	// PropMs is the fixed per-link propagation delay (default 1 ms).
+	PropMs float64
+	// QueueScaleMs scales the queueing term (default 10 ms at 50% load on a
+	// unit-capacity link).
+	QueueScaleMs float64
+}
+
+func (m DelayModel) defaults() DelayModel {
+	if m.PropMs == 0 {
+		m.PropMs = 1
+	}
+	if m.QueueScaleMs == 0 {
+		m.QueueScaleMs = 5
+	}
+	return m
+}
+
+// LinkDelayMs returns the delay of one link carrying load Mbps on capacity
+// cap Mbps: prop + scale·ρ/(1−ρ), with overload capped smoothly.
+func (m DelayModel) LinkDelayMs(load, cap float64) float64 {
+	m = m.defaults()
+	rho := load / cap
+	if rho >= 0.98 {
+		// Saturated: grow linearly beyond the knee to keep things finite
+		// and differentiable for the optimizers.
+		return m.PropMs + m.QueueScaleMs*(0.98/0.02+(rho-0.98)*500)
+	}
+	return m.PropMs + m.QueueScaleMs*rho/(1-rho)
+}
+
+// PathDelayMs returns the end-to-end delay of a path under the given loads.
+func (m DelayModel) PathDelayMs(g *topo.Graph, p topo.Path, loads []float64) float64 {
+	d := 0.0
+	for _, id := range p {
+		d += m.LinkDelayMs(loads[id], g.Links[id].CapMbps)
+	}
+	return d
+}
+
+// Evaluate computes per-demand end-to-end delays for a complete routing.
+func (m DelayModel) Evaluate(g *topo.Graph, r *Routing) []float64 {
+	loads := r.LinkLoads(g)
+	out := make([]float64, len(r.Paths))
+	for i, p := range r.Paths {
+		out[i] = m.PathDelayMs(g, p, loads)
+	}
+	return out
+}
+
+// MeanDelayMs is the demand-volume-weighted mean path delay, the scalar
+// routing objective.
+func (m DelayModel) MeanDelayMs(g *topo.Graph, r *Routing) float64 {
+	delays := m.Evaluate(g, r)
+	num, den := 0.0, 0.0
+	for i, d := range delays {
+		num += d * r.Demands[i].VolumeMbps
+		den += r.Demands[i].VolumeMbps
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// ShortestPathRouting routes every demand on its first (shortest) candidate.
+func ShortestPathRouting(g *topo.Graph, demands []Demand) *Routing {
+	r := &Routing{Demands: demands}
+	for _, d := range demands {
+		cands := g.CandidatePaths(d.Src, d.Dst, 1)
+		r.Paths = append(r.Paths, cands[0])
+	}
+	return r
+}
+
+// GreedyMinDelayRouting sequentially routes each demand on the candidate
+// path minimizing the queueing-model delay given already-placed demands.
+// It is the "oracle" comparator for the learned RouteNet* optimizer.
+func GreedyMinDelayRouting(g *topo.Graph, demands []Demand, m DelayModel) *Routing {
+	r := &Routing{Demands: demands, Paths: make([]topo.Path, len(demands))}
+	loads := make([]float64, len(g.Links))
+	for i, d := range demands {
+		cands := g.CandidatePaths(d.Src, d.Dst, 1)
+		best := 0
+		bestDelay := math.Inf(1)
+		for ci, p := range cands {
+			delay := 0.0
+			for _, id := range p {
+				delay += m.LinkDelayMs(loads[id]+d.VolumeMbps, g.Links[id].CapMbps)
+			}
+			if delay < bestDelay {
+				bestDelay = delay
+				best = ci
+			}
+		}
+		r.Paths[i] = cands[best]
+		for _, id := range cands[best] {
+			loads[id] += d.VolumeMbps
+		}
+	}
+	return r
+}

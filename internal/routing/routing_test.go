@@ -1,0 +1,104 @@
+package routing
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/topo"
+)
+
+func TestRandomDemandsDistinct(t *testing.T) {
+	g := topo.NSFNet(10)
+	ds := RandomDemands(g, 30, 2, 8, 1)
+	seen := map[[2]int]bool{}
+	for _, d := range ds {
+		if d.Src == d.Dst {
+			t.Fatal("self demand")
+		}
+		k := [2]int{d.Src, d.Dst}
+		if seen[k] {
+			t.Fatal("duplicate demand pair")
+		}
+		seen[k] = true
+		if d.VolumeMbps < 2 || d.VolumeMbps > 8 {
+			t.Fatalf("volume %v out of range", d.VolumeMbps)
+		}
+	}
+}
+
+func TestAllPairsDemands(t *testing.T) {
+	g := topo.NSFNet(10)
+	ds := AllPairsDemands(g, 1, 2, 3)
+	if len(ds) != 14*13 {
+		t.Fatalf("demands = %d, want %d", len(ds), 14*13)
+	}
+}
+
+func TestLinkLoads(t *testing.T) {
+	g := topo.NSFNet(10)
+	demands := []Demand{{Src: 0, Dst: 1, VolumeMbps: 5}}
+	r := ShortestPathRouting(g, demands)
+	loads := r.LinkLoads(g)
+	id := g.LinkBetween(0, 1)
+	if loads[id] != 5 {
+		t.Fatalf("load on 0→1 = %v, want 5", loads[id])
+	}
+	total := 0.0
+	for _, l := range loads {
+		total += l
+	}
+	if total != 5 {
+		t.Fatalf("total load %v, want 5 (single-hop path)", total)
+	}
+}
+
+func TestDelayModelMonotone(t *testing.T) {
+	m := DelayModel{}
+	prev := 0.0
+	for load := 0.0; load < 15; load += 0.5 {
+		d := m.LinkDelayMs(load, 10)
+		if d <= 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			t.Fatalf("delay(%v) = %v", load, d)
+		}
+		if d < prev {
+			t.Fatalf("delay not monotone at load %v: %v < %v", load, d, prev)
+		}
+		prev = d
+	}
+	// Congested link must be much slower than idle.
+	if m.LinkDelayMs(9.5, 10) < 5*m.LinkDelayMs(1, 10) {
+		t.Fatal("congestion penalty too weak")
+	}
+}
+
+func TestGreedyBeatsShortestUnderCongestion(t *testing.T) {
+	g := topo.NSFNet(10)
+	m := DelayModel{}
+	// Many demands between nearby nodes force shortest-path collisions.
+	demands := RandomDemands(g, 40, 3, 7, 5)
+	sp := ShortestPathRouting(g, demands)
+	gr := GreedyMinDelayRouting(g, demands, m)
+	spDelay := m.MeanDelayMs(g, sp)
+	grDelay := m.MeanDelayMs(g, gr)
+	if grDelay > spDelay {
+		t.Fatalf("greedy %.2f ms worse than shortest-path %.2f ms", grDelay, spDelay)
+	}
+}
+
+func TestEvaluateShapes(t *testing.T) {
+	g := topo.NSFNet(10)
+	demands := RandomDemands(g, 10, 2, 6, 7)
+	r := ShortestPathRouting(g, demands)
+	delays := DelayModel{}.Evaluate(g, r)
+	if len(delays) != 10 {
+		t.Fatalf("delays = %d", len(delays))
+	}
+	for _, d := range delays {
+		if d <= 0 {
+			t.Fatalf("non-positive delay %v", d)
+		}
+	}
+	if (DelayModel{}).MeanDelayMs(g, r) <= 0 {
+		t.Fatal("mean delay non-positive")
+	}
+}

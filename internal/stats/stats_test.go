@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if s := Std(xs); math.Abs(s-2) > 1e-9 {
+		t.Fatalf("Std = %v, want 2", s)
+	}
+	if Mean(nil) != 0 || Std(nil) != 0 {
+		t.Fatal("empty input should return 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := Percentile(xs, 1); p != 5 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := Percentile(xs, 0.5); p != 3 {
+		t.Fatalf("p50 = %v", p)
+	}
+	// Input must be unmodified.
+	if xs[0] != 5 {
+		t.Fatal("Percentile sorted its input")
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	f := func(a, b float64) bool {
+		pa := math.Abs(math.Mod(a, 1))
+		pb := math.Abs(math.Mod(b, 1))
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(xs, pa) <= Percentile(xs, pb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if r := Pearson(xs, ys); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("perfect correlation r = %v", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if r := Pearson(xs, neg); math.Abs(r+1) > 1e-12 {
+		t.Fatalf("perfect anticorrelation r = %v", r)
+	}
+	flat := []float64{3, 3, 3, 3, 3}
+	if r := Pearson(xs, flat); r != 0 {
+		t.Fatalf("degenerate r = %v", r)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	if r := RMSE([]float64{1, 2}, []float64{1, 2}); r != 0 {
+		t.Fatalf("RMSE identical = %v", r)
+	}
+	if r := RMSE([]float64{0, 0}, []float64{3, 4}); math.Abs(r-math.Sqrt(12.5)) > 1e-12 {
+		t.Fatalf("RMSE = %v", r)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	pts := ECDF([]float64{3, 1, 2})
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].X != 1 || pts[2].X != 3 {
+		t.Fatalf("not sorted: %v", pts)
+	}
+	if pts[2].P != 1 {
+		t.Fatalf("last P = %v", pts[2].P)
+	}
+	if FractionBelow([]float64{1, 2, 3, 4}, 2.5) != 0.5 {
+		t.Fatal("FractionBelow wrong")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{0.1, 0.9, 0.5, -5, 99}, 0, 1, 2)
+	if h[0] != 2 || h[1] != 3 {
+		t.Fatalf("histogram = %v", h)
+	}
+}

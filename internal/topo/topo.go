@@ -1,0 +1,190 @@
+// Package topo provides the graph substrate for the routing experiments: a
+// directed-link topology type, the NSFNet-14 topology used by RouteNet, and
+// bounded-hop candidate-path enumeration (all simple paths at most one hop
+// longer than the shortest path, the §6.5 candidate rule).
+package topo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Link is a directed link between two nodes.
+type Link struct {
+	ID       int
+	Src, Dst int
+	// CapMbps is the link capacity in Mbps.
+	CapMbps float64
+}
+
+// Graph is a directed graph with capacitated links. Graphs are intended to
+// be built once and then read concurrently; the candidate-path cache is not
+// safe for concurrent first-time queries.
+type Graph struct {
+	NumNodes int
+	Links    []Link
+
+	out       map[int][]int // node → outgoing link IDs
+	pathCache map[[3]int][]Path
+}
+
+// New creates a graph with n nodes and no links.
+func New(n int) *Graph {
+	return &Graph{NumNodes: n, out: make(map[int][]int), pathCache: make(map[[3]int][]Path)}
+}
+
+// AddBidirectional adds a pair of directed links between a and b.
+func (g *Graph) AddBidirectional(a, b int, capMbps float64) {
+	g.addLink(a, b, capMbps)
+	g.addLink(b, a, capMbps)
+}
+
+func (g *Graph) addLink(src, dst int, capMbps float64) {
+	id := len(g.Links)
+	g.Links = append(g.Links, Link{ID: id, Src: src, Dst: dst, CapMbps: capMbps})
+	g.out[src] = append(g.out[src], id)
+	clear(g.pathCache) // topology changed; cached candidates are stale
+}
+
+// LinkBetween returns the link ID from a to b, or -1.
+func (g *Graph) LinkBetween(a, b int) int {
+	for _, id := range g.out[a] {
+		if g.Links[id].Dst == b {
+			return id
+		}
+	}
+	return -1
+}
+
+// Path is a sequence of link IDs forming a route.
+type Path []int
+
+// Nodes returns the node sequence of the path in g.
+func (p Path) Nodes(g *Graph) []int {
+	if len(p) == 0 {
+		return nil
+	}
+	nodes := []int{g.Links[p[0]].Src}
+	for _, id := range p {
+		nodes = append(nodes, g.Links[id].Dst)
+	}
+	return nodes
+}
+
+// String renders a path as "a→b→c" node notation.
+func (p Path) String(g *Graph) string {
+	nodes := p.Nodes(g)
+	s := ""
+	for i, n := range nodes {
+		if i > 0 {
+			s += "→"
+		}
+		s += fmt.Sprint(n)
+	}
+	return s
+}
+
+// ShortestHops returns the hop count of the shortest path from src to dst
+// (BFS), or -1 if unreachable.
+func (g *Graph) ShortestHops(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	dist := make([]int, g.NumNodes)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, id := range g.out[n] {
+			d := g.Links[id].Dst
+			if dist[d] == -1 {
+				dist[d] = dist[n] + 1
+				if d == dst {
+					return dist[d]
+				}
+				queue = append(queue, d)
+			}
+		}
+	}
+	return -1
+}
+
+// CandidatePaths enumerates all simple paths from src to dst with at most
+// shortest+extraHops hops, sorted by hop count then lexicographically.
+// This is the candidate rule used in §6.5 (extraHops=1).
+func (g *Graph) CandidatePaths(src, dst, extraHops int) []Path {
+	key := [3]int{src, dst, extraHops}
+	if cached, ok := g.pathCache[key]; ok {
+		return cached
+	}
+	paths := g.candidatePathsUncached(src, dst, extraHops)
+	g.pathCache[key] = paths
+	return paths
+}
+
+func (g *Graph) candidatePathsUncached(src, dst, extraHops int) []Path {
+	shortest := g.ShortestHops(src, dst)
+	if shortest < 0 {
+		return nil
+	}
+	limit := shortest + extraHops
+	var out []Path
+	visited := make([]bool, g.NumNodes)
+	var cur Path
+	var dfs func(n int)
+	dfs = func(n int) {
+		if len(cur) > limit {
+			return
+		}
+		if n == dst {
+			out = append(out, append(Path(nil), cur...))
+			return
+		}
+		if len(cur) == limit {
+			return
+		}
+		visited[n] = true
+		for _, id := range g.out[n] {
+			d := g.Links[id].Dst
+			if visited[d] {
+				continue
+			}
+			cur = append(cur, id)
+			dfs(d)
+			cur = cur[:len(cur)-1]
+		}
+		visited[n] = false
+	}
+	dfs(src)
+	sort.Slice(out, func(a, b int) bool {
+		if len(out[a]) != len(out[b]) {
+			return len(out[a]) < len(out[b])
+		}
+		for i := range out[a] {
+			if out[a][i] != out[b][i] {
+				return out[a][i] < out[b][i]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// NSFNet returns the 14-node NSFNet topology used in the RouteNet
+// experiments (Fig. 8 of the paper), with uniform link capacities.
+func NSFNet(capMbps float64) *Graph {
+	g := New(14)
+	edges := [][2]int{
+		{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 7}, {2, 5}, {3, 4}, {3, 8},
+		{4, 5}, {4, 6}, {5, 12}, {5, 13}, {6, 7}, {7, 10}, {8, 9}, {8, 11},
+		{9, 10}, {9, 12}, {10, 11}, {10, 13}, {11, 12},
+	}
+	for _, e := range edges {
+		g.AddBidirectional(e[0], e[1], capMbps)
+	}
+	return g
+}

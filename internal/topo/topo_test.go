@@ -1,0 +1,107 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNSFNetShape(t *testing.T) {
+	g := NSFNet(10)
+	if g.NumNodes != 14 {
+		t.Fatalf("nodes = %d, want 14", g.NumNodes)
+	}
+	if len(g.Links) != 42 {
+		t.Fatalf("directed links = %d, want 42", len(g.Links))
+	}
+	// Every link must have a reverse.
+	for _, l := range g.Links {
+		if g.LinkBetween(l.Dst, l.Src) == -1 {
+			t.Fatalf("link %d→%d has no reverse", l.Src, l.Dst)
+		}
+	}
+}
+
+func TestShortestHops(t *testing.T) {
+	g := NSFNet(10)
+	if d := g.ShortestHops(0, 1); d != 1 {
+		t.Fatalf("0→1 hops = %d, want 1", d)
+	}
+	if d := g.ShortestHops(0, 0); d != 0 {
+		t.Fatalf("0→0 hops = %d, want 0", d)
+	}
+	// NSFNet is connected.
+	for s := 0; s < g.NumNodes; s++ {
+		for d := 0; d < g.NumNodes; d++ {
+			if g.ShortestHops(s, d) < 0 {
+				t.Fatalf("%d→%d unreachable", s, d)
+			}
+		}
+	}
+}
+
+func TestCandidatePathsValid(t *testing.T) {
+	g := NSFNet(10)
+	paths := g.CandidatePaths(6, 9, 1)
+	if len(paths) == 0 {
+		t.Fatal("no candidate paths 6→9")
+	}
+	shortest := g.ShortestHops(6, 9)
+	for _, p := range paths {
+		nodes := p.Nodes(g)
+		if nodes[0] != 6 || nodes[len(nodes)-1] != 9 {
+			t.Fatalf("path endpoints wrong: %v", nodes)
+		}
+		if len(p) > shortest+1 {
+			t.Fatalf("path %v exceeds shortest+1 hops", nodes)
+		}
+		// Simple path: no repeated nodes.
+		seen := map[int]bool{}
+		for _, n := range nodes {
+			if seen[n] {
+				t.Fatalf("path revisits node %d: %v", n, nodes)
+			}
+			seen[n] = true
+		}
+		// Links must chain.
+		for i := 1; i < len(p); i++ {
+			if g.Links[p[i]].Src != g.Links[p[i-1]].Dst {
+				t.Fatalf("links do not chain in %v", nodes)
+			}
+		}
+	}
+	// First candidate is a shortest path.
+	if len(paths[0]) != shortest {
+		t.Fatalf("first candidate has %d hops, shortest is %d", len(paths[0]), shortest)
+	}
+}
+
+func TestCandidatePathsSortedByLength(t *testing.T) {
+	g := NSFNet(10)
+	f := func(a, b uint8) bool {
+		src := int(a) % g.NumNodes
+		dst := int(b) % g.NumNodes
+		if src == dst {
+			return true
+		}
+		paths := g.CandidatePaths(src, dst, 1)
+		for i := 1; i < len(paths); i++ {
+			if len(paths[i]) < len(paths[i-1]) {
+				return false
+			}
+		}
+		return len(paths) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathString(t *testing.T) {
+	g := New(3)
+	g.AddBidirectional(0, 1, 10)
+	g.AddBidirectional(1, 2, 10)
+	p := Path{g.LinkBetween(0, 1), g.LinkBetween(1, 2)}
+	if s := p.String(g); s != "0→1→2" {
+		t.Fatalf("path string %q", s)
+	}
+}

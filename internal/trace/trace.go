@@ -1,0 +1,130 @@
+// Package trace generates the network bandwidth traces that drive the ABR
+// experiments. The paper evaluates on 250 HSDPA (Norway 3G commute) traces
+// and 205 FCC broadband traces; those datasets are not redistributable here,
+// so this package synthesizes trace families matched to their published
+// envelope statistics:
+//
+//   - HSDPA-like: low mean (≈0.5–3 Mbps), strong temporal correlation,
+//     occasional deep fades to near zero (tunnels), 1-second granularity.
+//   - FCC-like: higher mean (≈1–6 Mbps), milder variation, short dips.
+//   - Fixed: constant bandwidth, used by the §6.3 debugging study.
+//
+// All generators are deterministic given their seed.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Trace is a bandwidth series sampled at 1-second intervals.
+type Trace struct {
+	// Name identifies the trace (family plus index).
+	Name string
+	// Kbps holds the available bandwidth for each 1-second interval.
+	Kbps []float64
+}
+
+// Duration returns the trace length in seconds.
+func (t *Trace) Duration() float64 { return float64(len(t.Kbps)) }
+
+// BandwidthAt returns the bandwidth (kbps) at time tSec, wrapping around the
+// end of the trace so that arbitrarily long sessions can be simulated.
+func (t *Trace) BandwidthAt(tSec float64) float64 {
+	if len(t.Kbps) == 0 {
+		return 0
+	}
+	idx := int(tSec) % len(t.Kbps)
+	if idx < 0 {
+		idx += len(t.Kbps)
+	}
+	return t.Kbps[idx]
+}
+
+// Mean returns the average bandwidth in kbps.
+func (t *Trace) Mean() float64 {
+	if len(t.Kbps) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range t.Kbps {
+		s += v
+	}
+	return s / float64(len(t.Kbps))
+}
+
+// Fixed returns a constant-bandwidth trace of the given duration.
+func Fixed(kbps float64, seconds int) *Trace {
+	t := &Trace{Name: fmt.Sprintf("fixed-%.0fkbps", kbps), Kbps: make([]float64, seconds)}
+	for i := range t.Kbps {
+		t.Kbps[i] = kbps
+	}
+	return t
+}
+
+// family captures the parameters of a synthetic trace family.
+type family struct {
+	name                 string
+	meanLo, meanHi       float64 // per-trace mean drawn uniformly from this range
+	vol                  float64 // relative volatility of the OU process
+	corr                 float64 // AR(1) correlation coefficient
+	fadeProb             float64 // per-second probability of entering a deep fade
+	fadeLenLo, fadeLenHi int     // fade duration bounds (seconds)
+	floor                float64 // minimum bandwidth (kbps)
+}
+
+var hsdpaFamily = family{
+	name: "hsdpa", meanLo: 400, meanHi: 3000, vol: 0.55, corr: 0.92,
+	fadeProb: 0.015, fadeLenLo: 2, fadeLenHi: 8, floor: 50,
+}
+
+var fccFamily = family{
+	name: "fcc", meanLo: 800, meanHi: 6000, vol: 0.30, corr: 0.85,
+	fadeProb: 0.004, fadeLenLo: 1, fadeLenHi: 3, floor: 150,
+}
+
+// generate produces one trace of the family.
+func (f family) generate(seconds int, rng *rand.Rand, idx int) *Trace {
+	mean := f.meanLo + rng.Float64()*(f.meanHi-f.meanLo)
+	t := &Trace{Name: fmt.Sprintf("%s-%03d", f.name, idx), Kbps: make([]float64, seconds)}
+	// AR(1) log-space process around the per-trace mean.
+	x := 0.0
+	fade := 0
+	sigma := f.vol * math.Sqrt(1-f.corr*f.corr)
+	for i := 0; i < seconds; i++ {
+		x = f.corr*x + sigma*rng.NormFloat64()
+		bw := mean * math.Exp(x-f.vol*f.vol/2)
+		if fade > 0 {
+			bw *= 0.05 + 0.1*rng.Float64()
+			fade--
+		} else if rng.Float64() < f.fadeProb {
+			fade = f.fadeLenLo + rng.Intn(f.fadeLenHi-f.fadeLenLo+1)
+		}
+		if bw < f.floor {
+			bw = f.floor
+		}
+		t.Kbps[i] = bw
+	}
+	return t
+}
+
+// HSDPA returns n synthetic HSDPA-like 3G traces of the given duration.
+func HSDPA(n, seconds int, seed int64) []*Trace {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*Trace, n)
+	for i := range out {
+		out[i] = hsdpaFamily.generate(seconds, rng, i)
+	}
+	return out
+}
+
+// FCC returns n synthetic FCC-broadband-like traces of the given duration.
+func FCC(n, seconds int, seed int64) []*Trace {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*Trace, n)
+	for i := range out {
+		out[i] = fccFamily.generate(seconds, rng, i)
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFixedTrace(t *testing.T) {
+	tr := Fixed(3000, 10)
+	if tr.Duration() != 10 {
+		t.Fatalf("duration = %v, want 10", tr.Duration())
+	}
+	for s := 0.0; s < 25; s += 3.3 {
+		if tr.BandwidthAt(s) != 3000 {
+			t.Fatalf("BandwidthAt(%v) = %v, want 3000", s, tr.BandwidthAt(s))
+		}
+	}
+	if tr.Mean() != 3000 {
+		t.Fatalf("Mean = %v, want 3000", tr.Mean())
+	}
+}
+
+func TestHSDPADeterministic(t *testing.T) {
+	a := HSDPA(3, 100, 42)
+	b := HSDPA(3, 100, 42)
+	for i := range a {
+		for j := range a[i].Kbps {
+			if a[i].Kbps[j] != b[i].Kbps[j] {
+				t.Fatal("HSDPA generation is not deterministic for the same seed")
+			}
+		}
+	}
+	c := HSDPA(3, 100, 43)
+	same := true
+	for j := range a[0].Kbps {
+		if a[0].Kbps[j] != c[0].Kbps[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestFamilyEnvelopes(t *testing.T) {
+	hs := HSDPA(50, 400, 1)
+	fc := FCC(50, 400, 1)
+	meanOf := func(ts []*Trace) float64 {
+		s := 0.0
+		for _, tr := range ts {
+			s += tr.Mean()
+		}
+		return s / float64(len(ts))
+	}
+	mh, mf := meanOf(hs), meanOf(fc)
+	if mh >= mf {
+		t.Fatalf("HSDPA mean %.0f should be below FCC mean %.0f", mh, mf)
+	}
+	if mh < 300 || mh > 3500 {
+		t.Fatalf("HSDPA family mean %.0f outside 3G envelope", mh)
+	}
+	if mf < 800 || mf > 7000 {
+		t.Fatalf("FCC family mean %.0f outside broadband envelope", mf)
+	}
+}
+
+func TestTracesPositive(t *testing.T) {
+	f := func(seed int64) bool {
+		for _, tr := range HSDPA(2, 120, seed) {
+			for _, v := range tr.Kbps {
+				if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandwidthWraps(t *testing.T) {
+	tr := &Trace{Name: "w", Kbps: []float64{100, 200, 300}}
+	if tr.BandwidthAt(4) != 200 {
+		t.Fatalf("wrap: BandwidthAt(4) = %v, want 200", tr.BandwidthAt(4))
+	}
+}
+
+func TestHSDPAHasFades(t *testing.T) {
+	traces := HSDPA(20, 600, 9)
+	fades := 0
+	for _, tr := range traces {
+		for _, v := range tr.Kbps {
+			if v < tr.Mean()*0.2 {
+				fades++
+			}
+		}
+	}
+	if fades == 0 {
+		t.Fatal("HSDPA family should contain deep fades")
+	}
+}

@@ -1,0 +1,78 @@
+// Package metis is the public facade of the Metis reproduction
+// ("Interpreting Deep Learning-Based Networking Systems", SIGCOMM 2020).
+//
+// Metis makes deep-learning-based networking systems interpretable through
+// two engines:
+//
+//   - Local systems (per-device decisions such as ABR bitrate selection or
+//     flow scheduling) are converted into decision trees via teacher-student
+//     distillation: DAgger-style trajectory collection, advantage-weighted
+//     resampling (Equation 1), CART fitting, and cost-complexity pruning.
+//     See Distill and the dtree types re-exported below.
+//
+//   - Global systems (network-wide decisions such as SDN routing) are
+//     formulated as hypergraphs, and the critical hyperedge-vertex
+//     connections are found by optimizing a fractional incidence mask
+//     (Equations 4–9). See CriticalConnections.
+//
+// The internal packages provide everything the paper's evaluation depends
+// on: a pure-Go neural network and RL substrate, the Pensieve/AuTO/RouteNet*
+// teacher systems, their simulated environments, interpretation baselines
+// (LIME, LEMNA), and a harness that regenerates every table and figure
+// (internal/experiments, driven by cmd/metis-exp).
+package metis
+
+import (
+	"repro/internal/metis/dtree"
+	"repro/internal/metis/mask"
+	"repro/internal/rl"
+)
+
+// Env is a sequential decision environment (an alias of the internal RL
+// environment interface) that local-system distillation rolls trajectories
+// in.
+type Env = rl.Env
+
+// Policy is a teacher policy mapping states to action distributions.
+type Policy = rl.Policy
+
+// Tree is an interpretable decision-tree controller.
+type Tree = dtree.Tree
+
+// DistillConfig configures teacher-student decision tree conversion (§3.2).
+type DistillConfig = dtree.DistillConfig
+
+// DistillResult is the outcome of a distillation run.
+type DistillResult = dtree.DistillResult
+
+// Dataset is a weighted supervised dataset for offline tree fitting.
+type Dataset = dtree.Dataset
+
+// Distill converts a DNN teacher policy for a local system into a decision
+// tree using the paper's four-step §3.2 recipe.
+func Distill(env Env, teacher Policy, cfg DistillConfig) (*DistillResult, error) {
+	return dtree.DistillPolicy(env, teacher, cfg)
+}
+
+// FitTree fits and prunes a decision tree on an offline dataset; use it for
+// regression teachers (e.g. continuous queue thresholds) or pre-collected
+// state-action logs.
+func FitTree(ds *Dataset, cfg DistillConfig) (*Tree, error) {
+	return dtree.FitDataset(ds, cfg)
+}
+
+// MaskSystem is a global system whose output can be recomputed under a
+// hypergraph connection mask.
+type MaskSystem = mask.System
+
+// MaskOptions configures the critical-connection search (§4.2).
+type MaskOptions = mask.Options
+
+// MaskResult carries the per-connection mask values.
+type MaskResult = mask.Result
+
+// CriticalConnections searches for the hyperedge-vertex connections most
+// critical to a global system's output by optimizing Equation 4's objective.
+func CriticalConnections(sys MaskSystem, opts MaskOptions) *MaskResult {
+	return mask.Search(sys, opts)
+}

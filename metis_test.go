@@ -1,0 +1,108 @@
+package metis
+
+import (
+	"strings"
+	"testing"
+)
+
+// stairPolicy buckets a scalar state into actions.
+type stairPolicy struct{}
+
+func (stairPolicy) ActionProbs(s []float64) []float64 {
+	out := make([]float64, 3)
+	switch {
+	case s[0] < 0.33:
+		out[0] = 1
+	case s[0] < 0.66:
+		out[1] = 1
+	default:
+		out[2] = 1
+	}
+	return out
+}
+
+// scanEnv sweeps the unit interval deterministically.
+type scanEnv struct {
+	x    float64
+	step int
+}
+
+func (e *scanEnv) Reset(seed int64) []float64 {
+	e.x = float64(uint64(seed)%11) / 11
+	e.step = 0
+	return []float64{e.x}
+}
+
+func (e *scanEnv) Step(int) ([]float64, float64, bool) {
+	e.step++
+	e.x += 0.083
+	if e.x >= 1 {
+		e.x -= 1
+	}
+	return []float64{e.x}, 0, e.step >= 25
+}
+
+func (e *scanEnv) StateDim() int   { return 1 }
+func (e *scanEnv) NumActions() int { return 3 }
+
+func TestPublicDistill(t *testing.T) {
+	res, err := Distill(&scanEnv{}, stairPolicy{}, DistillConfig{
+		MaxLeaves: 8, Iterations: 2, EpisodesPerIter: 15, MaxSteps: 25,
+		FeatureNames: []string{"x"}, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fidelity < 0.95 {
+		t.Fatalf("fidelity %.3f", res.Fidelity)
+	}
+	if !strings.Contains(res.Tree.Rules(0), "x <") {
+		t.Fatal("rules missing the named feature")
+	}
+	for _, probe := range []struct {
+		x    float64
+		want int
+	}{{0.1, 0}, {0.5, 1}, {0.9, 2}} {
+		if got := res.Tree.Predict([]float64{probe.x}); got != probe.want {
+			t.Fatalf("Predict(%v) = %d, want %d", probe.x, got, probe.want)
+		}
+	}
+}
+
+func TestPublicFitTree(t *testing.T) {
+	ds := &Dataset{
+		X:    [][]float64{{0}, {1}, {2}, {3}},
+		YReg: [][]float64{{0}, {0}, {10}, {10}},
+	}
+	tree, err := FitTree(ds, DistillConfig{MaxLeaves: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := tree.PredictReg([]float64{0.5})[0]; v != 0 {
+		t.Fatalf("low prediction %v", v)
+	}
+	if v := tree.PredictReg([]float64{2.5})[0]; v != 10 {
+		t.Fatalf("high prediction %v", v)
+	}
+}
+
+// twoKnobSystem is a trivial MaskSystem: one connection matters.
+type twoKnobSystem struct{}
+
+func (twoKnobSystem) NumConnections() int { return 2 }
+func (twoKnobSystem) Discrete() bool      { return false }
+func (twoKnobSystem) Output(m []float64) []float64 {
+	return []float64{10*m[0] + 0.01*m[1]}
+}
+
+func TestPublicCriticalConnections(t *testing.T) {
+	res := CriticalConnections(twoKnobSystem{}, MaskOptions{
+		Lambda1: 0.5, Lambda2: 0.2, Iterations: 200, Seed: 1,
+	})
+	if res.TopConnections(1)[0] != 0 {
+		t.Fatalf("top connection = %d (W=%v), want 0", res.TopConnections(1)[0], res.W)
+	}
+	if res.W[0] <= res.W[1] {
+		t.Fatalf("critical mask %v not above irrelevant %v", res.W[0], res.W[1])
+	}
+}
