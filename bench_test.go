@@ -306,7 +306,9 @@ func BenchmarkExtractionOverhead(b *testing.B) {
 	}
 }
 
-// BenchmarkMaskSearch times one critical-connection search.
+// BenchmarkMaskSearch times one critical-connection search, serial versus
+// the full worker pool (the results are bit-identical; only wall clock
+// differs).
 func BenchmarkMaskSearch(b *testing.B) {
 	f := fixture()
 	g, model := f.RouteNet()
@@ -317,6 +319,40 @@ func BenchmarkMaskSearch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mask.Search(sys, mask.Options{Iterations: 20, Seed: int64(i)})
+	}
+}
+
+// BenchmarkMaskSearchSerial is BenchmarkMaskSearch pinned to one worker, the
+// pre-refactor execution mode.
+func BenchmarkMaskSearchSerial(b *testing.B) {
+	f := fixture()
+	g, model := f.RouteNet()
+	opt := &routenet.Optimizer{Model: model, Graph: g}
+	demands := routing.RandomDemands(g, f.Scale.RouteDemands, 3, 9, 907)
+	rt := opt.Route(demands)
+	sys := &experiments.RouteNetSystem{Opt: opt, Routing: rt}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mask.Search(sys, mask.Options{Iterations: 20, Seed: int64(i), Workers: 1})
+	}
+}
+
+// BenchmarkCARTBuild times one presorted column-major CART fit on the cached
+// distillation dataset, serial versus the full worker pool.
+func BenchmarkCARTBuild(b *testing.B) {
+	ds := fixture().PensieveTree().Dataset
+	for _, workers := range []int{1, 0} {
+		name := "serial"
+		if workers == 0 {
+			name = "allcores"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dtree.Build(ds, dtree.BuildOptions{MaxLeaves: 800, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -7,6 +7,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"runtime"
 
 	"repro/internal/abr"
 	"repro/internal/metis/dtree"
@@ -19,6 +20,7 @@ func main() {
 	traces := flag.Int("traces", 16, "number of synthetic traces")
 	episodes := flag.Int("train", 300, "teacher pretraining episodes")
 	leaves := flag.Int("leaves", 120, "decision tree leaf budget")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for distillation (1 = serial; results are identical at any setting)")
 	flag.Parse()
 
 	env := abr.NewEnv(abr.Config{
@@ -41,6 +43,7 @@ func main() {
 		QHorizon:        5,
 		FeatureNames:    abr.FeatureNames(),
 		Seed:            3,
+		Workers:         *workers,
 	})
 	if err != nil {
 		panic(err)

@@ -6,6 +6,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/auto"
@@ -16,6 +17,7 @@ import (
 func main() {
 	flows := flag.Int("flows", 400, "flows per fabric run")
 	gens := flag.Int("gens", 10, "ES training generations")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for tree fitting (1 = serial; results are identical at any setting)")
 	flag.Parse()
 
 	fmt.Println("training AuTO lRLA on the web-search workload…")
@@ -25,7 +27,7 @@ func main() {
 	fmt.Println("collecting decisions and distilling…")
 	states, actions := auto.CollectLRLADataset(lrla, dcn.WebSearch, 4, 31)
 	tree, err := dtree.FitDataset(&dtree.Dataset{X: states, Y: actions}, dtree.DistillConfig{
-		MaxLeaves: 2000, FeatureNames: auto.LongFlowStateNames(),
+		MaxLeaves: 2000, FeatureNames: auto.LongFlowStateNames(), Workers: *workers,
 	})
 	if err != nil {
 		panic(err)

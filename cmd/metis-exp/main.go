@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 func main() {
 	exp := flag.String("exp", "", "experiment id (or 'all')")
 	scale := flag.String("scale", "test", "scale: test (seconds) or full (minutes)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the parallel stages (1 = serial; results are identical at any setting)")
 	list := flag.Bool("list", false, "list available experiment ids")
 	flag.Parse()
 
@@ -41,6 +43,7 @@ func main() {
 		s = experiments.FullScale
 	}
 	f := experiments.NewFixture(s)
+	f.Workers = *workers
 
 	run := func(name string) {
 		runner, ok := experiments.Registry[name]

@@ -7,6 +7,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"runtime"
 
 	"repro/internal/metis/mask"
 	"repro/internal/routenet"
@@ -20,6 +21,7 @@ func main() {
 	demands := flag.Int("demands", 12, "traffic demands to route")
 	gens := flag.Int("gens", 60, "RouteNet training generations")
 	iters := flag.Int("iters", 100, "mask optimization iterations")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the mask search (1 = serial; results are identical at any setting)")
 	flag.Parse()
 
 	g := topo.NSFNet(10)
@@ -40,7 +42,7 @@ func main() {
 
 	fmt.Println("\nsearching critical connections (Equations 4–9)…")
 	sys := &experiments.RouteNetSystem{Opt: opt, Routing: rt}
-	res := mask.Search(sys, mask.Options{Lambda1: 0.25, Lambda2: 1, Iterations: *iters, Seed: 7})
+	res := mask.Search(sys, mask.Options{Lambda1: 0.25, Lambda2: 1, Iterations: *iters, Seed: 7, Workers: *workers})
 	off := routenet.ConnectionOffsets(rt.Paths)
 	fmt.Println("top 5 critical (path, link) connections:")
 	for rank, ci := range res.TopConnections(5) {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/rl"
 	"repro/internal/trace"
 )
 
@@ -147,6 +148,12 @@ func NewEnv(cfg Config) *Env {
 
 // Config returns the environment's configuration.
 func (e *Env) Config() Config { return e.cfg }
+
+// CloneEnv implements rl.ClonableEnv: the clone shares the immutable video
+// model and trace set but carries independent playback state, so clones can
+// roll episodes concurrently. Reset fully determines an episode, so a clone
+// reproduces the original's trajectories seed-for-seed.
+func (e *Env) CloneEnv() rl.Env { return &Env{cfg: e.cfg} }
 
 // StateDim implements rl.Env.
 func (e *Env) StateDim() int { return StateDim }

@@ -79,6 +79,10 @@ func (s *SRLA) Thresholds(state []float64) []float64 {
 	return th
 }
 
+// Clone returns an independent copy of the agent whose network can run
+// forward passes concurrently with the original's.
+func (s *SRLA) Clone() *SRLA { return &SRLA{Net: s.Net.Clone()} }
+
 func clamp(x, lo, hi float64) float64 {
 	if x < lo {
 		return lo
@@ -121,6 +125,13 @@ func (l *LRLA) ActionProbs(state []float64) []float64 {
 	copy(probs, out)
 	return probs
 }
+
+// Clone returns an independent copy of the agent whose network can run
+// forward passes concurrently with the original's.
+func (l *LRLA) Clone() *LRLA { return &LRLA{Net: l.Net.Clone()} }
+
+// ClonePolicy implements rl.ClonablePolicy.
+func (l *LRLA) ClonePolicy() rl.Policy { return l.Clone() }
 
 // TrainConfig controls teacher training.
 type TrainConfig struct {

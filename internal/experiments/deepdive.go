@@ -11,6 +11,8 @@ import (
 	"repro/internal/interp/lime"
 	"repro/internal/metis/dtree"
 	"repro/internal/metis/mask"
+	"repro/internal/parallel"
+	"repro/internal/rl"
 	"repro/internal/routenet"
 	"repro/internal/routing"
 )
@@ -41,6 +43,20 @@ func (r *Fig27Result) String() string {
 	return b.String()
 }
 
+// blackboxPool adapts a policy into per-worker blackbox instances for the
+// baselines' perturbed-input batches: slot 0 queries the original, extra
+// slots query independent clones (none when the policy is not clonable, in
+// which case evaluation stays serial).
+func blackboxPool(p rl.Policy, workers int) []func([]float64) []float64 {
+	cp, ok := p.(rl.ClonablePolicy)
+	if !ok {
+		return []func([]float64) []float64{p.ActionProbs}
+	}
+	return parallel.Pool(p.ActionProbs, workers, func() func([]float64) []float64 {
+		return cp.ClonePolicy().ActionProbs
+	})
+}
+
 // Fig27 runs the Appendix E comparison on the Pensieve teacher.
 func Fig27(f *Fixture, clusterSettings []int) *Fig27Result {
 	agent := f.Pensieve()
@@ -50,7 +66,8 @@ func Fig27(f *Fixture, clusterSettings []int) *Fig27Result {
 	// Split into train/eval halves.
 	half := ds.Len() / 2
 	trainX, evalX := ds.X[:half], ds.X[half:]
-	teacherProbs := func(x []float64) []float64 { return agent.Probs(x) }
+	teacherPool := blackboxPool(agent, parallel.Workers(f.Workers))
+	teacherProbs := teacherPool[0]
 
 	// Teacher labels for evaluation.
 	evalY := make([][]float64, len(evalX))
@@ -85,7 +102,7 @@ func Fig27(f *Fixture, clusterSettings []int) *Fig27Result {
 		// LIME: one local linear model per cluster, anchored at centroids.
 		limeModels := make([]*lime.Model, k)
 		for ci := 0; ci < len(km.Centroids); ci++ {
-			m, err := lime.Explain(teacherProbs, km.Centroids[ci], nil, lime.Config{Samples: 150, Seed: int64(ci)})
+			m, err := lime.ExplainWith(teacherPool, km.Centroids[ci], nil, lime.Config{Samples: 150, Seed: int64(ci), Workers: f.Workers})
 			if err == nil {
 				limeModels[ci] = m
 			}
@@ -109,7 +126,7 @@ func Fig27(f *Fixture, clusterSettings []int) *Fig27Result {
 				for i, x := range X {
 					y[i] = teacherProbs(x)[d]
 				}
-				m, err := lemna.Fit(X, y, lemna.Config{Components: 2, Iterations: 10, Seed: int64(ci*10 + d)})
+				m, err := lemna.Fit(X, y, lemna.Config{Components: 2, Iterations: 10, Seed: int64(ci*10 + d), Workers: f.Workers})
 				if err == nil {
 					lemnaModels[ci][d] = m
 				}
@@ -228,7 +245,7 @@ func Fig28(f *Fixture, leafSettings []int) *Fig28Result {
 
 	r := &Fig28Result{}
 	for _, leaves := range leafSettings {
-		tree, err := dtree.FitDataset(train, dtree.DistillConfig{MaxLeaves: leaves})
+		tree, err := dtree.FitDataset(train, dtree.DistillConfig{MaxLeaves: leaves, Workers: f.Workers})
 		if err != nil {
 			panic("experiments: fig28: " + err.Error())
 		}
@@ -278,7 +295,7 @@ func Fig31(f *Fixture, leafSettings []int) *Fig31Result {
 	r := &Fig31Result{}
 	for _, leaves := range leafSettings {
 		start := time.Now()
-		if _, err := dtree.FitDataset(ds, dtree.DistillConfig{MaxLeaves: leaves}); err != nil {
+		if _, err := dtree.FitDataset(ds, dtree.DistillConfig{MaxLeaves: leaves, Workers: f.Workers}); err != nil {
 			panic("experiments: fig31: " + err.Error())
 		}
 		r.Leaves = append(r.Leaves, leaves)
@@ -289,7 +306,7 @@ func Fig31(f *Fixture, leafSettings []int) *Fig31Result {
 	demands := routing.RandomDemands(g, f.Scale.RouteDemands, 3, 9, 905)
 	rt := opt.Route(demands)
 	start := time.Now()
-	mask.Search(&RouteNetSystem{Opt: opt, Routing: rt}, mask.Options{Iterations: f.Scale.MaskIterations, Seed: 9})
+	mask.Search(&RouteNetSystem{Opt: opt, Routing: rt}, mask.Options{Iterations: f.Scale.MaskIterations, Seed: 9, Workers: f.Workers})
 	r.MaskTime = time.Since(start)
 	return r
 }

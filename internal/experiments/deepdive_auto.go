@@ -10,6 +10,7 @@ import (
 	"repro/internal/interp/cluster"
 	"repro/internal/interp/lemna"
 	"repro/internal/interp/lime"
+	"repro/internal/parallel"
 )
 
 // Fig27AutoResult extends the Appendix E comparison to the AuTO agents:
@@ -58,7 +59,8 @@ func Fig27Auto(f *Fixture, clusterSettings []int) *Fig27AutoResult {
 	}
 	half := len(states) / 2
 	trainX, evalX := states[:half], states[half:]
-	probsOf := func(x []float64) []float64 { return lrla.ActionProbs(x) }
+	lrlaPool := blackboxPool(lrla, parallel.Workers(f.Workers))
+	probsOf := lrlaPool[0]
 	evalY := make([][]float64, len(evalX))
 	evalA := make([]int, len(evalX))
 	for i, x := range evalX {
@@ -97,18 +99,26 @@ func Fig27Auto(f *Fixture, clusterSettings []int) *Fig27AutoResult {
 		}
 	}
 	r.SRLATreeRMSE = sqrt(se / float64(n))
-	srlaOut := func(x []float64) []float64 {
-		th := srla.Thresholds(x)
-		out := make([]float64, len(th))
-		for k, v := range th {
-			out[k] = log10(v)
+	// One sRLA blackbox per worker: Thresholds runs a network forward pass,
+	// which reuses per-instance scratch buffers.
+	srlaOutOf := func(s *auto.SRLA) func([]float64) []float64 {
+		return func(x []float64) []float64 {
+			th := s.Thresholds(x)
+			out := make([]float64, len(th))
+			for k, v := range th {
+				out[k] = log10(v)
+			}
+			return out
 		}
-		return out
 	}
+	srlaPool := parallel.Pool(srlaOutOf(srla), parallel.Workers(f.Workers), func() func([]float64) []float64 {
+		return srlaOutOf(srla.Clone())
+	})
+	srlaOut := srlaPool[0]
 
 	for _, k := range clusterSettings {
 		// lRLA baselines.
-		la, lr, ma, mr := clusteredBaselines(trainX, evalX, evalY, evalA, probsOf, k)
+		la, lr, ma, mr := clusteredBaselines(trainX, evalX, evalY, evalA, lrlaPool, f.Workers, k)
 		r.LRLALimeAcc = append(r.LRLALimeAcc, la)
 		r.LRLALimeRMSE = append(r.LRLALimeRMSE, lr)
 		r.LRLALemnaAcc = append(r.LRLALemnaAcc, ma)
@@ -120,7 +130,7 @@ func Fig27Auto(f *Fixture, clusterSettings []int) *Fig27AutoResult {
 		for i, x := range sEvalX {
 			sEvalYf[i] = srlaOut(x)
 		}
-		_, slr, _, smr := clusteredBaselines(sTrainX, sEvalX, sEvalYf, sEvalAf, srlaOut, k)
+		_, slr, _, smr := clusteredBaselines(sTrainX, sEvalX, sEvalYf, sEvalAf, srlaPool, f.Workers, k)
 		r.SRLALimeRMSE = append(r.SRLALimeRMSE, slr)
 		r.SRLALemnaRMSE = append(r.SRLALemnaRMSE, smr)
 	}
@@ -129,12 +139,14 @@ func Fig27Auto(f *Fixture, clusterSettings []int) *Fig27AutoResult {
 
 // clusteredBaselines runs the Appendix E protocol (k-means clusters, one
 // LIME model per centroid, one LEMNA mixture per cluster/output) against a
-// blackbox f and returns (limeAcc, limeRMSE, lemnaAcc, lemnaRMSE).
-func clusteredBaselines(trainX, evalX, evalY [][]float64, evalA []int, f func([]float64) []float64, k int) (float64, float64, float64, float64) {
+// blackbox — fs holds one instance per worker, fs[0] being the reference —
+// and returns (limeAcc, limeRMSE, lemnaAcc, lemnaRMSE).
+func clusteredBaselines(trainX, evalX, evalY [][]float64, evalA []int, fs []func([]float64) []float64, workers, k int) (float64, float64, float64, float64) {
+	f := fs[0]
 	km, assign := cluster.Fit(trainX, k, 30, 57)
 	limeModels := make([]*lime.Model, len(km.Centroids))
 	for ci := range km.Centroids {
-		if m, err := lime.Explain(f, km.Centroids[ci], nil, lime.Config{Samples: 120, Seed: int64(ci)}); err == nil {
+		if m, err := lime.ExplainWith(fs, km.Centroids[ci], nil, lime.Config{Samples: 120, Seed: int64(ci), Workers: workers}); err == nil {
 			limeModels[ci] = m
 		}
 	}
@@ -156,7 +168,7 @@ func clusteredBaselines(trainX, evalX, evalY [][]float64, evalA []int, f func([]
 			for i, x := range X {
 				y[i] = f(x)[d]
 			}
-			if m, err := lemna.Fit(X, y, lemna.Config{Components: 2, Iterations: 10, Seed: int64(ci*10 + d)}); err == nil {
+			if m, err := lemna.Fit(X, y, lemna.Config{Components: 2, Iterations: 10, Seed: int64(ci*10 + d), Workers: workers}); err == nil {
 				lemnaModels[ci][d] = m
 			}
 		}

@@ -75,6 +75,13 @@ var FullScale = Scale{
 type Fixture struct {
 	Scale Scale
 
+	// Workers bounds the goroutines used by every parallelized stage the
+	// harnesses drive — CART split search, DAgger rollout collection, SPSA
+	// mask evaluation, and the LIME/LEMNA baselines (0 = GOMAXPROCS, 1 =
+	// serial). All stages are bit-deterministic in the worker count, so
+	// changing it never changes a figure or table.
+	Workers int
+
 	onceEnv      sync.Once
 	envHSDPA     *abr.Env
 	envFCC       *abr.Env
@@ -149,6 +156,7 @@ func (f *Fixture) PensieveTree() *dtree.DistillResult {
 			QHorizon:        5,
 			FeatureNames:    abr.FeatureNames(),
 			Seed:            3,
+			Workers:         f.Workers,
 		})
 		if err != nil {
 			panic("experiments: distill pensieve: " + err.Error())
@@ -172,7 +180,7 @@ func (f *Fixture) AuTo() (lrla *auto.LRLA, srla *auto.SRLA, lrlaTree, srlaTree *
 			panic("experiments: no lRLA decisions collected")
 		}
 		tr, err := dtree.FitDataset(&dtree.Dataset{X: states, Y: actions}, dtree.DistillConfig{
-			MaxLeaves: 2000, FeatureNames: auto.LongFlowStateNames(),
+			MaxLeaves: 2000, FeatureNames: auto.LongFlowStateNames(), Workers: f.Workers,
 		})
 		if err != nil {
 			panic("experiments: distill lRLA: " + err.Error())
@@ -180,7 +188,7 @@ func (f *Fixture) AuTo() (lrla *auto.LRLA, srla *auto.SRLA, lrlaTree, srlaTree *
 		f.lrlaTree = tr
 
 		sStates, sTargets := auto.CollectSRLADataset(f.srla, dcn.WebSearch, 60, 33)
-		rt, err := dtree.FitDataset(&dtree.Dataset{X: sStates, YReg: sTargets}, dtree.DistillConfig{MaxLeaves: 200})
+		rt, err := dtree.FitDataset(&dtree.Dataset{X: sStates, YReg: sTargets}, dtree.DistillConfig{MaxLeaves: 200, Workers: f.Workers})
 		if err != nil {
 			panic("experiments: distill sRLA: " + err.Error())
 		}

@@ -40,6 +40,23 @@ func (s *RouteNetSystem) Output(m []float64) []float64 {
 	return out
 }
 
+// CloneSystem implements mask.ClonableSystem so the SPSA perturbation pairs
+// of the critical-connection search can be evaluated concurrently. The model
+// is deep-copied (its forward passes reuse scratch buffers) and the routing's
+// path assignment is copied because ChoiceDistribution temporarily swaps
+// candidate paths in place; the graph is shared — its candidate-path cache
+// is lock-guarded.
+func (s *RouteNetSystem) CloneSystem() mask.System {
+	return &RouteNetSystem{
+		Opt: &routenet.Optimizer{Model: s.Opt.Model.Clone(), Graph: s.Opt.Graph},
+		Routing: &routing.Routing{
+			Demands: s.Routing.Demands,
+			Paths:   append([]topo.Path(nil), s.Routing.Paths...),
+		},
+		Temperature: s.Temperature,
+	}
+}
+
 // Hypergraph returns the scenario-#1 hypergraph of the routing.
 func (s *RouteNetSystem) Hypergraph(g *topo.Graph) *hypergraph.Hypergraph {
 	vols := make([]float64, len(s.Routing.Demands))
@@ -70,6 +87,7 @@ func solveMasks(f *Fixture, samples int) []maskedRouting {
 			Lambda1: 0.25, Lambda2: 1, // Table 4 hyperparameters
 			Iterations: f.Scale.MaskIterations,
 			Seed:       int64(1000 + s),
+			Workers:    f.Workers,
 		})
 		out = append(out, maskedRouting{demands: demands, rt: rt, res: res})
 	}
@@ -346,12 +364,12 @@ func Fig29(f *Fixture) *Fig29Result {
 
 	r := &Fig29Result{}
 	for _, l1 := range []float64{0.125, 0.25, 0.5, 1, 2} {
-		res := mask.Search(sys, mask.Options{Lambda1: l1, Lambda2: 1, Iterations: f.Scale.MaskIterations, Seed: 5})
+		res := mask.Search(sys, mask.Options{Lambda1: l1, Lambda2: 1, Iterations: f.Scale.MaskIterations, Seed: 5, Workers: f.Workers})
 		r.Lambda1s = append(r.Lambda1s, l1)
 		r.NormAtL1 = append(r.NormAtL1, res.Norm)
 	}
 	for _, l2 := range []float64{0.25, 0.5, 1, 2, 4} {
-		res := mask.Search(sys, mask.Options{Lambda1: 0.25, Lambda2: l2, Iterations: f.Scale.MaskIterations, Seed: 5})
+		res := mask.Search(sys, mask.Options{Lambda1: 0.25, Lambda2: l2, Iterations: f.Scale.MaskIterations, Seed: 5, Workers: f.Workers})
 		r.Lambda2s = append(r.Lambda2s, l2)
 		r.EntropyAtL2 = append(r.EntropyAtL2, res.Entropy)
 	}

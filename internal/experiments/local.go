@@ -348,6 +348,7 @@ func Fig14(f *Fixture) *Fig14Result {
 		Oversample:      map[int]float64{2: 0.01, 4: 0.01}, // 1200 and 2850 kbps to ≈1%
 		FeatureNames:    abr.FeatureNames(),
 		Seed:            3,
+		Workers:         f.Workers,
 	})
 	if err != nil {
 		panic("experiments: fig14 distill: " + err.Error())
@@ -467,6 +468,7 @@ func Fig20(f *Fixture) *Fig20Result {
 		Resample:        false,
 		FeatureNames:    abr.FeatureNames(),
 		Seed:            3,
+		Workers:         f.Workers,
 	})
 	if err != nil {
 		panic("experiments: fig20 distill: " + err.Error())

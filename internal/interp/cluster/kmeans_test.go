@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// blobs samples n points around each of the given centers.
+func blobs(centers [][]float64, n int, spread float64, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	var X [][]float64
+	var label []int
+	for c, ctr := range centers {
+		for i := 0; i < n; i++ {
+			x := make([]float64, len(ctr))
+			for j := range x {
+				x[j] = ctr[j] + spread*rng.NormFloat64()
+			}
+			X = append(X, x)
+			label = append(label, c)
+		}
+	}
+	return X, label
+}
+
+func TestFitSeparatesWellSpacedBlobs(t *testing.T) {
+	centers := [][]float64{{0, 0}, {10, 10}, {-10, 5}}
+	X, label := blobs(centers, 40, 0.5, 1)
+	_, assign := Fit(X, 3, 50, 7)
+	// Every ground-truth blob must map to exactly one cluster id.
+	blobToCluster := map[int]int{}
+	for i, a := range assign {
+		if prev, ok := blobToCluster[label[i]]; ok && prev != a {
+			t.Fatalf("blob %d split across clusters %d and %d", label[i], prev, a)
+		} else if !ok {
+			blobToCluster[label[i]] = a
+		}
+	}
+	if len(blobToCluster) != 3 {
+		t.Fatalf("expected 3 distinct clusters, got %d", len(blobToCluster))
+	}
+}
+
+func TestPredictReturnsNearestCentroid(t *testing.T) {
+	km := &KMeans{Centroids: [][]float64{{0, 0}, {10, 0}}}
+	if got := km.Predict([]float64{1, 1}); got != 0 {
+		t.Fatalf("Predict near origin = %d, want 0", got)
+	}
+	if got := km.Predict([]float64{9, -1}); got != 1 {
+		t.Fatalf("Predict near (10,0) = %d, want 1", got)
+	}
+}
+
+func TestFitClampsK(t *testing.T) {
+	X := [][]float64{{0}, {1}, {2}}
+	km, assign := Fit(X, 10, 5, 3)
+	if len(km.Centroids) > len(X) {
+		t.Fatalf("k clamped to %d centroids for %d samples", len(km.Centroids), len(X))
+	}
+	if len(assign) != len(X) {
+		t.Fatalf("assignment length %d, want %d", len(assign), len(X))
+	}
+	km, _ = Fit(X, 0, 5, 3)
+	if len(km.Centroids) != 1 {
+		t.Fatalf("k<1 should clamp to 1, got %d centroids", len(km.Centroids))
+	}
+}
+
+func TestFitDeterministicForSeed(t *testing.T) {
+	X, _ := blobs([][]float64{{0, 0}, {5, 5}}, 30, 1, 2)
+	kmA, assignA := Fit(X, 2, 25, 9)
+	kmB, assignB := Fit(X, 2, 25, 9)
+	if !reflect.DeepEqual(kmA, kmB) || !reflect.DeepEqual(assignA, assignB) {
+		t.Fatal("same seed produced different clusterings")
+	}
+}
+
+func TestAssignmentsConsistentWithPredict(t *testing.T) {
+	X, _ := blobs([][]float64{{0, 0}, {8, 8}}, 25, 0.6, 4)
+	km, assign := Fit(X, 2, 50, 5)
+	for i, x := range X {
+		if got := km.Predict(x); got != assign[i] {
+			t.Fatalf("sample %d: Predict=%d but Fit assigned %d", i, got, assign[i])
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"repro/internal/nn"
+	"repro/internal/parallel"
 )
 
 // Config controls mixture fitting.
@@ -24,6 +25,12 @@ type Config struct {
 	Ridge float64
 	// Seed drives initialization.
 	Seed int64
+	// Workers bounds the goroutines used by the EM sweeps (0 = GOMAXPROCS,
+	// 1 = serial): the per-component M-step regressions and the per-sample
+	// E-step responsibilities are independent and fan out across the pool.
+	// Results are bit-identical for every worker count — every task writes
+	// only its own component/sample slot.
+	Workers int
 }
 
 func (c *Config) defaults() {
@@ -86,9 +93,14 @@ func Fit(X [][]float64, y []float64, cfg Config) (*Model, error) {
 		resp[i][k] = 1
 	}
 
+	workers := parallel.Workers(cfg.Workers)
+	errs := make([]error, K)
 	for iter := 0; iter < cfg.Iterations; iter++ {
-		// M-step: weighted ridge regression per component.
-		for k := 0; k < K; k++ {
+		// M-step: weighted ridge regression per component. Components are
+		// independent (each reads the shared responsibilities and writes
+		// only its own slots), so they fit concurrently.
+		parallel.ForEach(workers, K, func(k int) {
+			errs[k] = nil
 			dim := d + 1
 			ata := nn.NewMatrix(dim, dim)
 			atb := make([]float64, dim)
@@ -119,7 +131,8 @@ func Fit(X [][]float64, y []float64, cfg Config) (*Model, error) {
 			}
 			beta, err := nn.SolveLinear(ata, atb)
 			if err != nil {
-				return nil, err
+				errs[k] = err
+				return
 			}
 			m.Beta[k] = beta
 			m.Pi[k] = wsum / float64(n)
@@ -137,9 +150,14 @@ func Fit(X [][]float64, y []float64, cfg Config) (*Model, error) {
 			} else {
 				m.Sigma2[k] = 1
 			}
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
 		}
-		// E-step: Gaussian responsibilities.
-		for i := range X {
+		// E-step: Gaussian responsibilities, one independent row per sample.
+		parallel.ForEach(workers, n, func(i int) {
 			total := 0.0
 			for k := 0; k < K; k++ {
 				r := y[i] - m.linear(k, X[i])
@@ -150,7 +168,7 @@ func Fit(X [][]float64, y []float64, cfg Config) (*Model, error) {
 			for k := 0; k < K; k++ {
 				resp[i][k] /= total
 			}
-		}
+		})
 	}
 	return m, nil
 }

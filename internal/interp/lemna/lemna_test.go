@@ -1,0 +1,104 @@
+package lemna
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// piecewiseData samples y = 3x (x<0) / y = −2x (x≥0): a hinge no single
+// linear model fits, but a 2-component mixture can.
+func piecewiseData(n int, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := rng.Float64()*4 - 2
+		X[i] = []float64{x}
+		if x < 0 {
+			y[i] = 3 * x
+		} else {
+			y[i] = -2 * x
+		}
+		y[i] += 0.01 * rng.NormFloat64()
+	}
+	return X, y
+}
+
+// TestFitRecoversComponentSlopes: on hinge data, a 2-component mixture must
+// find one component per branch (slopes ≈3 and ≈−2). EM is sensitive to its
+// random responsibility init, so several seeds are tried; at least one must
+// converge to the true pair.
+func TestFitRecoversComponentSlopes(t *testing.T) {
+	X, y := piecewiseData(400, 1)
+	for seed := int64(1); seed <= 8; seed++ {
+		m, err := Fit(X, y, Config{Components: 2, Iterations: 50, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		slopes := []float64{m.Beta[0][1], m.Beta[1][1]}
+		for _, pair := range [][2]float64{{slopes[0], slopes[1]}, {slopes[1], slopes[0]}} {
+			if math.Abs(pair[0]-3) < 0.5 && math.Abs(pair[1]+2) < 0.5 {
+				return
+			}
+		}
+	}
+	t.Fatal("no seed recovered component slopes ≈3 and ≈−2")
+}
+
+func TestFitMixtureWeightsNormalized(t *testing.T) {
+	X, y := piecewiseData(200, 2)
+	m, err := Fit(X, y, Config{Components: 3, Iterations: 15, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, pi := range m.Pi {
+		if pi < 0 {
+			t.Fatalf("negative mixture weight %v", m.Pi)
+		}
+		sum += pi
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("mixture weights sum to %.6f, want 1", sum)
+	}
+	for k, s2 := range m.Sigma2 {
+		if s2 <= 0 {
+			t.Fatalf("component %d has non-positive variance %v", k, s2)
+		}
+	}
+}
+
+// TestFitWorkerCountInvariant: the parallel M-step/E-step sweeps must be
+// bit-identical to the serial EM.
+func TestFitWorkerCountInvariant(t *testing.T) {
+	X, y := piecewiseData(300, 7)
+	cfg := Config{Components: 3, Iterations: 20, Seed: 11}
+	cfg.Workers = 1
+	serial, err := Fit(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	par, err := Fit(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("Workers=4 mixture differs from Workers=1 mixture")
+	}
+}
+
+func TestPredictIsMixtureMean(t *testing.T) {
+	m := &Model{
+		Pi:     []float64{0.25, 0.75},
+		Beta:   [][]float64{{1, 2}, {0, -1}}, // intercept-first
+		Sigma2: []float64{1, 1},
+	}
+	x := []float64{2}
+	want := 0.25*(1+2*2) + 0.75*(0-1*2)
+	if got := m.Predict(x); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Predict = %v, want %v", got, want)
+	}
+}

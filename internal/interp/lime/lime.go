@@ -9,6 +9,7 @@ import (
 	"math/rand"
 
 	"repro/internal/nn"
+	"repro/internal/parallel"
 )
 
 // Config controls explanation fitting.
@@ -25,6 +26,14 @@ type Config struct {
 	Noise float64
 	// Seed makes fitting deterministic.
 	Seed int64
+	// Workers bounds the goroutines used to evaluate the perturbed inputs
+	// (0 = GOMAXPROCS, 1 = serial). Parallel evaluation additionally
+	// requires one blackbox instance per worker (see ExplainWith); Explain
+	// with a single blackbox always evaluates serially. Results are
+	// bit-identical for every worker count: perturbations are drawn from
+	// the seeded stream up front and the regression accumulates outputs in
+	// sample order.
+	Workers int
 }
 
 func (c *Config) defaults() {
@@ -65,13 +74,26 @@ func (m *Model) Predict(x []float64) []float64 {
 // Explain fits a local surrogate of f around x0. scale optionally gives a
 // per-feature perturbation scale (nil uses Config.Noise for all features).
 func Explain(f func([]float64) []float64, x0 []float64, scale []float64, cfg Config) (*Model, error) {
+	return ExplainWith([]func([]float64) []float64{f}, x0, scale, cfg)
+}
+
+// ExplainWith is Explain with one blackbox instance per worker: fs[0] is the
+// reference blackbox and any additional entries are independent,
+// behaviorally identical instances (e.g. cloned policies) that allow the
+// perturbed-input evaluations — the dominant cost — to run concurrently.
+// The effective parallelism is min(Workers, len(fs)), so a single-instance
+// call is always serial.
+func ExplainWith(fs []func([]float64) []float64, x0 []float64, scale []float64, cfg Config) (*Model, error) {
 	cfg.defaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	d := len(x0)
-	y0 := f(x0)
+	y0 := fs[0](x0)
 	k := len(y0)
 
-	// Sample perturbations and blackbox outputs.
+	// Draw every perturbation up front from the seeded stream (the blackbox
+	// consumes no randomness, so the stream order matches a serial
+	// draw-then-evaluate loop), then batch the blackbox evaluations across
+	// the worker pool.
 	X := make([][]float64, cfg.Samples)
 	Y := make([][]float64, cfg.Samples)
 	W := make([]float64, cfg.Samples)
@@ -90,9 +112,12 @@ func Explain(f func([]float64) []float64, x0 []float64, scale []float64, cfg Con
 			}
 		}
 		X[i] = x
-		Y[i] = append([]float64(nil), f(x)...)
 		W[i] = math.Exp(-dist / (cfg.Kernel * cfg.Kernel * float64(d)))
 	}
+	workers := min(parallel.Workers(cfg.Workers), len(fs))
+	parallel.ForEachWorker(workers, cfg.Samples, func(w, i int) {
+		Y[i] = append([]float64(nil), fs[w](X[i])...)
+	})
 
 	// Weighted ridge regression per output: features are (x−x0) plus an
 	// intercept column.

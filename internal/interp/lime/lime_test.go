@@ -1,0 +1,100 @@
+package lime
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// linearBlackbox is y = [1 + 2x0 − 3x1, −0.5x0].
+func linearBlackbox(x []float64) []float64 {
+	return []float64{1 + 2*x[0] - 3*x[1], -0.5 * x[0]}
+}
+
+func TestExplainRecoversLinearModel(t *testing.T) {
+	m, err := Explain(linearBlackbox, []float64{0.4, -0.2}, nil, Config{Samples: 400, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCoef := [][]float64{{2, -3}, {-0.5, 0}}
+	for out := range wantCoef {
+		for j, want := range wantCoef[out] {
+			if got := m.Coef[out][j]; math.Abs(got-want) > 0.05 {
+				t.Fatalf("coef[%d][%d] = %.3f, want ≈%.3f", out, j, got, want)
+			}
+		}
+	}
+	// The surrogate must be exact at the anchor for a linear blackbox.
+	y0 := linearBlackbox([]float64{0.4, -0.2})
+	pred := m.Predict([]float64{0.4, -0.2})
+	for k := range y0 {
+		if math.Abs(pred[k]-y0[k]) > 0.05 {
+			t.Fatalf("Predict at anchor = %v, want %v", pred, y0)
+		}
+	}
+}
+
+func TestExplainPerFeatureScale(t *testing.T) {
+	// With a zero scale on feature 1, the surrogate never perturbs it and
+	// must attribute nothing to it.
+	m, err := Explain(linearBlackbox, []float64{0, 0}, []float64{0.3, 0}, Config{Samples: 300, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Coef[0][1]) > 1e-6 {
+		t.Fatalf("frozen feature got coefficient %.6f", m.Coef[0][1])
+	}
+	if math.Abs(m.Coef[0][0]-2) > 0.1 {
+		t.Fatalf("live feature coefficient %.3f, want ≈2", m.Coef[0][0])
+	}
+}
+
+// TestExplainWithWorkerCountInvariant: the pooled evaluation path must be
+// bit-identical to the single-instance serial path.
+func TestExplainWithWorkerCountInvariant(t *testing.T) {
+	cfg := Config{Samples: 250, Seed: 9}
+	serial, err := Explain(linearBlackbox, []float64{1, 2}, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	fs := []func([]float64) []float64{linearBlackbox, linearBlackbox, linearBlackbox, linearBlackbox}
+	par, err := ExplainWith(fs, []float64{1, 2}, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("pooled model differs from serial model:\nserial %+v\npar    %+v", serial, par)
+	}
+}
+
+// TestExplainSingleInstanceStaysSerial: Workers>1 with one blackbox must not
+// call it concurrently — detected here by a reentrancy flag.
+func TestExplainSingleInstanceStaysSerial(t *testing.T) {
+	inFlight := 0
+	f := func(x []float64) []float64 {
+		inFlight++
+		if inFlight > 1 {
+			t.Error("single blackbox instance called concurrently")
+		}
+		defer func() { inFlight-- }()
+		return linearBlackbox(x)
+	}
+	if _, err := Explain(f, []float64{0, 0}, nil, Config{Samples: 100, Seed: 3, Workers: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExplainDeterministicAcrossRuns(t *testing.T) {
+	a, err := Explain(linearBlackbox, []float64{0.1, 0.2}, nil, Config{Samples: 120, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Explain(linearBlackbox, []float64{0.1, 0.2}, nil, Config{Samples: 120, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different models")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+
+	"repro/internal/parallel"
 )
 
 // Dataset is a weighted supervised dataset. Exactly one of Y (classification
@@ -60,6 +62,11 @@ type BuildOptions struct {
 	MinImpurityDecrease float64
 	// FeatureNames optionally labels features on the resulting tree.
 	FeatureNames []string
+	// Workers bounds the goroutines used for the per-feature split search
+	// (0 = GOMAXPROCS, 1 = serial). Results are bit-identical for every
+	// worker count: feature scans are independent and the cross-feature
+	// reduction always runs in feature order.
+	Workers int
 }
 
 // nodeStats summarizes the label statistics of an index set.
@@ -126,16 +133,101 @@ type splitCandidate struct {
 	feature   int
 	threshold float64
 	decrease  float64 // weighted impurity decrease (scaled by node weight)
-	leftIdx   []int
-	rightIdx  []int
+}
+
+// nodeSamples is the column-major view of one node's samples: idx lists the
+// members in ascending index order (the order statistics are accumulated
+// in), and orders[f] lists the same members presorted by (X[i][f], i). The
+// root view is sorted once; children inherit sortedness by an O(n) stable
+// partition of the parent's orders, removing the per-node, per-feature
+// sort.Slice (O(nodes·features·n·log n)) the original implementation paid.
+type nodeSamples struct {
+	idx    []int
+	orders [][]int
+}
+
+// smallNode is the node size under which the per-feature fan-out is not
+// worth the goroutine handoff; such nodes are scanned serially. The choice
+// only affects scheduling, never results.
+const smallNode = 256
+
+// effectiveWorkers caps the pool for per-feature work on a node of n samples.
+func effectiveWorkers(workers, n int) int {
+	if n < smallNode {
+		return 1
+	}
+	return workers
+}
+
+// rootSamples builds the presorted column-major view of the full dataset.
+func rootSamples(d *Dataset, numFeatures, workers int) *nodeSamples {
+	n := d.Len()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	ns := &nodeSamples{idx: idx, orders: make([][]int, numFeatures)}
+	parallel.ForEach(effectiveWorkers(workers, n), numFeatures, func(f int) {
+		ord := make([]int, n)
+		copy(ord, idx)
+		sort.Slice(ord, func(a, b int) bool {
+			xa, xb := d.X[ord[a]][f], d.X[ord[b]][f]
+			if xa != xb {
+				return xa < xb
+			}
+			return ord[a] < ord[b]
+		})
+		ns.orders[f] = ord
+	})
+	return ns
+}
+
+// split partitions the view by x[feature] < threshold. Both the index list
+// and every per-feature order are stable-partitioned, so children remain
+// presorted without re-sorting. goesLeft is a dataset-sized scratch buffer
+// (owned by Build, reused across splits) so the predicate is evaluated once
+// per sample rather than once per feature; the concurrent order partitions
+// only read it.
+func (ns *nodeSamples) split(d *Dataset, feature int, threshold float64, goesLeft []bool, workers int) (left, right *nodeSamples) {
+	nl := 0
+	for _, i := range ns.idx {
+		goesLeft[i] = d.X[i][feature] < threshold
+		if goesLeft[i] {
+			nl++
+		}
+	}
+	nr := len(ns.idx) - nl
+	left = &nodeSamples{idx: make([]int, 0, nl), orders: make([][]int, len(ns.orders))}
+	right = &nodeSamples{idx: make([]int, 0, nr), orders: make([][]int, len(ns.orders))}
+	for _, i := range ns.idx {
+		if goesLeft[i] {
+			left.idx = append(left.idx, i)
+		} else {
+			right.idx = append(right.idx, i)
+		}
+	}
+	parallel.ForEach(effectiveWorkers(workers, len(ns.idx)), len(ns.orders), func(f int) {
+		lo := make([]int, 0, nl)
+		ro := make([]int, 0, nr)
+		for _, i := range ns.orders[f] {
+			if goesLeft[i] {
+				lo = append(lo, i)
+			} else {
+				ro = append(ro, i)
+			}
+		}
+		left.orders[f] = lo
+		right.orders[f] = ro
+	})
+	return left, right
 }
 
 // growItem is a heap entry for best-first expansion.
 type growItem struct {
-	node  *Node
-	idx   []int
-	cand  *splitCandidate
-	index int
+	node    *Node
+	samples *nodeSamples
+	cand    *splitCandidate
+	index   int
 }
 
 type growHeap []*growItem
@@ -171,6 +263,7 @@ func Build(d *Dataset, opts BuildOptions) (*Tree, error) {
 	if opts.MinSamplesLeaf <= 0 {
 		opts.MinSamplesLeaf = 1
 	}
+	workers := parallel.Workers(opts.Workers)
 	numClasses := 0
 	dims := 0
 	if d.isRegression() {
@@ -190,30 +283,29 @@ func Build(d *Dataset, opts BuildOptions) (*Tree, error) {
 		NumClasses:   numClasses,
 		FeatureNames: opts.FeatureNames,
 	}
-	all := make([]int, d.Len())
-	for i := range all {
-		all[i] = i
-	}
-	t.Root = makeLeaf(d, all, numClasses, dims)
+	root := rootSamples(d, len(d.X[0]), workers)
+	t.Root = makeLeaf(d, root.idx, numClasses, dims)
 
 	h := &growHeap{}
-	if cand := bestSplit(d, all, numClasses, dims, opts); cand != nil {
-		heap.Push(h, &growItem{node: t.Root, idx: all, cand: cand})
+	if cand := bestSplit(d, root, numClasses, dims, opts, workers); cand != nil {
+		heap.Push(h, &growItem{node: t.Root, samples: root, cand: cand})
 	}
 	leaves := 1
+	goesLeft := make([]bool, d.Len())
 	for h.Len() > 0 && (opts.MaxLeaves <= 0 || leaves < opts.MaxLeaves) {
 		it := heap.Pop(h).(*growItem)
 		n, cand := it.node, it.cand
+		left, right := it.samples.split(d, cand.feature, cand.threshold, goesLeft, workers)
 		n.Feature = cand.feature
 		n.Threshold = cand.threshold
-		n.Left = makeLeaf(d, cand.leftIdx, numClasses, dims)
-		n.Right = makeLeaf(d, cand.rightIdx, numClasses, dims)
+		n.Left = makeLeaf(d, left.idx, numClasses, dims)
+		n.Right = makeLeaf(d, right.idx, numClasses, dims)
 		leaves++
-		if lc := bestSplit(d, cand.leftIdx, numClasses, dims, opts); lc != nil {
-			heap.Push(h, &growItem{node: n.Left, idx: cand.leftIdx, cand: lc})
+		if lc := bestSplit(d, left, numClasses, dims, opts, workers); lc != nil {
+			heap.Push(h, &growItem{node: n.Left, samples: left, cand: lc})
 		}
-		if rc := bestSplit(d, cand.rightIdx, numClasses, dims, opts); rc != nil {
-			heap.Push(h, &growItem{node: n.Right, idx: cand.rightIdx, cand: rc})
+		if rc := bestSplit(d, right, numClasses, dims, opts, workers); rc != nil {
+			heap.Push(h, &growItem{node: n.Right, samples: right, cand: rc})
 		}
 	}
 	return t, nil
@@ -244,42 +336,37 @@ func makeLeaf(d *Dataset, idx []int, numClasses, dims int) *Node {
 }
 
 // bestSplit searches all features for the split with maximum weighted
-// impurity decrease, or nil if no admissible split exists.
-func bestSplit(d *Dataset, idx []int, numClasses, dims int, opts BuildOptions) *splitCandidate {
-	if len(idx) < 2 {
+// impurity decrease, or nil if no admissible split exists. Features are
+// scanned concurrently (each over its presorted order); the winner is
+// reduced in feature order with a strict comparison, matching the serial
+// scan's tie-breaking exactly.
+func bestSplit(d *Dataset, ns *nodeSamples, numClasses, dims int, opts BuildOptions, workers int) *splitCandidate {
+	if len(ns.idx) < 2 {
 		return nil
 	}
 	var parent nodeStats
 	if d.isRegression() {
-		parent = regStats(d, idx, dims)
+		parent = regStats(d, ns.idx, dims)
 	} else {
-		parent = classStats(d, idx, numClasses)
+		parent = classStats(d, ns.idx, numClasses)
 	}
 	if parent.impurity <= 1e-12 {
 		return nil
 	}
-	numFeatures := len(d.X[0])
-	order := make([]int, len(idx))
-
-	var best *splitCandidate
-	for f := 0; f < numFeatures; f++ {
-		copy(order, idx)
-		sort.Slice(order, func(a, b int) bool { return d.X[order[a]][f] < d.X[order[b]][f] })
-
+	cands := make([]*splitCandidate, len(ns.orders))
+	parallel.ForEach(effectiveWorkers(workers, len(ns.idx)), len(ns.orders), func(f int) {
+		var best *splitCandidate
 		if d.isRegression() {
-			scanRegression(d, order, f, dims, parent, opts, &best)
+			scanRegression(d, ns.orders[f], f, dims, parent, opts, &best)
 		} else {
-			scanClassification(d, order, f, numClasses, parent, opts, &best)
+			scanClassification(d, ns.orders[f], f, numClasses, parent, opts, &best)
 		}
-	}
-	if best != nil {
-		// Materialize the index partition once, for the winning split only.
-		for _, i := range idx {
-			if d.X[i][best.feature] < best.threshold {
-				best.leftIdx = append(best.leftIdx, i)
-			} else {
-				best.rightIdx = append(best.rightIdx, i)
-			}
+		cands[f] = best
+	})
+	var best *splitCandidate
+	for _, c := range cands {
+		if c != nil && (best == nil || c.decrease > best.decrease) {
+			best = c
 		}
 	}
 	return best
@@ -287,6 +374,7 @@ func bestSplit(d *Dataset, idx []int, numClasses, dims int, opts BuildOptions) *
 
 func scanClassification(d *Dataset, order []int, f, numClasses int, parent nodeStats, opts BuildOptions, best **splitCandidate) {
 	leftDist := make([]float64, numClasses)
+	rightDist := make([]float64, numClasses)
 	leftW := 0.0
 	for pos := 0; pos < len(order)-1; pos++ {
 		i := order[pos]
@@ -301,7 +389,6 @@ func scanClassification(d *Dataset, order []int, f, numClasses int, parent nodeS
 		if leftW < opts.MinSamplesLeaf || rightW < opts.MinSamplesLeaf {
 			continue
 		}
-		rightDist := make([]float64, numClasses)
 		for c := range rightDist {
 			rightDist[c] = parent.dist[c] - leftDist[c]
 		}
@@ -321,6 +408,8 @@ func scanRegression(d *Dataset, order []int, f, dims int, parent nodeStats, opts
 	leftSq := make([]float64, dims)
 	totSum := make([]float64, dims)
 	totSq := make([]float64, dims)
+	rightSum := make([]float64, dims)
+	rightSq := make([]float64, dims)
 	for _, i := range order {
 		w := d.weight(i)
 		for k, v := range d.YReg[i] {
@@ -355,8 +444,6 @@ func scanRegression(d *Dataset, order []int, f, dims int, parent nodeStats, opts
 		if leftW < opts.MinSamplesLeaf || rightW < opts.MinSamplesLeaf {
 			continue
 		}
-		rightSum := make([]float64, dims)
-		rightSq := make([]float64, dims)
 		for k := range rightSum {
 			rightSum[k] = totSum[k] - leftSum[k]
 			rightSq[k] = totSq[k] - leftSq[k]

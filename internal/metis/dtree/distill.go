@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/parallel"
 	"repro/internal/rl"
 )
 
@@ -39,6 +40,14 @@ type DistillConfig struct {
 	FeatureNames []string
 	// Seed drives all stochasticity.
 	Seed int64
+	// Workers bounds the goroutines used for DAgger episode collection and
+	// CART fitting (0 = GOMAXPROCS, 1 = serial). Episode rollouts fan out
+	// only when the environment implements rl.ClonableEnv and the teacher
+	// implements rl.ClonablePolicy; otherwise collection stays serial and
+	// only the tree fit parallelizes. Results are bit-identical for every
+	// worker count: each episode is seeded independently and samples are
+	// aggregated in episode order.
+	Workers int
 }
 
 func (c *DistillConfig) defaults() {
@@ -83,6 +92,80 @@ type DistillResult struct {
 	Dataset *Dataset
 }
 
+// rolloutCtx is the per-worker state for DAgger episode collection: an
+// environment instance and a teacher (plus its Q estimator) that are never
+// shared across goroutines.
+type rolloutCtx struct {
+	env     rl.Env
+	teacher rl.Policy
+	q       *rl.QEstimator
+}
+
+// episodeSamples is one episode's collected (state, label, weight) triples.
+type episodeSamples struct {
+	X [][]float64
+	Y []int
+	W []float64
+}
+
+// collectEpisode rolls one seeded episode: the teacher labels every state,
+// and after round 0 the student controls the rollout (DAgger) so the tree
+// visits its own induced state distribution while the teacher provides
+// corrective labels.
+func collectEpisode(c *rolloutCtx, student *Tree, iter int, seed int64, cfg DistillConfig) episodeSamples {
+	var out episodeSamples
+	s := c.env.Reset(seed)
+	for step := 0; step < cfg.MaxSteps; step++ {
+		label := rl.Greedy(c.teacher, s)
+		w := 1.0
+		if c.q != nil {
+			w = c.q.Weight(c.env)
+		}
+		out.X = append(out.X, append([]float64(nil), s...))
+		out.Y = append(out.Y, label)
+		out.W = append(out.W, w)
+
+		act := label
+		if iter > 0 && student != nil {
+			act = student.Predict(s)
+		}
+		next, _, done := c.env.Step(act)
+		if done {
+			break
+		}
+		s = next
+	}
+	return out
+}
+
+// rolloutPool builds one rolloutCtx per worker. Worker 0 always owns the
+// caller's env/teacher; extra workers exist only when both the environment
+// and the teacher can be cloned, so parallel collection is safe by
+// construction and silently degrades to serial otherwise.
+func rolloutPool(env rl.Env, teacher rl.Policy, q *rl.QEstimator, cfg DistillConfig) []*rolloutCtx {
+	workers := parallel.Workers(cfg.Workers)
+	if workers > cfg.EpisodesPerIter {
+		workers = cfg.EpisodesPerIter
+	}
+	orig := &rolloutCtx{env: env, teacher: teacher, q: q}
+	if workers <= 1 {
+		return []*rolloutCtx{orig}
+	}
+	ce, okEnv := env.(rl.ClonableEnv)
+	cp, okPol := teacher.(rl.ClonablePolicy)
+	if !okEnv || !okPol {
+		return []*rolloutCtx{orig}
+	}
+	return parallel.Pool(orig, workers, func() *rolloutCtx {
+		wTeacher := cp.ClonePolicy()
+		ctx := &rolloutCtx{env: ce.CloneEnv(), teacher: wTeacher}
+		if q != nil {
+			ctx.q = &rl.QEstimator{Policy: wTeacher, Gamma: cfg.Gamma, Horizon: cfg.QHorizon}
+		}
+		return ctx
+	})
+}
+
 // DistillPolicy converts a discrete-action teacher policy into a decision
 // tree by the paper's four-step recipe: trajectory collection with DAgger
 // takeover, advantage resampling, CART fitting, and CCP pruning.
@@ -99,42 +182,31 @@ func DistillPolicy(env rl.Env, teacher rl.Policy, cfg DistillConfig) (*DistillRe
 		q = &rl.QEstimator{Policy: teacher, Gamma: cfg.Gamma, Horizon: cfg.QHorizon}
 	}
 
+	pool := rolloutPool(env, teacher, q, cfg)
 	ds := &Dataset{}
 	var student *Tree
 
 	for iter := 0; iter < cfg.Iterations; iter++ {
-		for ep := 0; ep < cfg.EpisodesPerIter; ep++ {
+		// Episodes are independent given the (fixed) student of this round
+		// and their per-episode seed, so they fan out across the pool; the
+		// ordered append below keeps the aggregated dataset identical to a
+		// serial run.
+		episodes := make([]episodeSamples, cfg.EpisodesPerIter)
+		parallel.ForEachWorker(len(pool), cfg.EpisodesPerIter, func(w, ep int) {
 			seed := cfg.Seed + int64(iter*cfg.EpisodesPerIter+ep)
-			s := env.Reset(seed)
-			for step := 0; step < cfg.MaxSteps; step++ {
-				label := rl.Greedy(teacher, s)
-				w := 1.0
-				if q != nil {
-					w = q.Weight(env)
-				}
-				ds.X = append(ds.X, append([]float64(nil), s...))
-				ds.Y = append(ds.Y, label)
-				ds.W = append(ds.W, w)
-
-				// Student controls the rollout after round 0 (DAgger): the
-				// tree visits its own induced state distribution while the
-				// teacher provides corrective labels.
-				act := label
-				if iter > 0 && student != nil {
-					act = student.Predict(s)
-				}
-				next, _, done := env.Step(act)
-				if done {
-					break
-				}
-				s = next
-			}
+			episodes[ep] = collectEpisode(pool[w], student, iter, seed, cfg)
+		})
+		for _, e := range episodes {
+			ds.X = append(ds.X, e.X...)
+			ds.Y = append(ds.Y, e.Y...)
+			ds.W = append(ds.W, e.W...)
 		}
 		fit := fittingCopy(ds, cfg.Oversample)
 		grown, err := Build(fit, BuildOptions{
 			MaxLeaves:      cfg.MaxLeaves * cfg.GrowFactor,
 			MinSamplesLeaf: cfg.MinSamplesLeaf,
 			FeatureNames:   cfg.FeatureNames,
+			Workers:        cfg.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -147,6 +219,7 @@ func DistillPolicy(env rl.Env, teacher rl.Policy, cfg DistillConfig) (*DistillRe
 		MaxLeaves:      cfg.MaxLeaves * cfg.GrowFactor,
 		MinSamplesLeaf: cfg.MinSamplesLeaf,
 		FeatureNames:   cfg.FeatureNames,
+		Workers:        cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -272,6 +345,7 @@ func FitDataset(ds *Dataset, cfg DistillConfig) (*Tree, error) {
 		MaxLeaves:      cfg.MaxLeaves * cfg.GrowFactor,
 		MinSamplesLeaf: cfg.MinSamplesLeaf,
 		FeatureNames:   cfg.FeatureNames,
+		Workers:        cfg.Workers,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,155 @@
+package dtree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/rl"
+)
+
+// CloneEnv makes the toy env usable for parallel DAgger collection: episodes
+// are fully determined by Reset's seed, so a zero-value clone reproduces the
+// original seed-for-seed.
+func (e *lineEnv) CloneEnv() rl.Env { return &lineEnv{} }
+
+// ClonePolicy: the threshold teacher is stateless, so it is its own clone.
+func (p thresholdPolicy) ClonePolicy() rl.Policy { return p }
+
+// synthDataset builds a deterministic mixed-difficulty dataset with repeated
+// feature values (exercising the equal-value skip in the scans) and
+// non-uniform weights.
+func synthDataset(n, features int, seed int64, regression bool) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := &Dataset{X: make([][]float64, n), W: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		x := make([]float64, features)
+		for j := range x {
+			// Quantize to force ties within feature columns.
+			x[j] = float64(rng.Intn(13)) / 13
+		}
+		ds.X[i] = x
+		ds.W[i] = 0.5 + rng.Float64()
+	}
+	if regression {
+		ds.YReg = make([][]float64, n)
+		for i := range ds.YReg {
+			v := ds.X[i][0]*2 - ds.X[i][1] + 0.05*rng.NormFloat64()
+			ds.YReg[i] = []float64{v, -v}
+		}
+	} else {
+		ds.Y = make([]int, n)
+		for i := range ds.Y {
+			c := 0
+			if ds.X[i][0] > 0.5 {
+				c = 1
+			}
+			if ds.X[i][1] > 0.7 {
+				c = 2
+			}
+			if rng.Float64() < 0.05 {
+				c = rng.Intn(3)
+			}
+			ds.Y[i] = c
+		}
+	}
+	return ds
+}
+
+// TestBuildWorkerCountInvariant is the core determinism regression test for
+// the parallel split search: growing with 4 workers must produce a tree
+// bit-identical to the serial build, for classification and regression.
+func TestBuildWorkerCountInvariant(t *testing.T) {
+	for _, regression := range []bool{false, true} {
+		ds := synthDataset(900, 6, 11, regression)
+		opts := BuildOptions{MaxLeaves: 64, MinSamplesLeaf: 2}
+		opts.Workers = 1
+		serial, err := Build(ds, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Workers = 4
+		par, err := Build(ds, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("regression=%v: Workers=4 tree differs from Workers=1 tree", regression)
+		}
+	}
+}
+
+// TestDistillWorkerCountInvariant checks the full pipeline: DAgger rollouts
+// (with Equation 1 resampling, exercising per-worker env clones and Q
+// estimation), CART fits, and pruning must be bit-identical at any worker
+// count.
+func TestDistillWorkerCountInvariant(t *testing.T) {
+	cfg := DistillConfig{
+		MaxLeaves: 16, Iterations: 2, EpisodesPerIter: 12, MaxSteps: 30,
+		Resample: true, QHorizon: 4, Seed: 5,
+	}
+	cfg.Workers = 1
+	serial, err := DistillPolicy(&lineEnv{}, thresholdPolicy{actions: 4}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	par, err := DistillPolicy(&lineEnv{}, thresholdPolicy{actions: 4}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Tree, par.Tree) {
+		t.Fatal("Workers=4 distilled tree differs from Workers=1")
+	}
+	if serial.Fidelity != par.Fidelity || serial.DatasetSize != par.DatasetSize {
+		t.Fatalf("metrics differ: fidelity %v vs %v, size %d vs %d",
+			serial.Fidelity, par.Fidelity, serial.DatasetSize, par.DatasetSize)
+	}
+	if !reflect.DeepEqual(serial.Dataset, par.Dataset) {
+		t.Fatal("aggregated DAgger datasets differ across worker counts")
+	}
+}
+
+// opaquePolicy wraps the threshold teacher without promoting ClonePolicy,
+// modelling a teacher that cannot be cloned: parallel-configured
+// distillation must degrade to serial collection, not break.
+type opaquePolicy struct{ inner thresholdPolicy }
+
+func (p opaquePolicy) ActionProbs(s []float64) []float64 { return p.inner.ActionProbs(s) }
+
+func TestDistillNonClonableFallsBack(t *testing.T) {
+	cfg := DistillConfig{
+		MaxLeaves: 8, Iterations: 1, EpisodesPerIter: 6, MaxSteps: 20, Seed: 2,
+		Workers: 4,
+	}
+	res, err := DistillPolicy(&lineEnv{}, opaquePolicy{thresholdPolicy{actions: 3}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 1
+	serial, err := DistillPolicy(&lineEnv{}, opaquePolicy{thresholdPolicy{actions: 3}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Tree, res.Tree) {
+		t.Fatal("fallback-serial result differs from explicit serial result")
+	}
+}
+
+// TestBuildWorkerCountInvariantUnweighted covers the uniform-weight path
+// (W nil), which takes different accumulation branches.
+func TestBuildWorkerCountInvariantUnweighted(t *testing.T) {
+	ds := synthDataset(600, 5, 19, false)
+	ds.W = nil
+	serial, err := Build(ds, BuildOptions{MaxLeaves: 40, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Build(ds, BuildOptions{MaxLeaves: 40, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("unweighted Workers=4 tree differs from Workers=1 tree")
+	}
+}

@@ -17,6 +17,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"repro/internal/parallel"
 )
 
 // System is a global networking system whose output can be recomputed under
@@ -30,6 +32,17 @@ type System interface {
 	// Discrete reports whether outputs are probability-like (KL divergence)
 	// rather than continuous values (MSE).
 	Discrete() bool
+}
+
+// ClonableSystem is implemented by systems that can produce independent
+// instances of themselves, enabling concurrent SPSA evaluations (a single
+// instance is typically unsafe to query from two goroutines because model
+// forward passes reuse scratch state). A clone must compute identical
+// outputs to the original for identical masks.
+type ClonableSystem interface {
+	System
+	// CloneSystem returns an independent, behaviorally identical system.
+	CloneSystem() System
 }
 
 // Options configures the search.
@@ -53,6 +66,13 @@ type Options struct {
 	InitLogit float64
 	// Seed drives the SPSA perturbations.
 	Seed int64
+	// Workers bounds the goroutines used to evaluate the SPSA perturbation
+	// pairs (0 = GOMAXPROCS, 1 = serial). Parallel evaluation requires the
+	// system to implement ClonableSystem; otherwise the search stays
+	// serial. Results are bit-identical for every worker count: the
+	// perturbation signs are drawn up front from the seeded stream and the
+	// gradient is reduced in sample order.
+	Workers int
 }
 
 func (o *Options) defaults() {
@@ -124,11 +144,26 @@ func divergence(yI, yW []float64, discrete bool) float64 {
 	return d
 }
 
+// evalPool builds one System instance per worker for concurrent SPSA
+// evaluation. Worker 0 always owns the caller's system; extra workers exist
+// only when the system can be cloned, so parallel evaluation is safe by
+// construction and silently degrades to serial otherwise.
+func evalPool(sys System, workers int) []System {
+	cs, ok := sys.(ClonableSystem)
+	if !ok || workers <= 1 {
+		return []System{sys}
+	}
+	return parallel.Pool(sys, workers, cs.CloneSystem)
+}
+
 // Search runs the critical-connection optimization and returns the mask.
 func Search(sys System, opts Options) *Result {
 	opts.defaults()
 	n := sys.NumConnections()
 	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// 2 evaluations (W′+cΔ, W′−cΔ) per SPSA sample per iteration.
+	pool := evalPool(sys, min(parallel.Workers(opts.Workers), 2*opts.SPSASamples))
 
 	ones := make([]float64, n)
 	for i := range ones {
@@ -141,43 +176,57 @@ func Search(sys System, opts Options) *Result {
 		logits[i] = opts.InitLogit
 	}
 
-	taskLoss := func(lg []float64) float64 {
+	taskLossOn := func(s System, lg []float64) float64 {
 		w := make([]float64, n)
 		for i, v := range lg {
 			w[i] = sigmoid(v)
 		}
-		return divergence(yI, sys.Output(w), sys.Discrete())
+		return divergence(yI, s.Output(w), s.Discrete())
 	}
+	taskLoss := func(lg []float64) float64 { return taskLossOn(sys, lg) }
 
 	// Adam state.
 	m := make([]float64, n)
 	v := make([]float64, n)
 	res := &Result{}
 	grad := make([]float64, n)
-	pl := make([]float64, n)
-	mi := make([]float64, n)
+	plus := make([][]bool, opts.SPSASamples)
+	for s := range plus {
+		plus[s] = make([]bool, n)
+	}
+	losses := make([]float64, 2*opts.SPSASamples)
 
 	for it := 1; it <= opts.Iterations; it++ {
 		for i := range grad {
 			grad[i] = 0
 		}
-		// SPSA estimate of dD/dW′.
-		for s := 0; s < opts.SPSASamples; s++ {
-			for i := range pl {
-				if rng.Intn(2) == 0 {
-					pl[i] = logits[i] + opts.Perturbation
-					mi[i] = logits[i] - opts.Perturbation
-				} else {
-					pl[i] = logits[i] - opts.Perturbation
-					mi[i] = logits[i] + opts.Perturbation
-				}
+		// SPSA estimate of dD/dW′. The Rademacher sign vectors for every
+		// sample are drawn up front (the same stream order as a serial
+		// draw-then-evaluate loop, since evaluations consume no
+		// randomness), which frees the 2·SPSASamples blackbox evaluations
+		// — the expensive part — to run concurrently across the pool.
+		for s := range plus {
+			for i := range plus[s] {
+				plus[s][i] = rng.Intn(2) == 0
 			}
-			dp := taskLoss(pl)
-			dm := taskLoss(mi)
-			diff := (dp - dm) / (2 * opts.Perturbation)
+		}
+		parallel.ForEachWorker(len(pool), 2*opts.SPSASamples, func(w, t int) {
+			s, flip := t/2, t%2 == 1
+			lg := make([]float64, n)
+			for i := range lg {
+				delta := opts.Perturbation
+				if plus[s][i] == flip {
+					delta = -delta
+				}
+				lg[i] = logits[i] + delta
+			}
+			losses[t] = taskLossOn(pool[w], lg)
+		})
+		for s := 0; s < opts.SPSASamples; s++ {
+			diff := (losses[2*s] - losses[2*s+1]) / (2 * opts.Perturbation)
 			for i := range grad {
 				sign := 1.0
-				if pl[i] < logits[i] {
+				if !plus[s][i] {
 					sign = -1
 				}
 				grad[i] += diff * sign / float64(opts.SPSASamples)

@@ -1,0 +1,100 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got < 1 {
+		t.Fatalf("Workers(0) = %d, want ≥1", got)
+	}
+	if got := Workers(-5); got < 1 {
+		t.Fatalf("Workers(-5) = %d, want ≥1", got)
+	}
+}
+
+func TestForEachCoversEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 1000
+		counts := make([]int32, n)
+		ForEach(workers, n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroTasks(t *testing.T) {
+	ran := false
+	ForEach(4, 0, func(int) { ran = true })
+	if ran {
+		t.Fatal("fn ran for n=0")
+	}
+}
+
+func TestForEachWorkerIDsInRange(t *testing.T) {
+	const workers, n = 4, 200
+	var bad atomic.Int32
+	ForEachWorker(workers, n, func(w, i int) {
+		if w < 0 || w >= workers {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatalf("%d tasks saw out-of-range worker ids", bad.Load())
+	}
+}
+
+func TestForEachWorkerSerialUsesWorkerZero(t *testing.T) {
+	// workers > n degenerates to n workers; n == 1 must run inline as
+	// worker 0 so callers can hand it their non-cloned resources.
+	ForEachWorker(8, 1, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("serial task ran as worker %d", w)
+		}
+	})
+}
+
+func TestForEachPropagatesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic not propagated")
+		}
+	}()
+	ForEach(4, 100, func(i int) {
+		if i == 37 {
+			panic("boom")
+		}
+	})
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	got := Map(8, 100, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("Map[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestSplitSeedDeterministicAndSpread(t *testing.T) {
+	if SplitSeed(42, 7) != SplitSeed(42, 7) {
+		t.Fatal("SplitSeed not deterministic")
+	}
+	seen := map[int64]bool{}
+	for task := 0; task < 1000; task++ {
+		seen[SplitSeed(42, task)] = true
+	}
+	if len(seen) != 1000 {
+		t.Fatalf("only %d distinct seeds from 1000 tasks", len(seen))
+	}
+	if SplitSeed(1, 0) == SplitSeed(2, 0) {
+		t.Fatal("different bases map to the same seed")
+	}
+}

@@ -63,6 +63,16 @@ func TrainStandard(a *Agent, env *abr.Env, scale float64, seed int64) {
 	}
 }
 
+// Clone returns an independent copy of the agent (weights copied, scratch
+// state fresh) that can act concurrently with the original.
+func (a *Agent) Clone() *Agent {
+	return &Agent{A2C: a.A2C.Clone(), Modified: a.Modified}
+}
+
+// ClonePolicy implements rl.ClonablePolicy, overriding the embedded A2C
+// method so the clone keeps its Pensieve identity.
+func (a *Agent) ClonePolicy() rl.Policy { return a.Clone() }
+
 // Act returns the greedy bitrate decision for a flattened ABR state.
 func (a *Agent) Act(state []float64) int { return rl.Greedy(a, state) }
 

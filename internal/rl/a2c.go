@@ -58,6 +58,24 @@ func (t *A2C) ActionProbs(s []float64) []float64 {
 // Value returns the critic's estimate V(s).
 func (t *A2C) Value(s []float64) float64 { return t.Critic.Forward(s)[0] }
 
+// Clone returns a deep copy of the trainer with identical weights and
+// hyperparameters but fresh optimizer state and scratch buffers, so the copy
+// can act concurrently with the original.
+func (t *A2C) Clone() *A2C {
+	return &A2C{
+		Actor:         t.Actor.Clone(),
+		Critic:        t.Critic.Clone(),
+		Gamma:         t.Gamma,
+		EntropyWeight: t.EntropyWeight,
+		ActorLR:       t.ActorLR,
+		CriticLR:      t.CriticLR,
+		BatchEpisodes: t.BatchEpisodes,
+	}
+}
+
+// ClonePolicy implements ClonablePolicy.
+func (t *A2C) ClonePolicy() Policy { return t.Clone() }
+
 // transition is one step of an episode.
 type transition struct {
 	state  []float64

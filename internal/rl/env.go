@@ -30,11 +30,34 @@ type Snapshotter interface {
 	Restore(snapshot any)
 }
 
+// ClonableEnv is implemented by environments that can produce independent
+// instances of themselves, enabling parallel trajectory collection. A clone
+// shares immutable configuration (videos, traces, topologies) but no mutable
+// playback state: clone.Reset(seed) must reproduce exactly the episode the
+// original would produce for the same seed.
+type ClonableEnv interface {
+	Env
+	// CloneEnv returns an independent environment with identical
+	// configuration.
+	CloneEnv() Env
+}
+
 // Policy maps a state to a categorical distribution over actions.
 type Policy interface {
 	// ActionProbs returns the probability of each action in state s. The
 	// returned slice may be reused by subsequent calls.
 	ActionProbs(s []float64) []float64
+}
+
+// ClonablePolicy is implemented by policies that can produce independent
+// copies of themselves for concurrent evaluation (network forward passes
+// reuse per-instance scratch buffers, so a single instance must never be
+// queried from two goroutines). A clone must compute identical action
+// probabilities to the original.
+type ClonablePolicy interface {
+	Policy
+	// ClonePolicy returns an independent, behaviorally identical policy.
+	ClonePolicy() Policy
 }
 
 // Greedy returns the argmax action of p in state s.

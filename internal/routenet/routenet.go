@@ -49,6 +49,19 @@ func NewModel(seed int64) *Model {
 	}
 }
 
+// Clone returns a deep copy of the model. Forward passes reuse per-network
+// scratch buffers, so concurrent mask evaluations each need their own copy.
+func (m *Model) Clone() *Model {
+	return &Model{
+		LinkInit: m.LinkInit.Clone(),
+		PathInit: m.PathInit.Clone(),
+		PathUpd:  m.PathUpd.Clone(),
+		Message:  m.Message.Clone(),
+		LinkUpd:  m.LinkUpd.Clone(),
+		Readout:  m.Readout.Clone(),
+	}
+}
+
 // Params returns all trainable parameters as one flat set.
 func (m *Model) Params() []nn.Param {
 	var ps []nn.Param

@@ -7,6 +7,7 @@ package topo
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Link is a directed link between two nodes.
@@ -18,13 +19,15 @@ type Link struct {
 }
 
 // Graph is a directed graph with capacitated links. Graphs are intended to
-// be built once and then read concurrently; the candidate-path cache is not
-// safe for concurrent first-time queries.
+// be built once and then read concurrently: the candidate-path cache is
+// guarded by a lock, so CandidatePaths may be called from multiple
+// goroutines (mutation via AddBidirectional remains single-threaded setup).
 type Graph struct {
 	NumNodes int
 	Links    []Link
 
 	out       map[int][]int // node → outgoing link IDs
+	pathMu    sync.RWMutex
 	pathCache map[[3]int][]Path
 }
 
@@ -118,11 +121,16 @@ func (g *Graph) ShortestHops(src, dst int) int {
 // This is the candidate rule used in §6.5 (extraHops=1).
 func (g *Graph) CandidatePaths(src, dst, extraHops int) []Path {
 	key := [3]int{src, dst, extraHops}
-	if cached, ok := g.pathCache[key]; ok {
+	g.pathMu.RLock()
+	cached, ok := g.pathCache[key]
+	g.pathMu.RUnlock()
+	if ok {
 		return cached
 	}
 	paths := g.candidatePathsUncached(src, dst, extraHops)
+	g.pathMu.Lock()
 	g.pathCache[key] = paths
+	g.pathMu.Unlock()
 	return paths
 }
 

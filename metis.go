@@ -20,6 +20,14 @@
 // teacher systems, their simulated environments, interpretation baselines
 // (LIME, LEMNA), and a harness that regenerates every table and figure
 // (internal/experiments, driven by cmd/metis-exp).
+//
+// Every compute-heavy stage — CART split search and DAgger rollout
+// collection in Distill, the SPSA evaluations in CriticalConnections, and
+// the interpretation baselines — runs on the shared worker-pool layer in
+// internal/parallel. The Workers field on DistillConfig and MaskOptions
+// selects the parallelism (0 = all cores, 1 = serial); results are
+// bit-identical for every worker count, so parallelism never changes a
+// figure or table.
 package metis
 
 import (

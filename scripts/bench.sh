@@ -1,0 +1,46 @@
+#!/usr/bin/env sh
+# Runs the headline figure/table benchmarks and appends a dated JSON record
+# (BENCH_<date>.json) so the performance trajectory is tracked across PRs.
+#
+# Usage: ./scripts/bench.sh [benchtime] [extra go test args...]
+#   benchtime defaults to 3x (each bench runs 3 iterations).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-3x}"
+[ $# -gt 0 ] && shift
+
+BENCHES='BenchmarkFig07DecisionTree|BenchmarkMaskSearch$|BenchmarkMaskSearchSerial|BenchmarkCARTBuild|BenchmarkExtractionOverhead|BenchmarkFig27InterpBaselines|BenchmarkTreeDecision|BenchmarkDNNDecision'
+DATE="$(date +%Y-%m-%d)"
+OUT="BENCH_${DATE}.json"
+# Never clobber an earlier record (e.g. a same-day before/after pair):
+# fall back to a timestamped name.
+[ -e "$OUT" ] && OUT="BENCH_${DATE}_$(date +%H%M%S).json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "running benchmarks (benchtime=${BENCHTIME})…" >&2
+go test -run '^$' -bench "$BENCHES" -benchtime "$BENCHTIME" -timeout 3600s "$@" . | tee "$RAW" >&2
+
+# Convert `BenchmarkName  N  T ns/op  [extra metrics]` lines to JSON.
+{
+  printf '{\n  "date": "%s",\n  "go": "%s",\n  "benchtime": "%s",\n  "results": [\n' \
+    "$DATE" "$(go env GOVERSION)" "$BENCHTIME"
+  awk '
+    /^Benchmark/ {
+      name=$1; iters=$2; ns=$3
+      extras=""
+      for (i = 5; i + 1 <= NF; i += 2) {
+        gsub(/"/, "", $(i+1))
+        extras = extras sprintf(", \"%s\": %s", $(i+1), $i)
+      }
+      if (count++) printf ",\n"
+      printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s%s}", name, iters, ns, extras
+    }
+    END { printf "\n" }
+  ' "$RAW"
+  printf '  ]\n}\n'
+} > "$OUT"
+
+echo "wrote $OUT" >&2
