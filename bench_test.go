@@ -8,16 +8,25 @@
 package metis
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
 	"sync"
 	"testing"
 
 	"repro/internal/abr"
+	"repro/internal/artifact"
 	"repro/internal/dcn"
 	"repro/internal/experiments"
 	"repro/internal/metis/dtree"
 	"repro/internal/metis/mask"
 	"repro/internal/routenet"
 	"repro/internal/routing"
+	"repro/internal/serve"
 )
 
 var (
@@ -280,6 +289,81 @@ func BenchmarkPensieveTreeDecision(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tree.Predict(state)
 	}
+}
+
+// lrlaBatch builds a batch of plausible long-flow states for the serving
+// benchmarks.
+func lrlaBatch(n int) [][]float64 {
+	rng := rand.New(rand.NewSource(515))
+	X := make([][]float64, n)
+	for i := range X {
+		x := make([]float64, dcn.LongFlowStateDim)
+		for k := range x {
+			x[k] = rng.Float64() * 8
+		}
+		X[i] = x
+	}
+	return X
+}
+
+// BenchmarkCompiledPredictBatch measures the serving hot path: batched
+// lock-free inference on the compiled lRLA tree across the worker pool.
+// The headline metric is predictions per second.
+func BenchmarkCompiledPredictBatch(b *testing.B) {
+	_, _, tree, _ := fixture().AuTo()
+	compiled, err := tree.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	X := lrlaBatch(16384)
+	for _, workers := range []int{1, 0} {
+		name := "serial"
+		if workers == 0 {
+			name = "allcores"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				compiled.PredictBatch(X, workers)
+			}
+			b.ReportMetric(float64(len(X))*float64(b.N)/b.Elapsed().Seconds(), "preds/s")
+		})
+	}
+}
+
+// BenchmarkServePredictBatch measures end-to-end serving throughput: a JSON
+// batch request through the metis-serve HTTP handler, including decode,
+// registry lookup, compiled-tree inference, and response encode.
+func BenchmarkServePredictBatch(b *testing.B) {
+	_, _, tree, _ := fixture().AuTo()
+	dir := b.TempDir()
+	if err := artifact.SaveModel(filepath.Join(dir, "dcn.metis"), tree, map[string]string{"name": "dcn"}); err != nil {
+		b.Fatal(err)
+	}
+	s, err := serve.LoadDir(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const batch = 512
+	payload, err := json.Marshal(map[string]any{"model": "dcn", "xs": lrlaBatch(batch)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "preds/s")
 }
 
 // BenchmarkModelFootprint reports serialized sizes (Fig. 17b).

@@ -2,14 +2,18 @@
 // train a Pensieve teacher on synthetic HSDPA-like traces, distill it into a
 // decision tree with Metis, print the interpretable rules, and compare QoE
 // against the classic ABR heuristics.
+//
+// -save writes the distilled tree as a versioned artifact (servable by
+// metis-serve); -load skips teacher training and distillation entirely and
+// evaluates a previously saved tree instead.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"runtime"
 
 	"repro/internal/abr"
+	"repro/internal/cliutil"
 	"repro/internal/metis/dtree"
 	"repro/internal/pensieve"
 	"repro/internal/stats"
@@ -20,38 +24,54 @@ func main() {
 	traces := flag.Int("traces", 16, "number of synthetic traces")
 	episodes := flag.Int("train", 300, "teacher pretraining episodes")
 	leaves := flag.Int("leaves", 120, "decision tree leaf budget")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for distillation (1 = serial; results are identical at any setting)")
+	save := flag.String("save", "", "write the distilled tree artifact to this path")
+	load := flag.String("load", "", "load a tree artifact instead of training and distilling")
+	workers := cliutil.WorkersFlag()
 	flag.Parse()
+	cliutil.SaveLoadExclusive(*save, *load)
+	w := cliutil.Workers(*workers)
 
 	env := abr.NewEnv(abr.Config{
 		Video:  abr.StandardVideo(48, 1),
 		Traces: trace.HSDPA(*traces, 400, 7),
 	})
 
-	fmt.Println("training Pensieve teacher…")
-	agent := pensieve.NewAgent(2, false)
-	pensieve.Pretrain(agent, env, *episodes, 5)
-	agent.A2C.Train(env, 2*(*episodes), 50, 6)
+	var tree *dtree.Tree
+	var agent *pensieve.Agent
+	if *load != "" {
+		tree = cliutil.LoadClassifierTree(*load, abr.StateDim, "ABR states")
+		fmt.Printf("loaded tree artifact %s: %d leaves, depth %d\n", *load, tree.NumLeaves(), tree.Depth())
+	} else {
+		fmt.Println("training Pensieve teacher…")
+		agent = pensieve.NewAgent(2, false)
+		pensieve.Pretrain(agent, env, *episodes, 5)
+		agent.A2C.Train(env, 2*(*episodes), 50, 6)
 
-	fmt.Println("distilling with Metis (DAgger + Equation 1 resampling + CCP)…")
-	res, err := dtree.DistillPolicy(env, agent, dtree.DistillConfig{
-		MaxLeaves:       *leaves,
-		Iterations:      2,
-		EpisodesPerIter: 10,
-		MaxSteps:        50,
-		Resample:        true,
-		QHorizon:        5,
-		FeatureNames:    abr.FeatureNames(),
-		Seed:            3,
-		Workers:         *workers,
-	})
-	if err != nil {
-		panic(err)
+		fmt.Println("distilling with Metis (DAgger + Equation 1 resampling + CCP)…")
+		res, err := dtree.DistillPolicy(env, agent, dtree.DistillConfig{
+			MaxLeaves:       *leaves,
+			Iterations:      2,
+			EpisodesPerIter: 10,
+			MaxSteps:        50,
+			Resample:        true,
+			QHorizon:        5,
+			FeatureNames:    abr.FeatureNames(),
+			Seed:            3,
+			Workers:         w,
+		})
+		if err != nil {
+			panic(err)
+		}
+		tree = res.Tree
+		fmt.Printf("tree: %d leaves, depth %d, fidelity %.1f%%, %d bytes\n",
+			tree.NumLeaves(), tree.Depth(), 100*res.Fidelity, tree.SizeBytes())
+		if *save != "" {
+			cliutil.MustSaveModel(*save, tree, map[string]string{"name": "abr", "system": "pensieve"}, "tree")
+		}
 	}
-	fmt.Printf("tree: %d leaves, depth %d, fidelity %.1f%%, %d bytes\n",
-		res.Tree.NumLeaves(), res.Tree.Depth(), 100*res.Fidelity, res.Tree.SizeBytes())
+
 	fmt.Println("\ntop 4 layers (Figure 7 analogue):")
-	fmt.Println(res.Tree.Rules(4))
+	fmt.Println(tree.Rules(4))
 
 	fmt.Println("mean QoE per chunk over the trace set:")
 	for _, alg := range abr.Baselines() {
@@ -59,6 +79,8 @@ func main() {
 		q := stats.Mean(abr.RunTraces(env, abr.AlgorithmSelector(alg), *traces))
 		fmt.Printf("  %-16s %8.3f\n", alg.Name(), q)
 	}
-	fmt.Printf("  %-16s %8.3f\n", "Metis+Pensieve", stats.Mean(abr.RunTraces(env, abr.PolicySelector(res.Tree.Predict), *traces)))
-	fmt.Printf("  %-16s %8.3f\n", "Pensieve", stats.Mean(abr.RunTraces(env, agent.Selector(), *traces)))
+	fmt.Printf("  %-16s %8.3f\n", "Metis+Pensieve", stats.Mean(abr.RunTraces(env, abr.PolicySelector(tree.Predict), *traces)))
+	if agent != nil {
+		fmt.Printf("  %-16s %8.3f\n", "Pensieve", stats.Mean(abr.RunTraces(env, agent.Selector(), *traces)))
+	}
 }

@@ -6,6 +6,13 @@
 //	metis-exp -exp all             # everything
 //	metis-exp -list                # list experiment ids
 //	metis-exp -exp fig15a -scale full
+//	metis-exp -exp all -cache ~/.cache/metis   # reuse trained teachers
+//
+// With -cache, every trained teacher (Pensieve, AuTO lRLA/sRLA, RouteNet*)
+// and the AuTO distilled trees are persisted as versioned artifacts in the
+// given directory; later runs at the same scale load them instead of
+// retraining, and the run ends with a "cache:" summary line showing how many
+// teachers were trained versus loaded.
 //
 // Experiment identifiers follow the paper's numbering (fig7, fig9, fig11,
 // fig12, fig12b, fig12c, fig13, fig14, fig15a, fig15b, fig16a, fig16b,
@@ -16,17 +23,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"strings"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 )
 
 func main() {
 	exp := flag.String("exp", "", "experiment id (or 'all')")
 	scale := flag.String("scale", "test", "scale: test (seconds) or full (minutes)")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the parallel stages (1 = serial; results are identical at any setting)")
+	cache := flag.String("cache", "", "artifact cache directory: trained teachers persist across runs")
+	workers := cliutil.WorkersFlag()
 	list := flag.Bool("list", false, "list available experiment ids")
 	flag.Parse()
 
@@ -43,7 +51,14 @@ func main() {
 		s = experiments.FullScale
 	}
 	f := experiments.NewFixture(s)
-	f.Workers = *workers
+	f.Workers = cliutil.Workers(*workers)
+	if *cache != "" {
+		if err := os.MkdirAll(*cache, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "cannot create cache directory: %v\n", err)
+			os.Exit(1)
+		}
+		f.CacheDir = *cache
+	}
 
 	run := func(name string) {
 		runner, ok := experiments.Registry[name]
@@ -59,9 +74,13 @@ func main() {
 		for _, name := range experiments.Names() {
 			run(name)
 		}
-		return
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			run(strings.TrimSpace(name))
+		}
 	}
-	for _, name := range strings.Split(*exp, ",") {
-		run(strings.TrimSpace(name))
+	if f.CacheDir != "" {
+		fmt.Printf("cache: %d teachers trained, %d artifacts loaded from %s\n",
+			f.TeachersTrained, f.CacheHits, f.CacheDir)
 	}
 }

@@ -2,13 +2,21 @@
 // RouteNet*-style delay predictor on NSFNet, route a traffic sample with the
 // closed-loop optimizer, run the Metis critical-connection search, and print
 // the Table 3-style interpretation.
+//
+// -save writes the trained delay predictor as a versioned artifact; -load
+// restores one and skips training. The finished mask search is saved
+// alongside it (same path with a .mask.metis suffix) so interpretations can
+// be re-examined offline.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"runtime"
+	"os"
+	"strings"
 
+	"repro/internal/artifact"
+	"repro/internal/cliutil"
 	"repro/internal/metis/mask"
 	"repro/internal/routenet"
 	"repro/internal/routing"
@@ -21,13 +29,30 @@ func main() {
 	demands := flag.Int("demands", 12, "traffic demands to route")
 	gens := flag.Int("gens", 60, "RouteNet training generations")
 	iters := flag.Int("iters", 100, "mask optimization iterations")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the mask search (1 = serial; results are identical at any setting)")
+	save := flag.String("save", "", "write the trained RouteNet model artifact to this path")
+	load := flag.String("load", "", "load a RouteNet model artifact instead of training")
+	workers := cliutil.WorkersFlag()
 	flag.Parse()
+	cliutil.SaveLoadExclusive(*save, *load)
+	w := cliutil.Workers(*workers)
 
 	g := topo.NSFNet(10)
-	fmt.Println("training RouteNet* delay predictor on NSFNet…")
-	model := routenet.NewModel(41)
-	model.Train(g, routenet.TrainConfig{Demands: *demands, Generations: *gens, Seed: 43})
+	var model *routenet.Model
+	if *load != "" {
+		var err error
+		if model, err = artifact.LoadAs[*routenet.Model](*load); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded RouteNet model artifact %s\n", *load)
+	} else {
+		fmt.Println("training RouteNet* delay predictor on NSFNet…")
+		model = routenet.NewModel(41)
+		model.Train(g, routenet.TrainConfig{Demands: *demands, Generations: *gens, Seed: 43})
+		if *save != "" {
+			cliutil.MustSaveModel(*save, model, map[string]string{"name": "routenet", "topology": "nsfnet"}, "RouteNet model")
+		}
+	}
 	fmt.Printf("model fit: log-delay RMSE %.3f\n", model.Loss(g, routenet.TrainConfig{Demands: *demands}, 999))
 
 	dm := routing.RandomDemands(g, *demands, 3, 9, 900)
@@ -42,7 +67,11 @@ func main() {
 
 	fmt.Println("\nsearching critical connections (Equations 4–9)…")
 	sys := &experiments.RouteNetSystem{Opt: opt, Routing: rt}
-	res := mask.Search(sys, mask.Options{Lambda1: 0.25, Lambda2: 1, Iterations: *iters, Seed: 7, Workers: *workers})
+	res := mask.Search(sys, mask.Options{Lambda1: 0.25, Lambda2: 1, Iterations: *iters, Seed: 7, Workers: w})
+	if *save != "" {
+		maskPath := strings.TrimSuffix(*save, ".metis") + ".mask.metis"
+		cliutil.MustSaveModel(maskPath, res, map[string]string{"name": "routenet-mask"}, "mask-search result")
+	}
 	off := routenet.ConnectionOffsets(rt.Paths)
 	fmt.Println("top 5 critical (path, link) connections:")
 	for rank, ci := range res.TopConnections(5) {

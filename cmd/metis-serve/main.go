@@ -1,0 +1,61 @@
+// Command metis-serve is the deployment daemon: it loads a directory of
+// Metis model artifacts (distilled or compiled decision trees, written by
+// the -save flags of the other binaries or by metis-exp -cache) and serves
+// predictions over HTTP off the lock-free compiled-tree representation.
+//
+// Quickstart:
+//
+//	go run ./examples/quickstart -save models/quickstart.metis
+//	metis-serve -dir models -addr :9090
+//	curl -s localhost:9090/v1/models
+//	curl -s -X POST localhost:9090/v1/predict \
+//	     -d '{"model":"quickstart","x":[2,1]}'
+//
+// Endpoints: GET /healthz, GET /v1/models, POST /v1/predict (single "x" or
+// batch "xs"), GET /v1/stats.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/serve"
+)
+
+func main() {
+	dir := flag.String("dir", "", "artifact directory to serve (required)")
+	addr := flag.String("addr", ":9090", "listen address")
+	workers := cliutil.WorkersFlag()
+	flag.Parse()
+
+	if *dir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	s, err := serve.LoadDir(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	s.Workers = cliutil.Workers(*workers)
+
+	for _, m := range s.Models() {
+		shape := fmt.Sprintf("%d classes", m.Compiled.NumClasses)
+		if m.Compiled.IsRegression() {
+			shape = fmt.Sprintf("%d outputs", m.Compiled.OutDim)
+		}
+		fmt.Printf("loaded %-20s %s, %d nodes, %d features, %s\n",
+			m.Name, m.Kind, m.Compiled.NumNodes(), m.Compiled.NumFeatures, shape)
+	}
+	for _, skip := range s.Skipped() {
+		fmt.Printf("skipped %s: not a servable kind\n", skip)
+	}
+	fmt.Printf("serving %d models on %s\n", len(s.Models()), *addr)
+	if err := http.ListenAndServe(*addr, s.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -7,7 +7,9 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"path/filepath"
 
 	metis "repro"
 )
@@ -65,6 +67,9 @@ func (e *env) StateDim() int   { return 2 }
 func (e *env) NumActions() int { return 3 }
 
 func main() {
+	save := flag.String("save", "", "write the distilled tree as a metis-serve artifact")
+	flag.Parse()
+
 	res, err := metis.Distill(&env{}, teacher{}, metis.DistillConfig{
 		MaxLeaves:       8,
 		Iterations:      2,
@@ -83,5 +88,13 @@ func main() {
 	for _, probe := range [][]float64{{2, 1}, {8, 1}, {14, 4}} {
 		fmt.Printf("state buffer=%.0fs bw=%.0fMbps → action %d\n",
 			probe[0], probe[1], res.Tree.Predict(probe))
+	}
+
+	if *save != "" {
+		if err := metis.SaveTree(*save, res.Tree, map[string]string{"name": "quickstart"}); err != nil {
+			panic(err)
+		}
+		fmt.Printf("\nsaved tree artifact to %s — serve it with:\n  metis-serve -dir %s\n",
+			*save, filepath.Dir(*save))
 	}
 }

@@ -1,0 +1,50 @@
+package auto
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+)
+
+// Both agents are a thin typed shell around one policy network, so their
+// wire format is the network's own encoding.
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *SRLA) MarshalBinary() ([]byte, error) { return marshalNet("sRLA", s.Net) }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *SRLA) UnmarshalBinary(data []byte) error {
+	net, err := unmarshalNet("sRLA", data)
+	if err == nil {
+		s.Net = net
+	}
+	return err
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (l *LRLA) MarshalBinary() ([]byte, error) { return marshalNet("lRLA", l.Net) }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (l *LRLA) UnmarshalBinary(data []byte) error {
+	net, err := unmarshalNet("lRLA", data)
+	if err == nil {
+		l.Net = net
+	}
+	return err
+}
+
+func marshalNet(kind string, net *nn.Network) ([]byte, error) {
+	data, err := net.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("auto: encode %s: %w", kind, err)
+	}
+	return data, nil
+}
+
+func unmarshalNet(kind string, data []byte) (*nn.Network, error) {
+	var net nn.Network
+	if err := net.UnmarshalBinary(data); err != nil {
+		return nil, fmt.Errorf("auto: decode %s: %w", kind, err)
+	}
+	return &net, nil
+}

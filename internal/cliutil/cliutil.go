@@ -1,0 +1,74 @@
+// Package cliutil holds the small flag helpers shared by the cmd binaries,
+// so every main registers and validates common flags identically instead of
+// copy-pasting them.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/artifact"
+	"repro/internal/metis/dtree"
+)
+
+// WorkersFlag registers the shared -workers flag on the default flag set.
+// Call Workers on the parsed value after flag.Parse.
+func WorkersFlag() *int {
+	return flag.Int("workers", runtime.GOMAXPROCS(0),
+		"worker goroutines for the parallel stages (0 = all cores, 1 = serial; results are identical at any setting)")
+}
+
+// Workers validates a parsed -workers value: negative counts are rejected
+// with exit code 2, mirroring flag-parse failures. 0 (all cores) and
+// positive counts pass through.
+func Workers(v int) int {
+	if v < 0 {
+		fmt.Fprintf(os.Stderr, "-workers must be non-negative (got %d)\n", v)
+		os.Exit(2)
+	}
+	return v
+}
+
+// SaveLoadExclusive rejects a combined -save/-load invocation: -load skips
+// the training that would produce the artifact -save names, so honoring
+// both would silently write nothing (or not what the user asked for).
+func SaveLoadExclusive(save, load string) {
+	if save != "" && load != "" {
+		fmt.Fprintln(os.Stderr, "-save and -load are mutually exclusive: -load skips the training that -save would persist")
+		os.Exit(2)
+	}
+}
+
+// LoadClassifierTree loads a -load tree artifact for a binary whose system
+// consumes stateDim-dimensional states, exiting with a clear message when
+// the artifact holds anything else (wrong kind, a regression tree, or a
+// tree distilled for a different system).
+func LoadClassifierTree(path string, stateDim int, stateDesc string) *dtree.Tree {
+	tree, err := artifact.LoadTree(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if tree.IsRegression() {
+		fmt.Fprintf(os.Stderr, "%s: holds a regression tree, this binary needs a classifier\n", path)
+		os.Exit(1)
+	}
+	if tree.NumFeatures != stateDim {
+		fmt.Fprintf(os.Stderr, "%s: tree expects %d features, %s have %d — not a tree for this system\n",
+			path, tree.NumFeatures, stateDesc, stateDim)
+		os.Exit(1)
+	}
+	return tree
+}
+
+// MustSaveModel writes a -save artifact, exiting on failure and announcing
+// the destination on success. what names the model in the printed line.
+func MustSaveModel(path string, model any, meta map[string]string, what string) {
+	if err := artifact.SaveModel(path, model, meta); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("saved %s artifact to %s\n", what, path)
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding"
+	"testing"
+)
+
+// tinyScale is just big enough to exercise every teacher-training path in
+// well under a second each.
+var tinyScale = Scale{
+	Name:      "tiny",
+	NumTraces: 2, TraceSeconds: 60, VideoChunks: 8,
+	PretrainEps: 2, FinetuneEps: 2, EvalEpisodes: 1,
+	DistillEps: 1, DistillIters: 1, TreeLeaves: 10,
+	FlowsPerRun: 60, AuToGenerations: 1, AuToRuns: 1,
+	RouteDemands: 4, RouteNetGens: 2, MaskIterations: 5, TrafficSamples: 2,
+}
+
+// wire serializes a model for bit-identity comparison.
+func wire(t *testing.T, m encoding.BinaryMarshaler) []byte {
+	t.Helper()
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestFixtureCacheSkipsTeacherTraining(t *testing.T) {
+	dir := t.TempDir()
+
+	cold := NewFixture(tinyScale)
+	cold.CacheDir = dir
+	agent := cold.Pensieve()
+	lrla, srla, lrlaTree, srlaTree := cold.AuTo()
+	_, rnet := cold.RouteNet()
+	if cold.TeachersTrained != 4 {
+		t.Fatalf("cold fixture trained %d teachers, want 4", cold.TeachersTrained)
+	}
+	if cold.CacheHits != 0 {
+		t.Fatalf("cold fixture hit the cache %d times", cold.CacheHits)
+	}
+
+	warm := NewFixture(tinyScale)
+	warm.CacheDir = dir
+	wAgent := warm.Pensieve()
+	wLrla, wSrla, wLrlaTree, wSrlaTree := warm.AuTo()
+	_, wRnet := warm.RouteNet()
+	if warm.TeachersTrained != 0 {
+		t.Fatalf("warm fixture trained %d teachers, want 0 (cache should hit)", warm.TeachersTrained)
+	}
+	// 4 teachers + 2 distilled AuTO trees.
+	if warm.CacheHits != 6 {
+		t.Fatalf("warm fixture cache hits = %d, want 6", warm.CacheHits)
+	}
+
+	// Restored models must be bit-identical to the trained ones.
+	for _, pair := range []struct {
+		name         string
+		cold, warmed encoding.BinaryMarshaler
+	}{
+		{"pensieve", agent, wAgent},
+		{"lrla", lrla, wLrla},
+		{"srla", srla, wSrla},
+		{"lrla-tree", lrlaTree, wLrlaTree},
+		{"srla-tree", srlaTree, wSrlaTree},
+		{"routenet", rnet, wRnet},
+	} {
+		if !bytes.Equal(wire(t, pair.cold), wire(t, pair.warmed)) {
+			t.Fatalf("%s drifted through the cache", pair.name)
+		}
+	}
+}
+
+func TestFixtureCacheDisabledByDefault(t *testing.T) {
+	f := NewFixture(tinyScale)
+	f.RouteNet()
+	if f.TeachersTrained != 1 || f.CacheHits != 0 {
+		t.Fatalf("trained=%d hits=%d, want 1/0", f.TeachersTrained, f.CacheHits)
+	}
+}
+
+func TestFixtureCacheIsScaleKeyed(t *testing.T) {
+	dir := t.TempDir()
+	a := NewFixture(tinyScale)
+	a.CacheDir = dir
+	a.RouteNet()
+
+	other := tinyScale
+	other.Name = "tiny2"
+	b := NewFixture(other)
+	b.CacheDir = dir
+	b.RouteNet()
+	if b.CacheHits != 0 || b.TeachersTrained != 1 {
+		t.Fatalf("scale key collision: hits=%d trained=%d", b.CacheHits, b.TeachersTrained)
+	}
+}
+
+// TestFixtureCacheInvalidatedByConfigChange: editing a scale's parameters
+// (same name) must miss the cache, not reuse a teacher trained under the
+// old settings.
+func TestFixtureCacheInvalidatedByConfigChange(t *testing.T) {
+	dir := t.TempDir()
+	a := NewFixture(tinyScale)
+	a.CacheDir = dir
+	a.RouteNet()
+
+	edited := tinyScale
+	edited.RouteNetGens = 3 // same scale name, different training knob
+	b := NewFixture(edited)
+	b.CacheDir = dir
+	b.RouteNet()
+	if b.CacheHits != 0 || b.TeachersTrained != 1 {
+		t.Fatalf("stale cache reuse after config edit: hits=%d trained=%d", b.CacheHits, b.TeachersTrained)
+	}
+}

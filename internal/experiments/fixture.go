@@ -10,9 +10,13 @@
 package experiments
 
 import (
+	"encoding"
+	"fmt"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/abr"
+	"repro/internal/artifact"
 	"repro/internal/auto"
 	"repro/internal/dcn"
 	"repro/internal/metis/dtree"
@@ -82,6 +86,18 @@ type Fixture struct {
 	// changing it never changes a figure or table.
 	Workers int
 
+	// CacheDir, when non-empty, persists every trained teacher (and the
+	// AuTO distilled trees) as versioned artifacts keyed by scale name, so
+	// repeated cmd/metis-exp invocations skip teacher training entirely.
+	// Training seeds are fixed per scale, so a cached artifact is
+	// bit-identical to what retraining would produce.
+	CacheDir string
+
+	// TeachersTrained counts teachers trained from scratch by this fixture;
+	// CacheHits counts artifacts loaded from CacheDir instead. Together they
+	// make cache effectiveness observable (metis-exp prints them).
+	TeachersTrained, CacheHits int
+
 	onceEnv      sync.Once
 	envHSDPA     *abr.Env
 	envFCC       *abr.Env
@@ -106,6 +122,62 @@ type Fixture struct {
 
 // NewFixture creates a fixture at the given scale.
 func NewFixture(s Scale) *Fixture { return &Fixture{Scale: s} }
+
+// cachePath returns the artifact path for a cached model, or "" when caching
+// is disabled.
+func (f *Fixture) cachePath(name string) string {
+	if f.CacheDir == "" {
+		return ""
+	}
+	return filepath.Join(f.CacheDir, fmt.Sprintf("%s-%s.metis", name, f.Scale.Name))
+}
+
+// scaleFingerprint captures every Scale knob. It is stored in the artifact
+// metadata and compared on load, so editing a scale's parameters (not just
+// its name) invalidates previously cached teachers. Changes to training
+// code itself are not fingerprinted — clear the cache directory after
+// touching a trainer.
+func (f *Fixture) scaleFingerprint() string {
+	return fmt.Sprintf("%+v", f.Scale)
+}
+
+// loadCached restores model from the cache, reporting whether it hit. Any
+// load failure (missing file, corruption, kind mismatch) silently falls back
+// to retraining — the cache is an accelerator, never a correctness input.
+func (f *Fixture) loadCached(name string, model any) bool {
+	path := f.cachePath(name)
+	if path == "" {
+		return false
+	}
+	kind, err := artifact.KindOf(model)
+	if err != nil {
+		return false
+	}
+	a, err := artifact.Open(path)
+	if err != nil || a.Kind != kind || a.Meta["config"] != f.scaleFingerprint() {
+		return false
+	}
+	u, ok := model.(encoding.BinaryUnmarshaler)
+	if !ok || u.UnmarshalBinary(a.Payload) != nil {
+		return false
+	}
+	f.CacheHits++
+	return true
+}
+
+// saveCached persists a freshly trained model. A broken cache directory is a
+// configuration error the user asked for, so it panics loudly rather than
+// silently retraining forever.
+func (f *Fixture) saveCached(name string, model any) {
+	path := f.cachePath(name)
+	if path == "" {
+		return
+	}
+	meta := map[string]string{"name": name, "scale": f.Scale.Name, "config": f.scaleFingerprint()}
+	if err := artifact.SaveModel(path, model, meta); err != nil {
+		panic("experiments: cache save: " + err.Error())
+	}
+}
 
 func (f *Fixture) envs() {
 	f.onceEnv.Do(func() {
@@ -134,12 +206,18 @@ func (f *Fixture) FixedEnv(kbps float64, chunks int) *abr.Env {
 	})
 }
 
-// Pensieve returns the trained Pensieve teacher (trained on first use).
+// Pensieve returns the trained Pensieve teacher (trained on first use, or
+// restored from CacheDir).
 func (f *Fixture) Pensieve() *pensieve.Agent {
 	f.oncePensieve.Do(func() {
 		f.agent = pensieve.NewAgent(2, false)
+		if f.loadCached("pensieve", f.agent) {
+			return
+		}
 		pensieve.Pretrain(f.agent, f.EnvHSDPA(), f.Scale.PretrainEps, 5)
 		f.agent.A2C.Train(f.EnvHSDPA(), f.Scale.FinetuneEps, f.Scale.VideoChunks+2, 6)
+		f.TeachersTrained++
+		f.saveCached("pensieve", f.agent)
 	})
 	return f.agent
 }
@@ -171,28 +249,44 @@ func (f *Fixture) AuTo() (lrla *auto.LRLA, srla *auto.SRLA, lrlaTree, srlaTree *
 	f.onceAuto.Do(func() {
 		s := f.Scale
 		f.lrla = auto.NewLRLA(21)
-		auto.TrainLRLA(f.lrla, auto.TrainConfig{Workload: dcn.WebSearch, FlowsPerRun: s.FlowsPerRun, Generations: s.AuToGenerations, Seed: 23})
+		if !f.loadCached("auto-lrla", f.lrla) {
+			auto.TrainLRLA(f.lrla, auto.TrainConfig{Workload: dcn.WebSearch, FlowsPerRun: s.FlowsPerRun, Generations: s.AuToGenerations, Seed: 23})
+			f.TeachersTrained++
+			f.saveCached("auto-lrla", f.lrla)
+		}
 		f.srla = auto.NewSRLA(25)
-		auto.TrainSRLA(f.srla, auto.TrainConfig{Workload: dcn.WebSearch, FlowsPerRun: s.FlowsPerRun, Generations: s.AuToGenerations, Seed: 27})
+		if !f.loadCached("auto-srla", f.srla) {
+			auto.TrainSRLA(f.srla, auto.TrainConfig{Workload: dcn.WebSearch, FlowsPerRun: s.FlowsPerRun, Generations: s.AuToGenerations, Seed: 27})
+			f.TeachersTrained++
+			f.saveCached("auto-srla", f.srla)
+		}
 
-		states, actions := auto.CollectLRLADataset(f.lrla, dcn.WebSearch, s.AuToRuns, 31)
-		if len(states) == 0 {
-			panic("experiments: no lRLA decisions collected")
+		f.lrlaTree = new(dtree.Tree)
+		if !f.loadCached("auto-lrla-tree", f.lrlaTree) {
+			states, actions := auto.CollectLRLADataset(f.lrla, dcn.WebSearch, s.AuToRuns, 31)
+			if len(states) == 0 {
+				panic("experiments: no lRLA decisions collected")
+			}
+			tr, err := dtree.FitDataset(&dtree.Dataset{X: states, Y: actions}, dtree.DistillConfig{
+				MaxLeaves: 2000, FeatureNames: auto.LongFlowStateNames(), Workers: f.Workers,
+			})
+			if err != nil {
+				panic("experiments: distill lRLA: " + err.Error())
+			}
+			f.lrlaTree = tr
+			f.saveCached("auto-lrla-tree", f.lrlaTree)
 		}
-		tr, err := dtree.FitDataset(&dtree.Dataset{X: states, Y: actions}, dtree.DistillConfig{
-			MaxLeaves: 2000, FeatureNames: auto.LongFlowStateNames(), Workers: f.Workers,
-		})
-		if err != nil {
-			panic("experiments: distill lRLA: " + err.Error())
-		}
-		f.lrlaTree = tr
 
-		sStates, sTargets := auto.CollectSRLADataset(f.srla, dcn.WebSearch, 60, 33)
-		rt, err := dtree.FitDataset(&dtree.Dataset{X: sStates, YReg: sTargets}, dtree.DistillConfig{MaxLeaves: 200, Workers: f.Workers})
-		if err != nil {
-			panic("experiments: distill sRLA: " + err.Error())
+		f.srlaTree = new(dtree.Tree)
+		if !f.loadCached("auto-srla-tree", f.srlaTree) {
+			sStates, sTargets := auto.CollectSRLADataset(f.srla, dcn.WebSearch, 60, 33)
+			rt, err := dtree.FitDataset(&dtree.Dataset{X: sStates, YReg: sTargets}, dtree.DistillConfig{MaxLeaves: 200, Workers: f.Workers})
+			if err != nil {
+				panic("experiments: distill sRLA: " + err.Error())
+			}
+			f.srlaTree = rt
+			f.saveCached("auto-srla-tree", f.srlaTree)
 		}
-		f.srlaTree = rt
 	})
 	return f.lrla, f.srla, f.lrlaTree, f.srlaTree
 }
@@ -202,11 +296,16 @@ func (f *Fixture) RouteNet() (*topo.Graph, *routenet.Model) {
 	f.onceRoute.Do(func() {
 		f.graph = topo.NSFNet(10)
 		f.rnet = routenet.NewModel(41)
+		if f.loadCached("routenet", f.rnet) {
+			return
+		}
 		f.rnet.Train(f.graph, routenet.TrainConfig{
 			Demands:     f.Scale.RouteDemands,
 			Generations: f.Scale.RouteNetGens,
 			Seed:        43,
 		})
+		f.TeachersTrained++
+		f.saveCached("routenet", f.rnet)
 	})
 	return f.graph, f.rnet
 }

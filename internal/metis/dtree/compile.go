@@ -1,15 +1,22 @@
 package dtree
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"strings"
+
+	"repro/internal/parallel"
 )
 
 // Compiled is a pointer-free, flattened form of a decision tree: evaluation
 // is an iterative walk over parallel arrays with comparisons and branches
 // only — no floating-point arithmetic, no allocation, no indirection chains.
 // This is the representation the paper offloads to a Netronome SmartNIC in
-// ~1,000 lines of C (§6.4); GenerateC emits equivalent source.
+// ~1,000 lines of C (§6.4); GenerateC emits equivalent source. It is also the
+// serving representation used by internal/serve: evaluation touches only
+// immutable arrays, so any number of goroutines can predict concurrently
+// without locks.
 type Compiled struct {
 	// Feature[i] is the feature index tested at node i, or -1 for a leaf.
 	Feature []int32
@@ -19,14 +26,35 @@ type Compiled struct {
 	Left, Right []int32
 	// Out[i] is the class decision at leaf i (classification only).
 	Out []int32
+	// Value holds the regression output of every node, flattened OutDim per
+	// node (regression trees only; nil for classification).
+	Value []float64
+	// OutDim is the regression output dimensionality (0 for classification).
+	OutDim int
+	// NumFeatures is the input dimensionality expected by Predict.
+	NumFeatures int
+	// NumClasses is the action count of a classification tree (0 for
+	// regression), carried over from the source Tree.
+	NumClasses int
 }
 
-// Compile flattens a classification tree into its array form.
+// IsRegression reports whether the compiled tree predicts continuous values.
+func (c *Compiled) IsRegression() bool { return c.OutDim > 0 }
+
+// Compile flattens a tree — classification or regression — into its array
+// form.
 func (t *Tree) Compile() (*Compiled, error) {
-	if t.IsRegression() {
-		return nil, fmt.Errorf("dtree: Compile supports classification trees only")
+	if t.Root == nil {
+		return nil, fmt.Errorf("dtree: Compile on empty tree")
 	}
-	c := &Compiled{}
+	c := &Compiled{NumFeatures: t.NumFeatures, NumClasses: t.NumClasses}
+	if t.IsRegression() {
+		c.OutDim = len(t.Root.Value)
+		if c.OutDim == 0 {
+			return nil, fmt.Errorf("dtree: regression tree has no value vector")
+		}
+	}
+	var walkErr error
 	var add func(n *Node) int32
 	add = func(n *Node) int32 {
 		idx := int32(len(c.Feature))
@@ -35,6 +63,16 @@ func (t *Tree) Compile() (*Compiled, error) {
 		c.Left = append(c.Left, -1)
 		c.Right = append(c.Right, -1)
 		c.Out = append(c.Out, int32(n.Class))
+		if c.OutDim > 0 {
+			if len(n.Value) != c.OutDim {
+				if walkErr == nil {
+					walkErr = fmt.Errorf("dtree: Compile: node value dim %d, tree declares %d", len(n.Value), c.OutDim)
+				}
+				c.Value = append(c.Value, make([]float64, c.OutDim)...)
+			} else {
+				c.Value = append(c.Value, n.Value...)
+			}
+		}
 		if !n.IsLeaf() {
 			c.Feature[idx] = int32(n.Feature)
 			c.Threshold[idx] = n.Threshold
@@ -44,11 +82,14 @@ func (t *Tree) Compile() (*Compiled, error) {
 		return idx
 	}
 	add(t.Root)
+	if walkErr != nil {
+		return nil, walkErr
+	}
 	return c, nil
 }
 
-// Predict evaluates the compiled tree. It performs no allocation.
-func (c *Compiled) Predict(x []float64) int {
+// leaf returns the index of the leaf reached by x.
+func (c *Compiled) leaf(x []float64) int32 {
 	i := int32(0)
 	for c.Feature[i] >= 0 {
 		if x[c.Feature[i]] < c.Threshold[i] {
@@ -57,18 +98,167 @@ func (c *Compiled) Predict(x []float64) int {
 			i = c.Right[i]
 		}
 	}
-	return int(c.Out[i])
+	return i
+}
+
+// Predict evaluates the compiled tree (classification; regression trees
+// must use PredictReg — the class slot carries no signal there). It performs
+// no allocation and is safe for concurrent use.
+func (c *Compiled) Predict(x []float64) int {
+	return int(c.Out[c.leaf(x)])
+}
+
+// PredictReg evaluates a compiled regression tree. The returned slice aliases
+// the compiled tree's immutable value array; callers must not modify it.
+func (c *Compiled) PredictReg(x []float64) []float64 {
+	i := int(c.leaf(x))
+	return c.Value[i*c.OutDim : (i+1)*c.OutDim : (i+1)*c.OutDim]
+}
+
+// batchChunk is the per-task granularity of the batch predictors: single
+// predictions cost nanoseconds, so work is handed to the pool in blocks large
+// enough to amortize scheduling.
+const batchChunk = 512
+
+// PredictBatch evaluates the compiled tree over a batch of inputs, fanning
+// the work out over at most workers goroutines (0 = GOMAXPROCS, 1 = serial).
+// Output slot i holds the decision for X[i] regardless of worker count.
+func (c *Compiled) PredictBatch(X [][]float64, workers int) []int {
+	out := make([]int, len(X))
+	forEachChunk(workers, len(X), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = int(c.Out[c.leaf(X[i])])
+		}
+	})
+	return out
+}
+
+// PredictRegBatch evaluates a compiled regression tree over a batch. The
+// returned rows alias the compiled tree's value array; callers must not
+// modify them.
+func (c *Compiled) PredictRegBatch(X [][]float64, workers int) [][]float64 {
+	out := make([][]float64, len(X))
+	forEachChunk(workers, len(X), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = c.PredictReg(X[i])
+		}
+	})
+	return out
+}
+
+// forEachChunk splits [0, n) into batchChunk-sized blocks and runs them
+// with parallel.ForEach. Goroutines are spawned per call (bounded by
+// workers), not drawn from a process-wide pool — callers that fan out many
+// concurrent batches should bound their own concurrency.
+func forEachChunk(workers, n int, fn func(lo, hi int)) {
+	tasks := (n + batchChunk - 1) / batchChunk
+	parallel.ForEach(workers, tasks, func(t int) {
+		lo := t * batchChunk
+		hi := lo + batchChunk
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
 }
 
 // NumNodes returns the flattened node count.
 func (c *Compiled) NumNodes() int { return len(c.Feature) }
 
+// Validate checks the structural invariants evaluation relies on: parallel
+// arrays of equal length, feature and child indices in range, children at
+// strictly higher indices than their parent (Compile's preorder layout,
+// which guarantees every walk terminates), and a value array sized
+// OutDim-per-node for regression. Deserialized compiled trees must be
+// validated before serving — a checksum protects bytes, not invariants.
+func (c *Compiled) Validate() error {
+	n := len(c.Feature)
+	if n == 0 {
+		return fmt.Errorf("dtree: compiled tree has no nodes")
+	}
+	if len(c.Threshold) != n || len(c.Left) != n || len(c.Right) != n || len(c.Out) != n {
+		return fmt.Errorf("dtree: compiled tree arrays disagree: feature=%d threshold=%d left=%d right=%d out=%d",
+			n, len(c.Threshold), len(c.Left), len(c.Right), len(c.Out))
+	}
+	if c.OutDim < 0 || c.NumFeatures < 0 {
+		return fmt.Errorf("dtree: negative OutDim or NumFeatures")
+	}
+	if c.OutDim > 0 && len(c.Value) != n*c.OutDim {
+		return fmt.Errorf("dtree: value array has %d entries, want %d nodes × %d outputs", len(c.Value), n, c.OutDim)
+	}
+	if c.OutDim == 0 && c.NumClasses > 0 {
+		for i, out := range c.Out {
+			if out < 0 || int(out) >= c.NumClasses {
+				return fmt.Errorf("dtree: node %d decides class %d, tree declares %d classes", i, out, c.NumClasses)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		f := c.Feature[i]
+		if f < 0 {
+			continue // leaf
+		}
+		if int(f) >= c.NumFeatures {
+			return fmt.Errorf("dtree: node %d tests feature %d, tree declares %d features", i, f, c.NumFeatures)
+		}
+		l, r := c.Left[i], c.Right[i]
+		if l <= int32(i) || int(l) >= n || r <= int32(i) || int(r) >= n {
+			return fmt.Errorf("dtree: node %d has out-of-order children %d/%d (want in (%d, %d))", i, l, r, i, n)
+		}
+	}
+	return nil
+}
+
+// compiledWire is the gob wire format (a distinct type keeps gob from
+// re-entering MarshalBinary through its BinaryMarshaler support).
+type compiledWire struct {
+	Feature     []int32
+	Threshold   []float64
+	Left, Right []int32
+	Out         []int32
+	Value       []float64
+	OutDim      int
+	NumFeatures int
+	NumClasses  int
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler via gob.
+func (c *Compiled) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	w := compiledWire(*c)
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("dtree: encode compiled tree: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. The decoded tree is
+// validated before the receiver is touched, so no deserialization path can
+// yield a compiled tree whose evaluation would panic or loop.
+func (c *Compiled) UnmarshalBinary(data []byte) error {
+	var w compiledWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("dtree: decode compiled tree: %w", err)
+	}
+	loaded := Compiled(w)
+	if err := loaded.Validate(); err != nil {
+		return fmt.Errorf("dtree: decode compiled tree: %w", err)
+	}
+	*c = loaded
+	return nil
+}
+
 // GenerateC emits a self-contained C function evaluating the tree with
 // branching clauses only — the form deployable on data-plane devices that
-// lack floating-point units (thresholds are scaled to integers).
+// lack floating-point units (thresholds are scaled to integers). Only
+// classification trees are supported: the emitted function returns the
+// class decision as an int.
 //
 // scale multiplies features and thresholds into integer space (e.g. 1e4).
-func (c *Compiled) GenerateC(funcName string, scale float64) string {
+func (c *Compiled) GenerateC(funcName string, scale float64) (string, error) {
+	if c.IsRegression() {
+		return "", fmt.Errorf("dtree: GenerateC supports classification trees only")
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "/* Auto-generated by Metis: decision tree with %d nodes. */\n", c.NumNodes())
 	fmt.Fprintf(&b, "int %s(const long long *x /* features pre-scaled by %g */) {\n", funcName, scale)
@@ -87,12 +277,17 @@ func (c *Compiled) GenerateC(funcName string, scale float64) string {
 	}
 	emit(0, 0)
 	b.WriteString("}\n")
-	return b.String()
+	return b.String(), nil
 }
 
 // PredictScaled mirrors the integer-space evaluation performed by the
-// generated C code, for host-side verification of the offloaded model.
+// generated C code, for host-side verification of the offloaded model. Like
+// GenerateC it is classification-only, and panics on a regression tree (the
+// class slot is meaningless there).
 func (c *Compiled) PredictScaled(x []int64, scale float64) int {
+	if c.IsRegression() {
+		panic("dtree: PredictScaled on a regression tree")
+	}
 	i := int32(0)
 	for c.Feature[i] >= 0 {
 		if x[c.Feature[i]] < int64(c.Threshold[i]*scale) {

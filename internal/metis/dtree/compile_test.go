@@ -46,20 +46,153 @@ func TestCompiledNodeCount(t *testing.T) {
 	}
 }
 
-func TestCompileRejectsRegression(t *testing.T) {
-	d := &Dataset{X: [][]float64{{0}, {1}}, YReg: [][]float64{{1}, {2}}}
-	tree, err := Build(d, BuildOptions{})
+// regressionFixture builds a small 2-output regression tree.
+func regressionFixture(t testing.TB) (*Tree, *Compiled) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(31))
+	d := &Dataset{}
+	for i := 0; i < 400; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		d.X = append(d.X, x)
+		d.YReg = append(d.YReg, []float64{3*x[0] - x[1], x[2] * x[2]})
+	}
+	tree, err := Build(d, BuildOptions{MaxLeaves: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tree.Compile(); err == nil {
+	c, err := tree.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, c
+}
+
+func TestCompiledRegressionMatchesTree(t *testing.T) {
+	tree, c := regressionFixture(t)
+	if !c.IsRegression() || c.OutDim != 2 {
+		t.Fatalf("OutDim = %d, want 2", c.OutDim)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		want := tree.PredictReg(x)
+		got := c.PredictReg(x)
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("PredictReg(%v) = %v, tree says %v", x, got, want)
+			}
+		}
+	}
+}
+
+func TestPredictBatchMatchesSerial(t *testing.T) {
+	tree, c := compiledFixture(t)
+	rng := rand.New(rand.NewSource(77))
+	X := make([][]float64, 3000)
+	for i := range X {
+		X[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+	serial := c.PredictBatch(X, 1)
+	par := c.PredictBatch(X, 0)
+	for i := range X {
+		if serial[i] != par[i] || serial[i] != tree.Predict(X[i]) {
+			t.Fatalf("batch mismatch at %d: serial %d parallel %d tree %d",
+				i, serial[i], par[i], tree.Predict(X[i]))
+		}
+	}
+}
+
+func TestPredictRegBatchMatchesSerial(t *testing.T) {
+	_, c := regressionFixture(t)
+	rng := rand.New(rand.NewSource(78))
+	X := make([][]float64, 1500)
+	for i := range X {
+		X[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	serial := c.PredictRegBatch(X, 1)
+	par := c.PredictRegBatch(X, 4)
+	for i := range X {
+		want := c.PredictReg(X[i])
+		for k := range want {
+			if serial[i][k] != want[k] || par[i][k] != want[k] {
+				t.Fatalf("reg batch mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestCompiledValidate(t *testing.T) {
+	_, c := compiledFixture(t)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("valid compiled tree rejected: %v", err)
+	}
+	_, r := regressionFixture(t)
+	if err := r.Validate(); err != nil {
+		t.Fatalf("valid regression tree rejected: %v", err)
+	}
+	for name, bad := range map[string]*Compiled{
+		"empty": {},
+		"self-loop": {Feature: []int32{0}, Threshold: []float64{0},
+			Left: []int32{0}, Right: []int32{0}, Out: []int32{0}, NumFeatures: 1},
+		"feature-oob": {Feature: []int32{5, -1, -1}, Threshold: []float64{0, 0, 0},
+			Left: []int32{1, -1, -1}, Right: []int32{2, -1, -1}, Out: []int32{0, 0, 1}, NumFeatures: 2},
+		"child-oob": {Feature: []int32{0, -1}, Threshold: []float64{0, 0},
+			Left: []int32{1, -1}, Right: []int32{9, -1}, Out: []int32{0, 0}, NumFeatures: 1},
+		"ragged": {Feature: []int32{-1}, Threshold: nil,
+			Left: []int32{-1}, Right: []int32{-1}, Out: []int32{0}, NumFeatures: 1},
+		"value-short": {Feature: []int32{-1}, Threshold: []float64{0},
+			Left: []int32{-1}, Right: []int32{-1}, Out: []int32{0}, OutDim: 2, Value: []float64{1}, NumFeatures: 1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("%s compiled tree accepted", name)
+		}
+	}
+}
+
+func TestGenerateCRejectsRegression(t *testing.T) {
+	_, c := regressionFixture(t)
+	if _, err := c.GenerateC("f", 1e4); err == nil {
 		t.Fatal("expected error for regression tree")
+	}
+}
+
+func TestCompiledRoundTrip(t *testing.T) {
+	for _, mk := range []func(testing.TB) (*Tree, *Compiled){compiledFixture, regressionFixture} {
+		_, c := mk(t)
+		data, err := c.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Compiled
+		if err := back.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 200; i++ {
+			x := make([]float64, c.NumFeatures)
+			for k := range x {
+				x[k] = rng.Float64()
+			}
+			if c.IsRegression() {
+				want, got := c.PredictReg(x), back.PredictReg(x)
+				for k := range want {
+					if want[k] != got[k] {
+						t.Fatalf("round-trip PredictReg mismatch")
+					}
+				}
+			} else if back.Predict(x) != c.Predict(x) {
+				t.Fatalf("round-trip Predict mismatch")
+			}
+		}
 	}
 }
 
 func TestGenerateC(t *testing.T) {
 	_, c := compiledFixture(t)
-	src := c.GenerateC("metis_decide", 1e4)
+	src, err := c.GenerateC("metis_decide", 1e4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, want := range []string{"int metis_decide(", "if (x[", "return"} {
 		if !strings.Contains(src, want) {
 			t.Fatalf("generated C missing %q:\n%s", want, src[:200])

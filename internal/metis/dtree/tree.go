@@ -226,17 +226,58 @@ func (t *Tree) MarshalBinary() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. The decoded tree is
+// validated before the receiver is touched, so no deserialization path can
+// yield a tree whose evaluation would panic (a checksum protects bytes, not
+// invariants).
 func (t *Tree) UnmarshalBinary(data []byte) error {
 	var w treeWire
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
 		return fmt.Errorf("dtree: decode tree: %w", err)
 	}
-	t.Root = w.Root
-	t.NumFeatures = w.NumFeatures
-	t.NumClasses = w.NumClasses
-	t.FeatureNames = w.FeatureNames
+	loaded := Tree{Root: w.Root, NumFeatures: w.NumFeatures, NumClasses: w.NumClasses, FeatureNames: w.FeatureNames}
+	if err := loaded.Validate(); err != nil {
+		return fmt.Errorf("dtree: decode tree: %w", err)
+	}
+	*t = loaded
 	return nil
+}
+
+// Validate checks the structural invariants evaluation relies on: a non-nil
+// root, internal nodes with both children and an in-range feature index,
+// class decisions within NumClasses (classification), and a value vector on
+// every node (regression). Gob-decoded node graphs are always trees (the
+// wire format has no back-references), so no cycle check is needed.
+func (t *Tree) Validate() error {
+	if t.Root == nil {
+		return fmt.Errorf("dtree: tree has no root")
+	}
+	if t.NumFeatures <= 0 {
+		return fmt.Errorf("dtree: tree declares %d features", t.NumFeatures)
+	}
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		if (n.Left == nil) != (n.Right == nil) {
+			return fmt.Errorf("dtree: node has exactly one child")
+		}
+		if n.IsLeaf() {
+			if t.NumClasses > 0 && (n.Class < 0 || n.Class >= t.NumClasses) {
+				return fmt.Errorf("dtree: leaf decides class %d, tree declares %d classes", n.Class, t.NumClasses)
+			}
+			if t.IsRegression() && len(n.Value) == 0 {
+				return fmt.Errorf("dtree: regression leaf has no value vector")
+			}
+			return nil
+		}
+		if n.Feature < 0 || n.Feature >= t.NumFeatures {
+			return fmt.Errorf("dtree: node tests feature %d, tree declares %d features", n.Feature, t.NumFeatures)
+		}
+		if err := walk(n.Left); err != nil {
+			return err
+		}
+		return walk(n.Right)
+	}
+	return walk(t.Root)
 }
 
 // SizeBytes returns the serialized model size, the deployment footprint used

@@ -1,0 +1,42 @@
+package mask
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// resultWire is the gob wire format for Result (a distinct type keeps gob
+// from re-entering MarshalBinary through its BinaryMarshaler support).
+type resultWire struct {
+	W             []float64
+	LossHistory   []float64
+	Divergence    float64
+	Norm, Entropy float64
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler, so a finished
+// critical-connection search can be persisted as an artifact and re-examined
+// without re-running the SPSA optimization.
+func (r *Result) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	w := resultWire{W: r.W, LossHistory: r.LossHistory, Divergence: r.Divergence, Norm: r.Norm, Entropy: r.Entropy}
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("mask: encode result: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (r *Result) UnmarshalBinary(data []byte) error {
+	var w resultWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("mask: decode result: %w", err)
+	}
+	r.W = w.W
+	r.LossHistory = w.LossHistory
+	r.Divergence = w.Divergence
+	r.Norm = w.Norm
+	r.Entropy = w.Entropy
+	return nil
+}

@@ -31,23 +31,33 @@ func (a *Agent) MarshalBinary() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// LoadAgent reconstructs an agent serialized with MarshalBinary. The
-// optimizer state is not persisted; a loaded agent can act immediately and
-// can be fine-tuned further (fresh optimizer moments).
-func LoadAgent(data []byte) (*Agent, error) {
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. The optimizer state
+// is not persisted; a loaded agent can act immediately and can be fine-tuned
+// further (fresh optimizer moments).
+func (a *Agent) UnmarshalBinary(data []byte) error {
 	var w agentWire
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
-		return nil, fmt.Errorf("pensieve: decode agent: %w", err)
+		return fmt.Errorf("pensieve: decode agent: %w", err)
 	}
-	a := NewAgent(0, w.Modified)
+	loaded := NewAgent(0, w.Modified)
 	var actor, critic nn.Network
 	if err := actor.UnmarshalBinary(w.Actor); err != nil {
-		return nil, fmt.Errorf("pensieve: decode actor: %w", err)
+		return fmt.Errorf("pensieve: decode actor: %w", err)
 	}
 	if err := critic.UnmarshalBinary(w.Critic); err != nil {
-		return nil, fmt.Errorf("pensieve: decode critic: %w", err)
+		return fmt.Errorf("pensieve: decode critic: %w", err)
 	}
-	a.Actor = &actor
-	a.Critic = &critic
+	loaded.Actor = &actor
+	loaded.Critic = &critic
+	*a = *loaded
+	return nil
+}
+
+// LoadAgent reconstructs an agent serialized with MarshalBinary.
+func LoadAgent(data []byte) (*Agent, error) {
+	a := new(Agent)
+	if err := a.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
 	return a, nil
 }

@@ -1,0 +1,61 @@
+package routenet
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/nn"
+)
+
+// modelWire is the gob wire format for Model: each message-passing block is
+// serialized with nn.Network's own encoding, in a fixed order.
+type modelWire struct {
+	Blocks [][]byte
+}
+
+// blocks lists the model's networks in wire order.
+func (m *Model) blocks() []**nn.Network {
+	return []**nn.Network{&m.LinkInit, &m.PathInit, &m.PathUpd, &m.Message, &m.LinkUpd, &m.Readout}
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *Model) MarshalBinary() ([]byte, error) {
+	var w modelWire
+	for i, b := range m.blocks() {
+		data, err := (*b).MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("routenet: encode block %d: %w", i, err)
+		}
+		w.Blocks = append(w.Blocks, data)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("routenet: encode model: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. The receiver is
+// only assigned once every block decodes, so a failed load never leaves a
+// half-overwritten model behind.
+func (m *Model) UnmarshalBinary(data []byte) error {
+	var w modelWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("routenet: decode model: %w", err)
+	}
+	var loaded Model
+	blocks := loaded.blocks()
+	if len(w.Blocks) != len(blocks) {
+		return fmt.Errorf("routenet: decode model: %d blocks, want %d", len(w.Blocks), len(blocks))
+	}
+	for i, b := range blocks {
+		var net nn.Network
+		if err := net.UnmarshalBinary(w.Blocks[i]); err != nil {
+			return fmt.Errorf("routenet: decode block %d: %w", i, err)
+		}
+		*b = &net
+	}
+	*m = loaded
+	return nil
+}

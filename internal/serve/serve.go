@@ -1,0 +1,294 @@
+// Package serve is the model-serving runtime behind cmd/metis-serve: it
+// loads a directory of Metis artifacts into an immutable model registry and
+// exposes prediction over HTTP. Serving rides the compiled-tree
+// representation (dtree.Compiled) exclusively — evaluation walks immutable
+// flat arrays, so the hot path takes no locks and any number of request
+// goroutines predict concurrently; the only shared writes are atomic stat
+// counters. This is the §6.4 deployment story of the paper as a daemon: the
+// distilled controller is small and cheap enough to answer per-decision
+// queries at data-plane rates.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/metis/dtree"
+)
+
+// Model is one servable entry in the registry: a compiled tree plus the
+// artifact metadata it was loaded with.
+type Model struct {
+	Name string
+	// Kind is the artifact kind the model was loaded from (a raw dtree/tree
+	// is compiled at load time).
+	Kind string
+	Meta map[string]string
+	// Compiled is the serving representation (NumClasses/OutDim/NumFeatures
+	// describe the model's shape).
+	Compiled *dtree.Compiled
+
+	requests    atomic.Int64
+	predictions atomic.Int64
+}
+
+// Server is an immutable-after-load model registry with an HTTP front end.
+type Server struct {
+	// Workers bounds the goroutines spawned per batch prediction request
+	// (0 = GOMAXPROCS, 1 = serial). The bound is per request, not
+	// server-wide: under heavy concurrent batch traffic, prefer 1 and let
+	// HTTP request concurrency supply the parallelism.
+	Workers int
+
+	models  map[string]*Model
+	skipped []string
+	start   time.Time
+
+	requests atomic.Int64
+	errors   atomic.Int64
+}
+
+// Ext is the conventional artifact file extension scanned by LoadDir.
+const Ext = ".metis"
+
+// LoadDir builds a server from every *.metis artifact in dir. Tree artifacts
+// (dtree/tree) are compiled on load; compiled-tree artifacts are served
+// as-is; artifacts of any other kind are skipped and listed in Skipped.
+// A model is named by its artifact's "name" metadata, falling back to the
+// file's base name.
+func LoadDir(dir string) (*Server, error) {
+	entries, err := filepath.Glob(filepath.Join(dir, "*"+Ext))
+	if err != nil {
+		return nil, fmt.Errorf("serve: scan %s: %w", dir, err)
+	}
+	if len(entries) == 0 {
+		if _, statErr := os.Stat(dir); statErr != nil {
+			return nil, fmt.Errorf("serve: %w", statErr)
+		}
+		return nil, fmt.Errorf("serve: no %s artifacts in %s", Ext, dir)
+	}
+	s := &Server{models: map[string]*Model{}, start: time.Now()}
+	sort.Strings(entries)
+	for _, path := range entries {
+		// Parse the container (cheap, checksum-verified) and dispatch on the
+		// kind tag before decoding: non-tree artifacts — including kinds
+		// this build doesn't know — are skipped without paying for (or
+		// choking on) their payload decode.
+		a, err := artifact.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		if a.Kind != artifact.KindTree && a.Kind != artifact.KindCompiledTree {
+			s.skipped = append(s.skipped, fmt.Sprintf("%s (kind %s)", filepath.Base(path), a.Kind))
+			continue
+		}
+		model, err := a.Decode()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		name := a.Meta["name"]
+		if name == "" {
+			name = strings.TrimSuffix(filepath.Base(path), Ext)
+		}
+		var c *dtree.Compiled
+		switch m := model.(type) {
+		case *dtree.Tree:
+			if c, err = m.Compile(); err != nil {
+				return nil, fmt.Errorf("serve: compile %s: %w", path, err)
+			}
+		case *dtree.Compiled:
+			c = m
+		}
+		// The checksum protects bytes, not invariants: a malformed compiled
+		// tree could panic or loop the predict handler, so reject it here.
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: %s: %w", path, err)
+		}
+		if _, dup := s.models[name]; dup {
+			return nil, fmt.Errorf("serve: duplicate model name %q (set distinct \"name\" metadata)", name)
+		}
+		s.models[name] = &Model{Name: name, Kind: a.Kind, Meta: a.Meta, Compiled: c}
+	}
+	if len(s.models) == 0 {
+		return nil, fmt.Errorf("serve: no servable artifacts in %s (skipped: %s)", dir, strings.Join(s.skipped, ", "))
+	}
+	return s, nil
+}
+
+// Models returns the registry entries sorted by name.
+func (s *Server) Models() []*Model {
+	out := make([]*Model, 0, len(s.models))
+	for _, m := range s.models {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Skipped lists artifacts that were present but not servable.
+func (s *Server) Skipped() []string { return s.skipped }
+
+// Handler returns the HTTP API:
+//
+//	GET  /healthz     liveness probe
+//	GET  /v1/models   registry listing
+//	POST /v1/predict  single ("x") or batch ("xs") prediction
+//	GET  /v1/stats    uptime and per-model counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/v1/predict", s.handlePredict)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return mux
+}
+
+// modelInfo is one /v1/models row.
+type modelInfo struct {
+	Name       string            `json:"name"`
+	Kind       string            `json:"kind"`
+	Nodes      int               `json:"nodes"`
+	Features   int               `json:"features"`
+	Classes    int               `json:"classes,omitempty"`
+	OutDim     int               `json:"out_dim,omitempty"`
+	Regression bool              `json:"regression"`
+	Meta       map[string]string `json:"meta,omitempty"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	var infos []modelInfo
+	for _, m := range s.Models() {
+		infos = append(infos, modelInfo{
+			Name: m.Name, Kind: m.Kind,
+			Nodes: m.Compiled.NumNodes(), Features: m.Compiled.NumFeatures,
+			Classes: m.Compiled.NumClasses, OutDim: m.Compiled.OutDim,
+			Regression: m.Compiled.IsRegression(), Meta: m.Meta,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": infos})
+}
+
+// predictRequest is the /v1/predict body: exactly one of X (single) or Xs
+// (batch) must be set.
+type predictRequest struct {
+	Model string      `json:"model"`
+	X     []float64   `json:"x,omitempty"`
+	Xs    [][]float64 `json:"xs,omitempty"`
+}
+
+// predictResponse carries either a class decision or a regression vector,
+// singly or per batch row.
+type predictResponse struct {
+	Model   string      `json:"model"`
+	Action  *int        `json:"action,omitempty"`
+	Actions []int       `json:"actions,omitempty"`
+	Value   []float64   `json:"value,omitempty"`
+	Values  [][]float64 `json:"values,omitempty"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req predictRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	m, ok := s.models[req.Model]
+	if !ok {
+		s.fail(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", req.Model))
+		return
+	}
+	single := req.X != nil
+	batch := req.Xs != nil
+	if single == batch {
+		s.fail(w, http.StatusBadRequest, `set exactly one of "x" (single) or "xs" (batch)`)
+		return
+	}
+	if batch && len(req.Xs) == 0 {
+		s.fail(w, http.StatusBadRequest, `"xs" must hold at least one input`)
+		return
+	}
+	rows := req.Xs
+	if single {
+		rows = [][]float64{req.X}
+	}
+	for i, row := range rows {
+		if len(row) != m.Compiled.NumFeatures {
+			s.fail(w, http.StatusBadRequest,
+				fmt.Sprintf("input %d has %d features, model %q wants %d", i, len(row), m.Name, m.Compiled.NumFeatures))
+			return
+		}
+	}
+	m.requests.Add(1)
+	m.predictions.Add(int64(len(rows)))
+	resp := predictResponse{Model: m.Name}
+	if m.Compiled.IsRegression() {
+		values := m.Compiled.PredictRegBatch(rows, s.Workers)
+		if single {
+			resp.Value = values[0]
+		} else {
+			resp.Values = values
+		}
+	} else {
+		actions := m.Compiled.PredictBatch(rows, s.Workers)
+		if single {
+			resp.Action = &actions[0]
+		} else {
+			resp.Actions = actions
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// modelStats is one /v1/stats entry.
+type modelStats struct {
+	Requests    int64 `json:"requests"`
+	Predictions int64 `json:"predictions"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	per := map[string]modelStats{}
+	for _, m := range s.Models() {
+		per[m.Name] = modelStats{Requests: m.requests.Load(), Predictions: m.predictions.Load()}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_s": time.Since(s.start).Seconds(),
+		"requests": s.requests.Load(),
+		"errors":   s.errors.Load(),
+		"models":   per,
+	})
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
+	s.errors.Add(1)
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

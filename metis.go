@@ -31,9 +31,13 @@
 package metis
 
 import (
+	"net/http"
+
+	"repro/internal/artifact"
 	"repro/internal/metis/dtree"
 	"repro/internal/metis/mask"
 	"repro/internal/rl"
+	"repro/internal/serve"
 )
 
 // Env is a sequential decision environment (an alias of the internal RL
@@ -83,4 +87,38 @@ type MaskResult = mask.Result
 // critical to a global system's output by optimizing Equation 4's objective.
 func CriticalConnections(sys MaskSystem, opts MaskOptions) *MaskResult {
 	return mask.Search(sys, opts)
+}
+
+// CompiledTree is the flattened, allocation-free serving form of a distilled
+// tree (§6.4): evaluation walks immutable arrays, so it is lock-free under
+// any concurrency, supports bounded-parallelism batch prediction,
+// and is what metis-serve deploys and GenerateC offloads.
+type CompiledTree = dtree.Compiled
+
+// Compile flattens a distilled tree (classification or regression) into its
+// serving representation.
+func Compile(t *Tree) (*CompiledTree, error) { return t.Compile() }
+
+// SaveTree writes a distilled tree to path as a versioned, checksummed
+// artifact readable by LoadTree and servable by metis-serve. meta is
+// free-form; a "name" key names the model in the serving registry.
+func SaveTree(path string, t *Tree, meta map[string]string) error {
+	return artifact.SaveModel(path, t, meta)
+}
+
+// LoadTree restores a tree artifact written by SaveTree (or any binary's
+// -save flag).
+func LoadTree(path string) (*Tree, error) { return artifact.LoadTree(path) }
+
+// Serve loads every model artifact in dir into a serving registry and
+// returns the metis-serve HTTP API (GET /v1/models, POST /v1/predict,
+// GET /v1/stats, GET /healthz) backed by lock-free compiled-tree inference.
+// workers bounds the goroutines used per batch prediction (0 = all cores).
+func Serve(dir string, workers int) (http.Handler, error) {
+	s, err := serve.LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	s.Workers = workers
+	return s.Handler(), nil
 }

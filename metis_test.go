@@ -1,6 +1,11 @@
 package metis
 
 import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -104,5 +109,59 @@ func TestPublicCriticalConnections(t *testing.T) {
 	}
 	if res.W[0] <= res.W[1] {
 		t.Fatalf("critical mask %v not above irrelevant %v", res.W[0], res.W[1])
+	}
+}
+
+// TestPublicSaveServe covers the deployment loop end to end through the
+// facade: distill → SaveTree → LoadTree → Compile parity → Serve → HTTP
+// prediction.
+func TestPublicSaveServe(t *testing.T) {
+	res, err := Distill(&scanEnv{}, stairPolicy{}, DistillConfig{
+		MaxLeaves: 8, Iterations: 2, EpisodesPerIter: 15, MaxSteps: 25,
+		FeatureNames: []string{"x"}, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "stair.metis")
+	if err := SaveTree(path, res.Tree, map[string]string{"name": "stair"}); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := LoadTree(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := Compile(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0.0; x < 1; x += 0.01 {
+		if compiled.Predict([]float64{x}) != res.Tree.Predict([]float64{x}) {
+			t.Fatalf("compiled/loaded drift at x=%v", x)
+		}
+	}
+
+	handler, err := Serve(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json",
+		bytes.NewBufferString(`{"model":"stair","x":[0.9]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Action int `json:"action"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Action != res.Tree.Predict([]float64{0.9}) {
+		t.Fatalf("served action %d, tree says %d", out.Action, res.Tree.Predict([]float64{0.9}))
 	}
 }
