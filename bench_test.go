@@ -555,3 +555,32 @@ func BenchmarkAblationEntropy(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkScenarioPipeline times one full teacher→student pipeline run —
+// train, distill, evaluate, interpret — through the scenario engine (the
+// jobs scenario at tiny scale: a heuristic teacher plus a mask search, so
+// the bench measures the engine and the interpretation, not DNN training).
+func BenchmarkScenarioPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := RunScenario("jobs", ScenarioConfig{Scale: "tiny", Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.StudentKind != "mask" {
+			b.Fatalf("student kind %q", rep.StudentKind)
+		}
+	}
+}
+
+// BenchmarkScenarioPipelineAll times the whole registered-scenario sweep at
+// tiny scale — the -scenario all path of cmd/metis-exp, including every
+// tiny teacher training.
+func BenchmarkScenarioPipelineAll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, name := range Scenarios() {
+			if _, err := RunScenario(name, ScenarioConfig{Scale: "tiny"}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -24,11 +24,10 @@ func main() {
 	traces := flag.Int("traces", 16, "number of synthetic traces")
 	episodes := flag.Int("train", 300, "teacher pretraining episodes")
 	leaves := flag.Int("leaves", 120, "decision tree leaf budget")
-	save := flag.String("save", "", "write the distilled tree artifact to this path")
-	load := flag.String("load", "", "load a tree artifact instead of training and distilling")
+	saveLoad := cliutil.SaveLoadFlags("distilled tree")
 	workers := cliutil.WorkersFlag()
 	flag.Parse()
-	cliutil.SaveLoadExclusive(*save, *load)
+	save, load := saveLoad.Parsed()
 	w := cliutil.Workers(*workers)
 
 	env := abr.NewEnv(abr.Config{
@@ -38,9 +37,9 @@ func main() {
 
 	var tree *dtree.Tree
 	var agent *pensieve.Agent
-	if *load != "" {
-		tree = cliutil.LoadClassifierTree(*load, abr.StateDim, "ABR states")
-		fmt.Printf("loaded tree artifact %s: %d leaves, depth %d\n", *load, tree.NumLeaves(), tree.Depth())
+	if load != "" {
+		tree = cliutil.LoadClassifierTree(load, abr.StateDim, "ABR states")
+		fmt.Printf("loaded tree artifact %s: %d leaves, depth %d\n", load, tree.NumLeaves(), tree.Depth())
 	} else {
 		fmt.Println("training Pensieve teacher…")
 		agent = pensieve.NewAgent(2, false)
@@ -65,8 +64,8 @@ func main() {
 		tree = res.Tree
 		fmt.Printf("tree: %d leaves, depth %d, fidelity %.1f%%, %d bytes\n",
 			tree.NumLeaves(), tree.Depth(), 100*res.Fidelity, tree.SizeBytes())
-		if *save != "" {
-			cliutil.MustSaveModel(*save, tree, map[string]string{"name": "abr", "system": "pensieve"}, "tree")
+		if save != "" {
+			cliutil.MustSaveModel(save, tree, map[string]string{"name": "abr", "system": "pensieve"}, "tree")
 		}
 	}
 

@@ -22,18 +22,17 @@ import (
 func main() {
 	flows := flag.Int("flows", 400, "flows per fabric run")
 	gens := flag.Int("gens", 10, "ES training generations")
-	save := flag.String("save", "", "write the distilled tree artifact to this path")
-	load := flag.String("load", "", "load a tree artifact instead of training and distilling")
+	saveLoad := cliutil.SaveLoadFlags("distilled tree")
 	workers := cliutil.WorkersFlag()
 	flag.Parse()
-	cliutil.SaveLoadExclusive(*save, *load)
+	save, load := saveLoad.Parsed()
 	w := cliutil.Workers(*workers)
 
 	var tree *dtree.Tree
 	var lrla *auto.LRLA
-	if *load != "" {
-		tree = cliutil.LoadClassifierTree(*load, dcn.LongFlowStateDim, "DCN long-flow states")
-		fmt.Printf("loaded tree artifact %s: %d leaves\n", *load, tree.NumLeaves())
+	if load != "" {
+		tree = cliutil.LoadClassifierTree(load, dcn.LongFlowStateDim, "DCN long-flow states")
+		fmt.Printf("loaded tree artifact %s: %d leaves\n", load, tree.NumLeaves())
 	} else {
 		fmt.Println("training AuTO lRLA on the web-search workload…")
 		lrla = auto.NewLRLA(21)
@@ -49,8 +48,8 @@ func main() {
 			panic(err)
 		}
 		fmt.Printf("tree: %d leaves from %d decisions\n", tree.NumLeaves(), len(states))
-		if *save != "" {
-			cliutil.MustSaveModel(*save, tree, map[string]string{"name": "dcn", "system": "auto-lrla"}, "tree")
+		if save != "" {
+			cliutil.MustSaveModel(save, tree, map[string]string{"name": "dcn", "system": "auto-lrla"}, "tree")
 		}
 	}
 

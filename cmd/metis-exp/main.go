@@ -1,4 +1,5 @@
-// Command metis-exp regenerates the paper's tables and figures.
+// Command metis-exp regenerates the paper's tables and figures, and drives
+// the generic scenario pipeline over every registered domain.
 //
 // Usage:
 //
@@ -8,11 +9,21 @@
 //	metis-exp -exp fig15a -scale full
 //	metis-exp -exp all -cache ~/.cache/metis   # reuse trained teachers
 //
-// With -cache, every trained teacher (Pensieve, AuTO lRLA/sRLA, RouteNet*)
-// and the AuTO distilled trees are persisted as versioned artifacts in the
-// given directory; later runs at the same scale load them instead of
-// retraining, and the run ends with a "cache:" summary line showing how many
-// teachers were trained versus loaded.
+//	metis-exp -scenario abr               # one teacher→student pipeline run
+//	metis-exp -scenario all -scale tiny   # every scenario, seconds total
+//	metis-exp -scenario jobs,nfv -out models   # persist students + manifests
+//	metis-exp -list-scenarios
+//
+// With -cache, every trained teacher (Pensieve, AuTO lRLA/sRLA, RouteNet*,
+// and the scenario pipeline's teachers) is persisted as a versioned artifact
+// in the given directory; later runs at the same scale load them instead of
+// retraining. With -out, each scenario run writes its student model and a
+// pipeline manifest (provenance record) as artifacts servable or
+// inspectable by metis-serve.
+//
+// Scales: figures accept test (seconds) and full (minutes); scenarios
+// additionally accept tiny (the whole -scenario all sweep finishes in
+// seconds).
 //
 // Experiment identifiers follow the paper's numbering (fig7, fig9, fig11,
 // fig12, fig12b, fig12c, fig13, fig14, fig15a, fig15b, fig16a, fig16b,
@@ -28,37 +39,62 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/experiments"
+	"repro/internal/scenario"
+	_ "repro/internal/scenarios" // register the built-in scenarios
 )
 
 func main() {
 	exp := flag.String("exp", "", "experiment id (or 'all')")
-	scale := flag.String("scale", "test", "scale: test (seconds) or full (minutes)")
+	scen := flag.String("scenario", "", "scenario name, comma list, or 'all': run the teacher→student pipeline")
+	scale := flag.String("scale", "test", "scale: test (seconds) or full (minutes); scenarios also accept tiny")
 	cache := flag.String("cache", "", "artifact cache directory: trained teachers persist across runs")
+	out := flag.String("out", "", "scenario runs: write student + manifest artifacts to this directory")
 	workers := cliutil.WorkersFlag()
 	list := flag.Bool("list", false, "list available experiment ids")
+	listScen := flag.Bool("list-scenarios", false, "list registered scenario names")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(experiments.Names(), "\n"))
 		return
 	}
-	if *exp == "" {
+	if *listScen {
+		for _, name := range scenario.Names() {
+			sc, _ := scenario.Get(name)
+			fmt.Printf("%-12s %s\n", name, sc.Describe())
+		}
+		return
+	}
+	if (*exp == "") == (*scen == "") {
+		fmt.Fprintln(os.Stderr, "set exactly one of -exp (figures/tables) or -scenario (pipeline runs); see -list and -list-scenarios")
 		flag.Usage()
 		os.Exit(2)
 	}
-	s := experiments.TestScale
-	if *scale == "full" {
-		s = experiments.FullScale
-	}
-	f := experiments.NewFixture(s)
-	f.Workers = cliutil.Workers(*workers)
+	w := cliutil.Workers(*workers)
 	if *cache != "" {
 		if err := os.MkdirAll(*cache, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "cannot create cache directory: %v\n", err)
 			os.Exit(1)
 		}
-		f.CacheDir = *cache
 	}
+
+	if *scen != "" {
+		runScenarios(*scen, *scale, *cache, *out, w)
+		return
+	}
+
+	s := experiments.TestScale
+	switch *scale {
+	case "test":
+	case "full":
+		s = experiments.FullScale
+	default:
+		fmt.Fprintf(os.Stderr, "-exp supports scales test and full (got %q)\n", *scale)
+		os.Exit(2)
+	}
+	f := experiments.NewFixture(s)
+	f.Workers = w
+	f.CacheDir = *cache
 
 	run := func(name string) {
 		runner, ok := experiments.Registry[name]
@@ -83,4 +119,40 @@ func main() {
 		fmt.Printf("cache: %d teachers trained, %d artifacts loaded from %s\n",
 			f.TeachersTrained, f.CacheHits, f.CacheDir)
 	}
+}
+
+// runScenarios drives the generic pipeline over the requested scenarios.
+func runScenarios(scen, scale, cache, out string, workers int) {
+	if out != "" {
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "cannot create output directory: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	names := scenario.Names()
+	if scen != "all" {
+		names = nil
+		for _, n := range strings.Split(scen, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
+	}
+	p := &scenario.Pipeline{Config: scenario.Config{
+		Scale:    scale,
+		Workers:  workers,
+		CacheDir: cache,
+		OutDir:   out,
+	}}
+	start := time.Now()
+	reports, err := p.RunAll(names)
+	for i, rep := range reports {
+		if rep == nil {
+			continue
+		}
+		fmt.Printf("=== %s ===\n%s\n", names[i], rep)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("ran %d scenarios in %v\n", len(reports), time.Since(start).Round(time.Millisecond))
 }

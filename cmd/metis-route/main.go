@@ -29,28 +29,27 @@ func main() {
 	demands := flag.Int("demands", 12, "traffic demands to route")
 	gens := flag.Int("gens", 60, "RouteNet training generations")
 	iters := flag.Int("iters", 100, "mask optimization iterations")
-	save := flag.String("save", "", "write the trained RouteNet model artifact to this path")
-	load := flag.String("load", "", "load a RouteNet model artifact instead of training")
+	saveLoad := cliutil.SaveLoadFlags("trained RouteNet model")
 	workers := cliutil.WorkersFlag()
 	flag.Parse()
-	cliutil.SaveLoadExclusive(*save, *load)
+	save, load := saveLoad.Parsed()
 	w := cliutil.Workers(*workers)
 
 	g := topo.NSFNet(10)
 	var model *routenet.Model
-	if *load != "" {
+	if load != "" {
 		var err error
-		if model, err = artifact.LoadAs[*routenet.Model](*load); err != nil {
+		if model, err = artifact.LoadAs[*routenet.Model](load); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("loaded RouteNet model artifact %s\n", *load)
+		fmt.Printf("loaded RouteNet model artifact %s\n", load)
 	} else {
 		fmt.Println("training RouteNet* delay predictor on NSFNet…")
 		model = routenet.NewModel(41)
 		model.Train(g, routenet.TrainConfig{Demands: *demands, Generations: *gens, Seed: 43})
-		if *save != "" {
-			cliutil.MustSaveModel(*save, model, map[string]string{"name": "routenet", "topology": "nsfnet"}, "RouteNet model")
+		if save != "" {
+			cliutil.MustSaveModel(save, model, map[string]string{"name": "routenet", "topology": "nsfnet"}, "RouteNet model")
 		}
 	}
 	fmt.Printf("model fit: log-delay RMSE %.3f\n", model.Loss(g, routenet.TrainConfig{Demands: *demands}, 999))
@@ -68,8 +67,8 @@ func main() {
 	fmt.Println("\nsearching critical connections (Equations 4–9)…")
 	sys := &experiments.RouteNetSystem{Opt: opt, Routing: rt}
 	res := mask.Search(sys, mask.Options{Lambda1: 0.25, Lambda2: 1, Iterations: *iters, Seed: 7, Workers: w})
-	if *save != "" {
-		maskPath := strings.TrimSuffix(*save, ".metis") + ".mask.metis"
+	if save != "" {
+		maskPath := strings.TrimSuffix(save, ".metis") + ".mask.metis"
 		cliutil.MustSaveModel(maskPath, res, map[string]string{"name": "routenet-mask"}, "mask-search result")
 	}
 	off := routenet.ConnectionOffsets(rt.Paths)

@@ -11,15 +11,23 @@
 //	curl -s -X POST localhost:9090/v1/predict \
 //	     -d '{"model":"quickstart","x":[2,1]}'
 //
-// Endpoints: GET /healthz, GET /v1/models, POST /v1/predict (single "x" or
-// batch "xs"), GET /v1/stats.
+// Endpoints: GET /healthz, GET /v1/models, GET /v1/models/{name},
+// POST /v1/predict (single "x" or batch "xs"), GET /v1/stats.
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener closes,
+// in-flight requests get up to 5 seconds to finish, and the process exits 0.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/serve"
@@ -54,8 +62,29 @@ func main() {
 		fmt.Printf("skipped %s: not a servable kind\n", skip)
 	}
 	fmt.Printf("serving %d models on %s\n", len(s.Models()), *addr)
-	if err := http.ListenAndServe(*addr, s.Handler()); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		// Listener failure (port in use, …) before any signal.
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	case <-ctx.Done():
+		fmt.Println("signal received, draining in-flight requests…")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "shutdown:", err)
+			os.Exit(1)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("bye")
 	}
 }

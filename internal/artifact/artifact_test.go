@@ -352,3 +352,24 @@ func TestUnsupportedType(t *testing.T) {
 		t.Fatal("expected error for unsupported model type")
 	}
 }
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := &Manifest{
+		Scenario:           "jobs",
+		Scale:              "tiny",
+		TeacherKind:        KindHeuristic,
+		StudentKind:        KindMaskResult,
+		StudentFingerprint: "deadbeef",
+		Config:             "jobs/tiny/{Stages:10}",
+		Metrics:            map[string]float64{"makespan": 31.5, "critical_path_hit": 1},
+	}
+	back := roundTrip(t, m).(*Manifest)
+	if back.Scenario != m.Scenario || back.Scale != m.Scale ||
+		back.TeacherKind != m.TeacherKind || back.StudentKind != m.StudentKind ||
+		back.StudentFingerprint != m.StudentFingerprint || back.Config != m.Config {
+		t.Fatalf("manifest drift: %+v vs %+v", back, m)
+	}
+	if back.Metrics["makespan"] != 31.5 || back.Metrics["critical_path_hit"] != 1 {
+		t.Fatalf("metrics drift: %+v", back.Metrics)
+	}
+}

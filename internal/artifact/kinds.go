@@ -23,6 +23,7 @@ const (
 	KindAutoSRLA      = "auto/srla"
 	KindRouteNet      = "routenet/model"
 	KindMaskResult    = "mask/result"
+	// KindManifest ("pipeline/manifest") is declared in manifest.go.
 )
 
 // decoders maps kind tags to payload decoders returning the concrete model.
@@ -35,6 +36,7 @@ var decoders = map[string]func([]byte) (any, error){
 	KindAutoSRLA:      decodeInto(func() *auto.SRLA { return new(auto.SRLA) }),
 	KindRouteNet:      decodeInto(func() *routenet.Model { return new(routenet.Model) }),
 	KindMaskResult:    decodeInto(func() *mask.Result { return new(mask.Result) }),
+	KindManifest:      decodeInto(func() *Manifest { return new(Manifest) }),
 }
 
 // decodeInto adapts a zero-value constructor for a BinaryUnmarshaler type
@@ -68,6 +70,8 @@ func KindOf(model any) (string, error) {
 		return KindRouteNet, nil
 	case *mask.Result:
 		return KindMaskResult, nil
+	case *Manifest:
+		return KindManifest, nil
 	}
 	return "", fmt.Errorf("artifact: unsupported model type %T", model)
 }

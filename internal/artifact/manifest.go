@@ -1,0 +1,75 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+)
+
+// KindManifest tags a pipeline-manifest artifact: the provenance record the
+// scenario pipeline writes next to each student model.
+const KindManifest = "pipeline/manifest"
+
+// KindHeuristic is the TeacherKind recorded in a manifest when the
+// scenario's teacher is a deterministic heuristic with no persistable model
+// (the appendix scenarios). It is not an artifact kind — nothing is stored
+// under it.
+const KindHeuristic = "heuristic"
+
+// Manifest records the provenance of one scenario-pipeline run: which
+// teacher produced which student under which configuration, with the
+// evaluation metrics at that point. It lets a deployed student artifact be
+// traced back to its training run (and a stale one be detected) without
+// re-running anything.
+type Manifest struct {
+	// Scenario and Scale identify the pipeline run.
+	Scenario, Scale string
+	// TeacherKind is the teacher model's artifact kind, or KindHeuristic.
+	TeacherKind string
+	// TeacherFingerprint is the CRC-32C (hex) of the teacher model's binary
+	// encoding; empty for heuristic teachers.
+	TeacherFingerprint string
+	// StudentKind is the student model's artifact kind.
+	StudentKind string
+	// StudentFingerprint is the CRC-32C (hex) of the student model's binary
+	// encoding — comparable against the payload checksum of the student
+	// artifact written alongside.
+	StudentFingerprint string
+	// Config is the scenario's config fingerprint: every knob that affected
+	// training and distillation.
+	Config string
+	// Metrics are the evaluation results by metric name.
+	Metrics map[string]float64
+}
+
+// manifestWire strips Manifest's marshal methods so the gob encoding below
+// doesn't recurse back into them.
+type manifestWire Manifest
+
+// MarshalBinary implements encoding.BinaryMarshaler (gob).
+func (m *Manifest) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode((*manifestWire)(m)); err != nil {
+		return nil, fmt.Errorf("manifest: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *Manifest) UnmarshalBinary(b []byte) error {
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode((*manifestWire)(m)); err != nil {
+		return fmt.Errorf("manifest: decode: %w", err)
+	}
+	return nil
+}
+
+// Checksum is the CRC-32C used for artifact payloads, exported so callers
+// (the pipeline manifest) can fingerprint a payload with the same function
+// the container verifies with.
+func Checksum(payload []byte) uint32 {
+	return crc32.Checksum(payload, castagnoli)
+}
+
+// LoadManifest loads a pipeline-manifest artifact.
+func LoadManifest(path string) (*Manifest, error) { return LoadAs[*Manifest](path) }

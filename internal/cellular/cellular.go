@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"repro/internal/hypergraph"
+	"repro/internal/metis/mask"
 	"repro/internal/nn"
 )
 
@@ -197,6 +198,12 @@ func (s *System) Output(mask []float64) []float64 {
 	}
 	return out
 }
+
+// CloneSystem implements mask.ClonableSystem so SPSA perturbation pairs can
+// evaluate concurrently. Output only reads the association and the
+// precomputed coverage/index tables, so the clone rebuilds those tables from
+// the shared association.
+func (s *System) CloneSystem() mask.System { return NewSystem(s.Assoc) }
 
 // Hypergraph returns the scenario-#3 hypergraph.
 func (s *System) Hypergraph() *hypergraph.Hypergraph {

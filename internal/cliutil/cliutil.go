@@ -31,14 +31,32 @@ func Workers(v int) int {
 	return v
 }
 
-// SaveLoadExclusive rejects a combined -save/-load invocation: -load skips
-// the training that would produce the artifact -save names, so honoring
-// both would silently write nothing (or not what the user asked for).
-func SaveLoadExclusive(save, load string) {
-	if save != "" && load != "" {
+// SaveLoad holds the parsed shared -save/-load artifact flags.
+type SaveLoad struct {
+	save, load *string
+}
+
+// SaveLoadFlags registers the shared -save/-load artifact flags on the
+// default flag set; what names the artifact in the help text ("distilled
+// tree", "RouteNet model", …). Call Parsed after flag.Parse.
+func SaveLoadFlags(what string) *SaveLoad {
+	return &SaveLoad{
+		save: flag.String("save", "", "write the "+what+" artifact to this path"),
+		load: flag.String("load", "", "load a "+what+" artifact instead of training"),
+	}
+}
+
+// Parsed validates the flags after flag.Parse and returns their values.
+// A combined -save/-load invocation is rejected with exit code 2: -load
+// skips the training that would produce the artifact -save names, so
+// honoring both would silently write nothing (or not what the user asked
+// for).
+func (sl *SaveLoad) Parsed() (save, load string) {
+	if *sl.save != "" && *sl.load != "" {
 		fmt.Fprintln(os.Stderr, "-save and -load are mutually exclusive: -load skips the training that -save would persist")
 		os.Exit(2)
 	}
+	return *sl.save, *sl.load
 }
 
 // LoadClassifierTree loads a -load tree artifact for a binary whose system

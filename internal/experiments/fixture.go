@@ -18,13 +18,18 @@ import (
 	"repro/internal/abr"
 	"repro/internal/artifact"
 	"repro/internal/auto"
-	"repro/internal/dcn"
 	"repro/internal/metis/dtree"
 	"repro/internal/pensieve"
 	"repro/internal/routenet"
+	"repro/internal/scenarios"
 	"repro/internal/topo"
 	"repro/internal/trace"
 )
+
+// The experiment harnesses and the scenario engine share one set of
+// teacher-training recipes (internal/scenarios), so a teacher trained for a
+// figure is bit-identical to one trained by a pipeline run at the same
+// knobs.
 
 // Scale bundles every knob that trades run time for fidelity.
 type Scale struct {
@@ -182,10 +187,7 @@ func (f *Fixture) saveCached(name string, model any) {
 func (f *Fixture) envs() {
 	f.onceEnv.Do(func() {
 		s := f.Scale
-		video := abr.StandardVideo(s.VideoChunks, 1)
-		f.envHSDPA = abr.NewEnv(abr.Config{Video: video, Traces: trace.HSDPA(s.NumTraces, s.TraceSeconds, 7)})
-		f.envFCC = abr.NewEnv(abr.Config{Video: video, Traces: trace.FCC(s.NumTraces, s.TraceSeconds, 11)})
-		f.envHSDPATest = abr.NewEnv(abr.Config{Video: video, Traces: trace.HSDPA(s.NumTraces, s.TraceSeconds, 1013)})
+		f.envHSDPA, f.envFCC, f.envHSDPATest = scenarios.ABREnvs(s.NumTraces, s.TraceSeconds, s.VideoChunks)
 	})
 }
 
@@ -206,16 +208,15 @@ func (f *Fixture) FixedEnv(kbps float64, chunks int) *abr.Env {
 	})
 }
 
-// Pensieve returns the trained Pensieve teacher (trained on first use, or
-// restored from CacheDir).
+// Pensieve returns the trained Pensieve teacher (trained on first use via
+// the shared scenarios recipe, or restored from CacheDir).
 func (f *Fixture) Pensieve() *pensieve.Agent {
 	f.oncePensieve.Do(func() {
 		f.agent = pensieve.NewAgent(2, false)
 		if f.loadCached("pensieve", f.agent) {
 			return
 		}
-		pensieve.Pretrain(f.agent, f.EnvHSDPA(), f.Scale.PretrainEps, 5)
-		f.agent.A2C.Train(f.EnvHSDPA(), f.Scale.FinetuneEps, f.Scale.VideoChunks+2, 6)
+		f.agent = scenarios.TrainPensieve(f.EnvHSDPA(), f.Scale.PretrainEps, f.Scale.FinetuneEps, f.Scale.VideoChunks+2)
 		f.TeachersTrained++
 		f.saveCached("pensieve", f.agent)
 	})
@@ -225,17 +226,9 @@ func (f *Fixture) Pensieve() *pensieve.Agent {
 // PensieveTree returns the distilled Metis+Pensieve tree (with resampling).
 func (f *Fixture) PensieveTree() *dtree.DistillResult {
 	f.onceTree.Do(func() {
-		res, err := dtree.DistillPolicy(f.EnvHSDPA(), f.Pensieve(), dtree.DistillConfig{
-			MaxLeaves:       f.Scale.TreeLeaves,
-			Iterations:      f.Scale.DistillIters,
-			EpisodesPerIter: f.Scale.DistillEps,
-			MaxSteps:        f.Scale.VideoChunks + 2,
-			Resample:        true,
-			QHorizon:        5,
-			FeatureNames:    abr.FeatureNames(),
-			Seed:            3,
-			Workers:         f.Workers,
-		})
+		res, err := dtree.DistillPolicy(f.EnvHSDPA(), f.Pensieve(),
+			scenarios.PensieveDistillConfig(f.Scale.TreeLeaves, f.Scale.DistillIters,
+				f.Scale.DistillEps, f.Scale.VideoChunks+2, f.Workers))
 		if err != nil {
 			panic("experiments: distill pensieve: " + err.Error())
 		}
@@ -244,32 +237,27 @@ func (f *Fixture) PensieveTree() *dtree.DistillResult {
 	return f.tree
 }
 
-// AuTo returns the trained AuTO teachers and their distilled trees.
+// AuTo returns the trained AuTO teachers and their distilled trees (built
+// via the shared scenarios recipes, or restored from CacheDir).
 func (f *Fixture) AuTo() (lrla *auto.LRLA, srla *auto.SRLA, lrlaTree, srlaTree *dtree.Tree) {
 	f.onceAuto.Do(func() {
 		s := f.Scale
 		f.lrla = auto.NewLRLA(21)
 		if !f.loadCached("auto-lrla", f.lrla) {
-			auto.TrainLRLA(f.lrla, auto.TrainConfig{Workload: dcn.WebSearch, FlowsPerRun: s.FlowsPerRun, Generations: s.AuToGenerations, Seed: 23})
+			f.lrla = scenarios.TrainAuTOLRLA(s.FlowsPerRun, s.AuToGenerations)
 			f.TeachersTrained++
 			f.saveCached("auto-lrla", f.lrla)
 		}
 		f.srla = auto.NewSRLA(25)
 		if !f.loadCached("auto-srla", f.srla) {
-			auto.TrainSRLA(f.srla, auto.TrainConfig{Workload: dcn.WebSearch, FlowsPerRun: s.FlowsPerRun, Generations: s.AuToGenerations, Seed: 27})
+			f.srla = scenarios.TrainAuTOSRLA(s.FlowsPerRun, s.AuToGenerations)
 			f.TeachersTrained++
 			f.saveCached("auto-srla", f.srla)
 		}
 
 		f.lrlaTree = new(dtree.Tree)
 		if !f.loadCached("auto-lrla-tree", f.lrlaTree) {
-			states, actions := auto.CollectLRLADataset(f.lrla, dcn.WebSearch, s.AuToRuns, 31)
-			if len(states) == 0 {
-				panic("experiments: no lRLA decisions collected")
-			}
-			tr, err := dtree.FitDataset(&dtree.Dataset{X: states, Y: actions}, dtree.DistillConfig{
-				MaxLeaves: 2000, FeatureNames: auto.LongFlowStateNames(), Workers: f.Workers,
-			})
+			tr, _, err := scenarios.DistillLRLATree(f.lrla, s.AuToRuns, 2000, f.Workers)
 			if err != nil {
 				panic("experiments: distill lRLA: " + err.Error())
 			}
@@ -279,8 +267,7 @@ func (f *Fixture) AuTo() (lrla *auto.LRLA, srla *auto.SRLA, lrlaTree, srlaTree *
 
 		f.srlaTree = new(dtree.Tree)
 		if !f.loadCached("auto-srla-tree", f.srlaTree) {
-			sStates, sTargets := auto.CollectSRLADataset(f.srla, dcn.WebSearch, 60, 33)
-			rt, err := dtree.FitDataset(&dtree.Dataset{X: sStates, YReg: sTargets}, dtree.DistillConfig{MaxLeaves: 200, Workers: f.Workers})
+			rt, _, err := scenarios.DistillSRLATree(f.srla, 60, 200, f.Workers)
 			if err != nil {
 				panic("experiments: distill sRLA: " + err.Error())
 			}
@@ -291,19 +278,16 @@ func (f *Fixture) AuTo() (lrla *auto.LRLA, srla *auto.SRLA, lrlaTree, srlaTree *
 	return f.lrla, f.srla, f.lrlaTree, f.srlaTree
 }
 
-// RouteNet returns the NSFNet graph and a trained RouteNet model.
+// RouteNet returns the NSFNet graph and a trained RouteNet model (built via
+// the shared scenarios recipe, or restored from CacheDir).
 func (f *Fixture) RouteNet() (*topo.Graph, *routenet.Model) {
 	f.onceRoute.Do(func() {
-		f.graph = topo.NSFNet(10)
+		f.graph = scenarios.NSFNetGraph()
 		f.rnet = routenet.NewModel(41)
 		if f.loadCached("routenet", f.rnet) {
 			return
 		}
-		f.rnet.Train(f.graph, routenet.TrainConfig{
-			Demands:     f.Scale.RouteDemands,
-			Generations: f.Scale.RouteNetGens,
-			Seed:        43,
-		})
+		f.rnet = scenarios.TrainRouteNet(f.graph, f.Scale.RouteDemands, f.Scale.RouteNetGens)
 		f.TeachersTrained++
 		f.saveCached("routenet", f.rnet)
 	})

@@ -4,67 +4,19 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/hypergraph"
 	"repro/internal/metis/mask"
 	"repro/internal/routenet"
 	"repro/internal/routing"
+	"repro/internal/scenarios"
 	"repro/internal/stats"
 	"repro/internal/topo"
 )
 
 // RouteNetSystem adapts the closed-loop RouteNet* optimizer to the
-// critical-connection search: the output is the concatenation, over demands,
-// of the candidate-path choice distributions under the masked model
-// (discrete, compared with KL divergence).
-type RouteNetSystem struct {
-	Opt     *routenet.Optimizer
-	Routing *routing.Routing
-	// Temperature sharpens/softens the choice distributions (default 1).
-	Temperature float64
-}
-
-// NumConnections implements mask.System.
-func (s *RouteNetSystem) NumConnections() int {
-	return routenet.NumConnections(s.Routing.Paths)
-}
-
-// Discrete implements mask.System.
-func (s *RouteNetSystem) Discrete() bool { return true }
-
-// Output implements mask.System.
-func (s *RouteNetSystem) Output(m []float64) []float64 {
-	var out []float64
-	for i := range s.Routing.Demands {
-		out = append(out, s.Opt.ChoiceDistribution(s.Routing, i, m, s.Temperature)...)
-	}
-	return out
-}
-
-// CloneSystem implements mask.ClonableSystem so the SPSA perturbation pairs
-// of the critical-connection search can be evaluated concurrently. The model
-// is deep-copied (its forward passes reuse scratch buffers) and the routing's
-// path assignment is copied because ChoiceDistribution temporarily swaps
-// candidate paths in place; the graph is shared — its candidate-path cache
-// is lock-guarded.
-func (s *RouteNetSystem) CloneSystem() mask.System {
-	return &RouteNetSystem{
-		Opt: &routenet.Optimizer{Model: s.Opt.Model.Clone(), Graph: s.Opt.Graph},
-		Routing: &routing.Routing{
-			Demands: s.Routing.Demands,
-			Paths:   append([]topo.Path(nil), s.Routing.Paths...),
-		},
-		Temperature: s.Temperature,
-	}
-}
-
-// Hypergraph returns the scenario-#1 hypergraph of the routing.
-func (s *RouteNetSystem) Hypergraph(g *topo.Graph) *hypergraph.Hypergraph {
-	vols := make([]float64, len(s.Routing.Demands))
-	for i, d := range s.Routing.Demands {
-		vols[i] = d.VolumeMbps
-	}
-	return hypergraph.FromRouting(g, s.Routing.Paths, vols)
-}
+// critical-connection search. It now lives in internal/scenarios (the
+// routenet scenario distills through it); the alias keeps the historical
+// experiments-package name every harness and demo uses.
+type RouteNetSystem = scenarios.RouteNetSystem
 
 // maskedRouting bundles one traffic sample's routing and mask.
 type maskedRouting struct {

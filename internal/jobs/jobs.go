@@ -10,6 +10,7 @@ import (
 	"math/rand"
 
 	"repro/internal/hypergraph"
+	"repro/internal/metis/mask"
 )
 
 // DAG is a job of staged work with precedence dependencies.
@@ -162,6 +163,11 @@ func (s *System) Output(mask []float64) []float64 {
 	}
 	return out
 }
+
+// CloneSystem implements mask.ClonableSystem so SPSA perturbation pairs can
+// evaluate concurrently. Output is a pure function of the mask (Schedule
+// allocates fresh state per call), so the clone shares the immutable DAG.
+func (s *System) CloneSystem() mask.System { return &System{DAG: s.DAG} }
 
 // Hypergraph returns the scenario-#4 hypergraph.
 func (s *System) Hypergraph() *hypergraph.Hypergraph {

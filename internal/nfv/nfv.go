@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"repro/internal/hypergraph"
+	"repro/internal/metis/mask"
 )
 
 // Problem describes an NFV placement instance.
@@ -102,6 +103,13 @@ func (pl *Placement) Output(mask []float64) []float64 {
 		out[s] = l / pl.Problem.ServerCapacity[s]
 	}
 	return out
+}
+
+// CloneSystem implements mask.ClonableSystem so SPSA perturbation pairs can
+// evaluate concurrently. Output is a pure function of the mask, so the clone
+// shares the immutable problem and instance lists.
+func (pl *Placement) CloneSystem() mask.System {
+	return &Placement{Problem: pl.Problem, Instances: pl.Instances}
 }
 
 // Hypergraph returns the scenario-#2 hypergraph of the placement.

@@ -1,0 +1,200 @@
+package scenario
+
+import (
+	"encoding"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/parallel"
+)
+
+// Report is the outcome of one pipeline run.
+type Report struct {
+	// Scenario and Scale identify the run.
+	Scenario, Scale string
+	// Description is the scenario's one-liner.
+	Description string
+	// StudentKind is the student's form ("tree" or "mask").
+	StudentKind string
+	// Summary is the student's human-readable interpretation.
+	Summary string
+	// Metrics are the evaluation results.
+	Metrics []Metric
+	// ArtifactPath and ManifestPath are set when Config.OutDir persisted
+	// the student and its provenance manifest.
+	ArtifactPath, ManifestPath string
+	// TrainDur, DistillDur, and EvalDur time the three stages.
+	TrainDur, DistillDur, EvalDur time.Duration
+}
+
+// String renders the report for cmd/metis-exp.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s (%s scale) — %s\n", r.Scenario, r.Scale, r.Description)
+	fmt.Fprintf(&b, "stages: train %v, distill %v, evaluate %v → %s student\n",
+		r.TrainDur.Round(time.Millisecond), r.DistillDur.Round(time.Millisecond),
+		r.EvalDur.Round(time.Millisecond), r.StudentKind)
+	for _, m := range r.Metrics {
+		unit := m.Unit
+		if unit != "" {
+			unit = " " + unit
+		}
+		fmt.Fprintf(&b, "  %-24s %12.4f%s\n", m.Name, m.Value, unit)
+	}
+	if r.Summary != "" {
+		b.WriteString(strings.TrimRight(r.Summary, "\n"))
+		b.WriteString("\n")
+	}
+	if r.ArtifactPath != "" {
+		fmt.Fprintf(&b, "student artifact: %s (manifest: %s)\n", r.ArtifactPath, filepath.Base(r.ManifestPath))
+	}
+	return b.String()
+}
+
+// Pipeline drives scenarios through the generic train → DAgger-distill →
+// evaluate → interpret → persist sequence.
+type Pipeline struct {
+	Config
+}
+
+// Run executes the pipeline for one scenario.
+func (p *Pipeline) Run(sc Scenario) (*Report, error) {
+	cfg := p.Config
+	cfg.Scale = cfg.scale()
+	switch cfg.Scale {
+	case ScaleTiny, ScaleTest, ScaleFull:
+	default:
+		return nil, fmt.Errorf("scenario: unknown scale %q (want %s)", cfg.Scale, strings.Join(Scales(), ", "))
+	}
+
+	rep := &Report{Scenario: sc.Name(), Scale: cfg.Scale, Description: sc.Describe()}
+
+	start := time.Now()
+	teacher, err := sc.Train(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: train: %w", sc.Name(), err)
+	}
+	rep.TrainDur = time.Since(start)
+
+	start = time.Now()
+	student, err := sc.Distill(cfg, teacher)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: distill: %w", sc.Name(), err)
+	}
+	rep.DistillDur = time.Since(start)
+	rep.StudentKind = student.Kind()
+	rep.Summary = student.Summary()
+
+	start = time.Now()
+	rep.Metrics, err = sc.Evaluate(cfg, teacher, student)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: evaluate: %w", sc.Name(), err)
+	}
+	rep.EvalDur = time.Since(start)
+
+	if cfg.OutDir != "" {
+		if err := p.persist(sc, cfg, teacher, student, rep); err != nil {
+			return nil, fmt.Errorf("scenario %s: persist: %w", sc.Name(), err)
+		}
+	}
+	return rep, nil
+}
+
+// persist writes the student model and the run manifest as versioned
+// artifacts into cfg.OutDir. The student artifact carries the scenario tag
+// in its metadata, so metis-serve can surface which domain a model belongs
+// to.
+func (p *Pipeline) persist(sc Scenario, cfg Config, teacher Teacher, student Student, rep *Report) error {
+	model := student.Model()
+	if model == nil {
+		return errors.New("student has no persistable model")
+	}
+	fp := sc.Fingerprint(cfg)
+	// The serving name is scale-qualified like the file name, so students of
+	// the same scenario at different scales can share one artifact directory
+	// without colliding in metis-serve's registry.
+	meta := map[string]string{
+		"name":     fmt.Sprintf("%s-%s", sc.Name(), cfg.Scale),
+		"scenario": sc.Name(),
+		"scale":    cfg.Scale,
+		"student":  student.Kind(),
+		"config":   fp,
+	}
+	path := filepath.Join(cfg.OutDir, fmt.Sprintf("%s-%s.metis", sc.Name(), cfg.Scale))
+	if err := artifact.SaveModel(path, model, meta); err != nil {
+		return err
+	}
+	rep.ArtifactPath = path
+
+	man := &artifact.Manifest{
+		Scenario:           sc.Name(),
+		Scale:              cfg.Scale,
+		TeacherKind:        artifact.KindHeuristic,
+		StudentFingerprint: modelFingerprint(model),
+		Config:             fp,
+		Metrics:            map[string]float64{},
+	}
+	if tm := teacher.Model(); tm != nil {
+		kind, err := artifact.KindOf(tm)
+		if err != nil {
+			return err
+		}
+		man.TeacherKind = kind
+		man.TeacherFingerprint = modelFingerprint(tm)
+	}
+	if man.StudentKind, _ = artifact.KindOf(model); man.StudentKind == "" {
+		return fmt.Errorf("student model %T has no artifact kind", model)
+	}
+	for _, m := range rep.Metrics {
+		man.Metrics[m.Name] = m.Value
+	}
+	manPath := filepath.Join(cfg.OutDir, fmt.Sprintf("%s-%s.manifest.metis", sc.Name(), cfg.Scale))
+	manMeta := map[string]string{
+		"name":     fmt.Sprintf("%s-%s-manifest", sc.Name(), cfg.Scale),
+		"scenario": sc.Name(),
+		"scale":    cfg.Scale,
+	}
+	if err := artifact.SaveModel(manPath, man, manMeta); err != nil {
+		return err
+	}
+	rep.ManifestPath = manPath
+	return nil
+}
+
+// modelFingerprint is the CRC-32C of a model's binary encoding, rendered in
+// hex — the same checksum the artifact container uses, so a manifest
+// fingerprint can be checked against a stored artifact's payload.
+func modelFingerprint(model any) string {
+	m, ok := model.(encoding.BinaryMarshaler)
+	if !ok {
+		return ""
+	}
+	payload, err := m.MarshalBinary()
+	if err != nil {
+		return ""
+	}
+	return fmt.Sprintf("%08x", artifact.Checksum(payload))
+}
+
+// RunAll runs the named scenarios through the pipeline, fanning the
+// independent runs out across internal/parallel workers. Reports are
+// returned in input order regardless of scheduling; a failed scenario
+// leaves a nil slot and its error joined into the returned error, so one
+// broken domain never hides the others' results.
+func (p *Pipeline) RunAll(names []string) ([]*Report, error) {
+	reports := make([]*Report, len(names))
+	errs := make([]error, len(names))
+	parallel.ForEach(p.Workers, len(names), func(i int) {
+		sc, ok := Get(names[i])
+		if !ok {
+			errs[i] = fmt.Errorf("scenario: unknown scenario %q (registered: %s)", names[i], strings.Join(Names(), ", "))
+			return
+		}
+		reports[i], errs[i] = p.Run(sc)
+	})
+	return reports, errors.Join(errs...)
+}

@@ -1,0 +1,218 @@
+// Package scenario is the teacher→student pipeline abstraction of the
+// reproduction: one interface set and one orchestrator for every networking
+// domain Metis interprets. The paper's core claim is that a single
+// interpretation method — train a DNN teacher, distill an interpretable
+// student (a decision tree for local systems, a critical-connection mask for
+// global ones), evaluate both, and ship the student — generalizes across
+// systems; this package encodes that method once, so adding a domain means
+// implementing the small Scenario interface and registering it, not writing
+// a bespoke harness.
+//
+// Layering: scenario knows nothing about any concrete domain. The concrete
+// implementations (ABR/Pensieve, AuTO lRLA/sRLA, RouteNet*, cluster job
+// scheduling, NFV placement, ultra-dense cellular) live in
+// internal/scenarios and register themselves at init time;
+// cmd/metis-exp -scenario, the metis facade, and tests drive them through
+// the Pipeline here.
+package scenario
+
+import (
+	"encoding"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/artifact"
+	"repro/internal/rl"
+)
+
+// Recognized scale names. Every scenario must support all three: Tiny
+// finishes in roughly a second (tests, smoke runs), Test in seconds (the
+// experiment harness default), and Full approximates the paper's settings.
+const (
+	ScaleTiny = "tiny"
+	ScaleTest = "test"
+	ScaleFull = "full"
+)
+
+// Scales lists the recognized scale names.
+func Scales() []string { return []string{ScaleTiny, ScaleTest, ScaleFull} }
+
+// Metric is one named evaluation number produced by a pipeline run.
+type Metric struct {
+	Name  string
+	Value float64
+	// Unit is optional ("ms", "%", …); metrics without one are dimensionless.
+	Unit string
+}
+
+// Env is the sequential decision environment a local-system teacher
+// controls. It is an alias of the internal RL environment interface, so
+// every existing simulator (ABR, fabric, …) already satisfies it.
+type Env = rl.Env
+
+// Teacher is the trained — or, for the appendix scenarios, heuristic —
+// expert side of a scenario.
+type Teacher interface {
+	// Query maps one input vector to the teacher's output vector: an action
+	// distribution for local systems, the masked system output for global
+	// ones. It is the uniform "ask the expert" surface the student is
+	// distilled against.
+	Query(in []float64) []float64
+	// Clone returns an independent teacher that is safe to query
+	// concurrently with the original and computes identical outputs.
+	Clone() Teacher
+	// Model returns the persistable model behind the teacher (a type
+	// accepted by artifact.SaveModel), or nil when the teacher is a pure
+	// heuristic with nothing to persist.
+	Model() any
+}
+
+// Student is the interpretable model distilled from a Teacher.
+type Student interface {
+	// Kind is the student's form: "tree" for local systems, "mask" for
+	// global ones.
+	Kind() string
+	// Summary renders the human-readable interpretation — the whole point
+	// of the exercise.
+	Summary() string
+	// Model returns the persistable model (a type accepted by
+	// artifact.SaveModel); the pipeline writes it as a versioned artifact
+	// next to the run manifest, making every student servable or
+	// re-examinable offline.
+	Model() any
+}
+
+// Config carries the generic pipeline knobs every scenario receives. The
+// zero value runs at test scale, serially, with no caching or persistence.
+type Config struct {
+	// Scale is one of ScaleTiny, ScaleTest, ScaleFull ("" = ScaleTest).
+	// Scenarios map it to their own size knobs.
+	Scale string
+	// Workers bounds the goroutines used by every parallelized stage a
+	// scenario drives (0 = GOMAXPROCS, 1 = serial). All stages are
+	// bit-deterministic in the worker count.
+	Workers int
+	// CacheDir, when non-empty, persists trained teachers as versioned
+	// artifacts keyed by scenario, scale, and config fingerprint, so
+	// repeated runs skip teacher training. Training seeds are fixed per
+	// scale, so a cached teacher is bit-identical to a retrained one.
+	CacheDir string
+	// OutDir, when non-empty, makes the pipeline persist the student model
+	// and a pipeline manifest (artifact.Manifest) there after evaluation.
+	OutDir string
+}
+
+// scale returns the effective scale name.
+func (c Config) scale() string {
+	if c.Scale == "" {
+		return ScaleTest
+	}
+	return c.Scale
+}
+
+// teacherCachePath is the artifact path for a cached teacher, or "" when
+// caching is disabled.
+func (c Config) teacherCachePath(scenarioName string) string {
+	if c.CacheDir == "" {
+		return ""
+	}
+	return filepath.Join(c.CacheDir, fmt.Sprintf("scenario-%s-%s.metis", scenarioName, c.scale()))
+}
+
+// LoadCachedTeacher restores a teacher model from CacheDir, reporting
+// whether it hit. The fingerprint must capture every knob that affects
+// training (scenarios use their Fingerprint method); a mismatch — like any
+// load failure — silently falls back to retraining, because the cache is an
+// accelerator, never a correctness input.
+func (c Config) LoadCachedTeacher(scenarioName, fingerprint string, model any) bool {
+	path := c.teacherCachePath(scenarioName)
+	if path == "" {
+		return false
+	}
+	kind, err := artifact.KindOf(model)
+	if err != nil {
+		return false
+	}
+	a, err := artifact.Open(path)
+	if err != nil || a.Kind != kind || a.Meta["config"] != fingerprint {
+		return false
+	}
+	u, ok := model.(encoding.BinaryUnmarshaler)
+	return ok && u.UnmarshalBinary(a.Payload) == nil
+}
+
+// SaveCachedTeacher persists a freshly trained teacher model to CacheDir.
+// A broken cache directory is a configuration error the user asked for, so
+// the error is returned rather than swallowed.
+func (c Config) SaveCachedTeacher(scenarioName, fingerprint string, model any) error {
+	path := c.teacherCachePath(scenarioName)
+	if path == "" {
+		return nil
+	}
+	meta := map[string]string{
+		"name":     scenarioName,
+		"scenario": scenarioName,
+		"scale":    c.scale(),
+		"config":   fingerprint,
+	}
+	return artifact.SaveModel(path, model, meta)
+}
+
+// Scenario wires one domain into the teacher→student pipeline. Methods are
+// called in order (Train, Distill, Evaluate) by Pipeline.Run; a scenario
+// value must be stateless so concurrent pipeline runs never interfere.
+type Scenario interface {
+	// Name is the registry key ("abr", "jobs", …).
+	Name() string
+	// Describe is a one-line human description of the domain and method.
+	Describe() string
+	// Fingerprint captures every knob that affects the trained teacher and
+	// distilled student at this config; it keys the teacher cache and is
+	// recorded in the run manifest.
+	Fingerprint(cfg Config) string
+	// Train builds the teacher at cfg's scale, restoring it from
+	// cfg.CacheDir when a matching artifact exists.
+	Train(cfg Config) (Teacher, error)
+	// Distill converts the teacher into the interpretable student.
+	Distill(cfg Config, t Teacher) (Student, error)
+	// Evaluate scores teacher and student, returning named metrics.
+	Evaluate(cfg Config, t Teacher, s Student) ([]Metric, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Scenario{}
+)
+
+// Register adds a scenario to the global registry. Registering two
+// scenarios under one name is a programming error and panics.
+func Register(s Scenario) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[s.Name()]; dup {
+		panic(fmt.Sprintf("scenario: duplicate registration of %q", s.Name()))
+	}
+	registry[s.Name()] = s
+}
+
+// Get returns the registered scenario with the given name.
+func Get(name string) (Scenario, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns all registered scenario names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for k := range registry {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,359 @@
+package scenarios
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cellular"
+	"repro/internal/jobs"
+	"repro/internal/metis/mask"
+	"repro/internal/nfv"
+	"repro/internal/scenario"
+)
+
+// systemTeacher adapts a heuristic mask.System as a scenario Teacher. The
+// "DNN" of the appendix scenarios is a deterministic stand-in policy, so
+// Query is the masked system output and there is no persistable model.
+type systemTeacher struct {
+	sys mask.System
+}
+
+// Query implements scenario.Teacher.
+func (t systemTeacher) Query(in []float64) []float64 { return t.sys.Output(in) }
+
+// Clone implements scenario.Teacher.
+func (t systemTeacher) Clone() scenario.Teacher {
+	if cs, ok := t.sys.(mask.ClonableSystem); ok {
+		return systemTeacher{sys: cs.CloneSystem()}
+	}
+	return t
+}
+
+// Model implements scenario.Teacher: heuristic teachers have nothing to
+// persist.
+func (t systemTeacher) Model() any { return nil }
+
+// ---------------------------------------------------------------- jobs ---
+
+// jobsParams are the per-scale knobs of the cluster-scheduling scenario
+// (Appendix B.3).
+type jobsParams struct {
+	Stages, MaskIterations int
+}
+
+var jobsScales = map[string]jobsParams{
+	scenario.ScaleTiny: {Stages: 10, MaskIterations: 120},
+	scenario.ScaleTest: {Stages: 12, MaskIterations: 300},
+	scenario.ScaleFull: {Stages: 24, MaskIterations: 500},
+}
+
+// seedJobsDAG generates the canonical job DAG (and seeds its mask search).
+const seedJobsDAG = 3
+
+// jobsScenario interprets the critical-path structure of DAG job
+// scheduling: which stage dependencies dominate the completion time.
+type jobsScenario struct{}
+
+func (jobsScenario) Name() string { return "jobs" }
+
+func (jobsScenario) Describe() string {
+	return "cluster job scheduling over a stage DAG (Decima setting); Metis masks the completion-time-critical dependencies"
+}
+
+func (jobsScenario) Fingerprint(cfg scenario.Config) string {
+	return fmt.Sprintf("jobs/%s/%+v", cfg.Scale, jobsScales[cfg.Scale])
+}
+
+func (jobsScenario) Train(cfg scenario.Config) (scenario.Teacher, error) {
+	p, ok := jobsScales[cfg.Scale]
+	if !ok {
+		return nil, fmt.Errorf("jobs: unknown scale %q", cfg.Scale)
+	}
+	dag := jobs.RandomDAG(p.Stages, seedJobsDAG)
+	return systemTeacher{sys: &jobs.System{DAG: dag}}, nil
+}
+
+func (jobsScenario) Distill(cfg scenario.Config, t scenario.Teacher) (scenario.Student, error) {
+	st, ok := t.(systemTeacher)
+	if !ok {
+		return nil, fmt.Errorf("jobs: teacher is %T, not a system teacher", t)
+	}
+	sys, ok := st.sys.(*jobs.System)
+	if !ok {
+		return nil, fmt.Errorf("jobs: system is %T, not a job DAG", st.sys)
+	}
+	p := jobsScales[cfg.Scale]
+	res := mask.Search(sys, mask.Options{
+		Lambda1: 0.01, Lambda2: 0.02,
+		Iterations: p.MaskIterations,
+		Seed:       seedJobsDAG,
+		Workers:    cfg.Workers,
+	})
+	label := func(ci int) string {
+		dep := sys.DependencyOfConnection(ci)
+		return fmt.Sprintf("stage %d → stage %d", dep[0], dep[1])
+	}
+	return &maskStudent{res: res, header: "critical stage dependencies", label: label, topK: 3}, nil
+}
+
+func (jobsScenario) Evaluate(cfg scenario.Config, t scenario.Teacher, s scenario.Student) ([]scenario.Metric, error) {
+	st, ok := t.(systemTeacher)
+	if !ok {
+		return nil, fmt.Errorf("jobs: teacher is %T, not a system teacher", t)
+	}
+	sys, ok := st.sys.(*jobs.System)
+	if !ok {
+		return nil, fmt.Errorf("jobs: system is %T, not a job DAG", st.sys)
+	}
+	ms, ok := s.(*maskStudent)
+	if !ok {
+		return nil, fmt.Errorf("jobs: student is %T, not a mask student", s)
+	}
+	// The expected interpretation is the critical path: measure how much of
+	// it the top-mask dependencies recover.
+	cp := sys.DAG.CriticalPath()
+	cpEdges := map[[2]int]bool{}
+	for i := 0; i+1 < len(cp); i++ {
+		cpEdges[[2]int{cp[i], cp[i+1]}] = true
+	}
+	topDeps := map[[2]int]bool{}
+	for _, ci := range ms.res.TopConnections(2 * len(cpEdges)) {
+		topDeps[sys.DependencyOfConnection(ci)] = true
+	}
+	hit := 0
+	for e := range cpEdges {
+		if topDeps[e] {
+			hit++
+		}
+	}
+	hitFrac := 1.0
+	if len(cpEdges) > 0 {
+		hitFrac = float64(hit) / float64(len(cpEdges))
+	}
+	return []scenario.Metric{
+		{Name: "makespan", Value: sys.DAG.Makespan()},
+		{Name: "stages", Value: float64(len(sys.DAG.Work))},
+		{Name: "dependencies", Value: float64(len(sys.DAG.Dependencies()))},
+		{Name: "critical_path_hit", Value: hitFrac},
+		{Name: "mask_divergence", Value: ms.res.Divergence},
+		{Name: "mask_norm", Value: ms.res.Norm},
+		{Name: "mask_entropy", Value: ms.res.Entropy},
+	}, nil
+}
+
+// ----------------------------------------------------------------- nfv ---
+
+// nfvParams are the per-scale knobs of the NFV placement scenario
+// (Appendix B.1).
+type nfvParams struct {
+	Servers, NFs, MaskIterations int
+}
+
+var nfvScales = map[string]nfvParams{
+	scenario.ScaleTiny: {Servers: 4, NFs: 4, MaskIterations: 150},
+	scenario.ScaleTest: {Servers: 8, NFs: 10, MaskIterations: 250},
+	scenario.ScaleFull: {Servers: 16, NFs: 24, MaskIterations: 400},
+}
+
+// seedNFVProblem generates the canonical placement problem (and seeds its
+// mask search).
+const seedNFVProblem = 1
+
+// randomNFVProblem generates a deterministic placement instance: server
+// capacities in [10, 30), NF demands in [2, 10), and 1–3 replicas per NF
+// (never more than there are servers).
+func randomNFVProblem(servers, nfs int, seed int64) nfv.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := nfv.Problem{
+		ServerCapacity: make([]float64, servers),
+		NFDemand:       make([]float64, nfs),
+		Replicas:       make([]int, nfs),
+	}
+	for s := range p.ServerCapacity {
+		p.ServerCapacity[s] = 10 + rng.Float64()*20
+	}
+	maxReplicas := 3
+	if servers < maxReplicas {
+		maxReplicas = servers
+	}
+	for f := range p.NFDemand {
+		p.NFDemand[f] = 2 + rng.Float64()*8
+		p.Replicas[f] = 1 + rng.Intn(maxReplicas)
+	}
+	return p
+}
+
+// nfvScenario interprets NF placement: which instance placements are
+// critical to the cluster's load profile.
+type nfvScenario struct{}
+
+func (nfvScenario) Name() string { return "nfv" }
+
+func (nfvScenario) Describe() string {
+	return "NF placement onto servers (NFVdeep setting); Metis masks the load-critical instance placements"
+}
+
+func (nfvScenario) Fingerprint(cfg scenario.Config) string {
+	return fmt.Sprintf("nfv/%s/%+v", cfg.Scale, nfvScales[cfg.Scale])
+}
+
+func (nfvScenario) Train(cfg scenario.Config) (scenario.Teacher, error) {
+	p, ok := nfvScales[cfg.Scale]
+	if !ok {
+		return nil, fmt.Errorf("nfv: unknown scale %q", cfg.Scale)
+	}
+	pl := nfv.Greedy(randomNFVProblem(p.Servers, p.NFs, seedNFVProblem))
+	return systemTeacher{sys: pl}, nil
+}
+
+func (nfvScenario) Distill(cfg scenario.Config, t scenario.Teacher) (scenario.Student, error) {
+	st, ok := t.(systemTeacher)
+	if !ok {
+		return nil, fmt.Errorf("nfv: teacher is %T, not a system teacher", t)
+	}
+	pl, ok := st.sys.(*nfv.Placement)
+	if !ok {
+		return nil, fmt.Errorf("nfv: system is %T, not a placement", st.sys)
+	}
+	p := nfvScales[cfg.Scale]
+	res := mask.Search(pl, mask.Options{
+		Lambda1: 0.05, Lambda2: 0.05,
+		Iterations: p.MaskIterations,
+		Seed:       seedNFVProblem,
+		Workers:    cfg.Workers,
+	})
+	conns := pl.Hypergraph().Connections()
+	label := func(ci int) string {
+		c := conns[ci]
+		return fmt.Sprintf("NF%d instance on server %d", c.E, c.V)
+	}
+	return &maskStudent{res: res, header: "critical instance placements", label: label, topK: 3}, nil
+}
+
+func (nfvScenario) Evaluate(cfg scenario.Config, t scenario.Teacher, s scenario.Student) ([]scenario.Metric, error) {
+	st, ok := t.(systemTeacher)
+	if !ok {
+		return nil, fmt.Errorf("nfv: teacher is %T, not a system teacher", t)
+	}
+	pl, ok := st.sys.(*nfv.Placement)
+	if !ok {
+		return nil, fmt.Errorf("nfv: system is %T, not a placement", st.sys)
+	}
+	ms, ok := s.(*maskStudent)
+	if !ok {
+		return nil, fmt.Errorf("nfv: student is %T, not a mask student", s)
+	}
+	return []scenario.Metric{
+		{Name: "max_utilization", Value: pl.MaxUtilization()},
+		{Name: "placements", Value: float64(pl.NumConnections())},
+		{Name: "mask_divergence", Value: ms.res.Divergence},
+		{Name: "mask_norm", Value: ms.res.Norm},
+		{Name: "mask_entropy", Value: ms.res.Entropy},
+		{Name: "mask_extreme_frac", Value: maskExtremeFraction(ms.res)},
+	}, nil
+}
+
+// ------------------------------------------------------------ cellular ---
+
+// cellularParams are the per-scale knobs of the ultra-dense cellular
+// scenario (Appendix B.2).
+type cellularParams struct {
+	Users, Stations, MaskIterations int
+}
+
+var cellularScales = map[string]cellularParams{
+	scenario.ScaleTiny: {Users: 12, Stations: 4, MaskIterations: 120},
+	scenario.ScaleTest: {Users: 25, Stations: 6, MaskIterations: 200},
+	scenario.ScaleFull: {Users: 60, Stations: 12, MaskIterations: 400},
+}
+
+// seedCellularNet generates the canonical deployment (and seeds its mask
+// search).
+const seedCellularNet = 2
+
+// cellularScenario interprets ultra-dense user association: which
+// user-station coverage relations are critical to the association outcome.
+type cellularScenario struct{}
+
+func (cellularScenario) Name() string { return "cellular" }
+
+func (cellularScenario) Describe() string {
+	return "ultra-dense cellular user association; Metis masks the outcome-critical coverage relations"
+}
+
+func (cellularScenario) Fingerprint(cfg scenario.Config) string {
+	return fmt.Sprintf("cellular/%s/%+v", cfg.Scale, cellularScales[cfg.Scale])
+}
+
+func (cellularScenario) Train(cfg scenario.Config) (scenario.Teacher, error) {
+	p, ok := cellularScales[cfg.Scale]
+	if !ok {
+		return nil, fmt.Errorf("cellular: unknown scale %q", cfg.Scale)
+	}
+	net := cellular.RandomNetwork(p.Users, p.Stations, seedCellularNet)
+	return systemTeacher{sys: cellular.NewSystem(cellular.Associate(net))}, nil
+}
+
+func (cellularScenario) Distill(cfg scenario.Config, t scenario.Teacher) (scenario.Student, error) {
+	st, ok := t.(systemTeacher)
+	if !ok {
+		return nil, fmt.Errorf("cellular: teacher is %T, not a system teacher", t)
+	}
+	sys, ok := st.sys.(*cellular.System)
+	if !ok {
+		return nil, fmt.Errorf("cellular: system is %T, not a cellular system", st.sys)
+	}
+	p := cellularScales[cfg.Scale]
+	res := mask.Search(sys, mask.Options{
+		Lambda1: 0.02, Lambda2: 0.1,
+		Iterations: p.MaskIterations,
+		Seed:       seedCellularNet,
+		Workers:    cfg.Workers,
+	})
+	conns := sys.Hypergraph().Connections()
+	label := func(ci int) string {
+		c := conns[ci]
+		return fmt.Sprintf("station %d covering user %d (demand %.1f)", c.E, c.V, sys.Assoc.Net.UserDemand[c.V])
+	}
+	return &maskStudent{res: res, header: "critical coverage relations", label: label, topK: 3}, nil
+}
+
+func (cellularScenario) Evaluate(cfg scenario.Config, t scenario.Teacher, s scenario.Student) ([]scenario.Metric, error) {
+	st, ok := t.(systemTeacher)
+	if !ok {
+		return nil, fmt.Errorf("cellular: teacher is %T, not a system teacher", t)
+	}
+	sys, ok := st.sys.(*cellular.System)
+	if !ok {
+		return nil, fmt.Errorf("cellular: system is %T, not a cellular system", st.sys)
+	}
+	ms, ok := s.(*maskStudent)
+	if !ok {
+		return nil, fmt.Errorf("cellular: student is %T, not a mask student", s)
+	}
+	associated := 0
+	for _, b := range sys.Assoc.Station {
+		if b >= 0 {
+			associated++
+		}
+	}
+	return []scenario.Metric{
+		{Name: "associated_frac", Value: float64(associated) / float64(len(sys.Assoc.Station))},
+		{Name: "coverage_relations", Value: float64(sys.NumConnections())},
+		{Name: "mask_divergence", Value: ms.res.Divergence},
+		{Name: "mask_norm", Value: ms.res.Norm},
+		{Name: "mask_entropy", Value: ms.res.Entropy},
+		{Name: "mask_extreme_frac", Value: maskExtremeFraction(ms.res)},
+	}, nil
+}
+
+// init registers every built-in scenario.
+func init() {
+	scenario.Register(abrScenario{})
+	scenario.Register(lrlaScenario{})
+	scenario.Register(srlaScenario{})
+	scenario.Register(routenetScenario{})
+	scenario.Register(jobsScenario{})
+	scenario.Register(nfvScenario{})
+	scenario.Register(cellularScenario{})
+}

@@ -1,0 +1,100 @@
+package scenarios
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metis/dtree"
+	"repro/internal/metis/mask"
+)
+
+// treeStudent is the interpretable student of every local scenario: a
+// distilled decision tree plus the fidelity measured on its distillation
+// set.
+type treeStudent struct {
+	tree *dtree.Tree
+	// fidelity is the teacher-agreement on the distillation set, or -1 when
+	// not measured (regression students report RMSE in Evaluate instead).
+	fidelity float64
+	// header names the system in the summary.
+	header string
+}
+
+// Kind implements scenario.Student.
+func (s *treeStudent) Kind() string { return "tree" }
+
+// Model implements scenario.Student.
+func (s *treeStudent) Model() any { return s.tree }
+
+// Summary implements scenario.Student: the top layers of the tree — the
+// Figure 7-style rule rendering — with its size and fidelity.
+func (s *treeStudent) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d leaves, depth %d, %d bytes", s.header, s.tree.NumLeaves(), s.tree.Depth(), s.tree.SizeBytes())
+	if s.fidelity >= 0 {
+		fmt.Fprintf(&b, ", fidelity %.1f%%", 100*s.fidelity)
+	}
+	b.WriteString("\n")
+	b.WriteString(s.tree.Rules(3))
+	return b.String()
+}
+
+// classifierFidelity is the student-teacher action agreement on a dataset.
+func classifierFidelity(t *dtree.Tree, ds *dtree.Dataset) float64 {
+	if len(ds.X) == 0 {
+		return 0
+	}
+	agree := 0
+	for i, x := range ds.X {
+		if t.Predict(x) == ds.Y[i] {
+			agree++
+		}
+	}
+	return float64(agree) / float64(len(ds.X))
+}
+
+// maskStudent is the interpretable student of every global scenario: the
+// critical-connection mask, with a labeler mapping connection indices back
+// to domain objects for the summary.
+type maskStudent struct {
+	res *mask.Result
+	// header names the system in the summary.
+	header string
+	// label renders one connection index as a domain-level description.
+	label func(ci int) string
+	// topK bounds the summary's critical-connection list.
+	topK int
+}
+
+// Kind implements scenario.Student.
+func (s *maskStudent) Kind() string { return "mask" }
+
+// Model implements scenario.Student.
+func (s *maskStudent) Model() any { return s.res }
+
+// Summary implements scenario.Student: the Table 3-style top critical
+// connections plus the final mask statistics.
+func (s *maskStudent) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d connections, ‖W‖/n=%.3f, H(W)/n=%.3f, D=%.4f\n",
+		s.header, len(s.res.W), s.res.Norm, s.res.Entropy, s.res.Divergence)
+	for rank, ci := range s.res.TopConnections(s.topK) {
+		fmt.Fprintf(&b, "  #%d %s (mask %.3f)\n", rank+1, s.label(ci), s.res.W[ci])
+	}
+	return b.String()
+}
+
+// maskExtremeFraction is the fraction of mask values outside (0.2, 0.8) —
+// the paper's "masks avoid the middle" determinism measure.
+func maskExtremeFraction(res *mask.Result) float64 {
+	if len(res.W) == 0 {
+		return 0
+	}
+	extreme := 0
+	for _, w := range res.W {
+		if w <= 0.2 || w >= 0.8 {
+			extreme++
+		}
+	}
+	return float64(extreme) / float64(len(res.W))
+}

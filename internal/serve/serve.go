@@ -138,16 +138,18 @@ func (s *Server) Skipped() []string { return s.skipped }
 
 // Handler returns the HTTP API:
 //
-//	GET  /healthz     liveness probe
-//	GET  /v1/models   registry listing
-//	POST /v1/predict  single ("x") or batch ("xs") prediction
-//	GET  /v1/stats    uptime and per-model counters
+//	GET  /healthz           liveness probe
+//	GET  /v1/models         registry listing
+//	GET  /v1/models/{name}  one model's detail (kind, metadata, scenario, stats)
+//	POST /v1/predict        single ("x") or batch ("xs") prediction
+//	GET  /v1/stats          uptime and per-model counters
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/v1/models/", s.handleModelDetail)
 	mux.HandleFunc("/v1/predict", s.handlePredict)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	return mux
@@ -155,14 +157,27 @@ func (s *Server) Handler() http.Handler {
 
 // modelInfo is one /v1/models row.
 type modelInfo struct {
-	Name       string            `json:"name"`
-	Kind       string            `json:"kind"`
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	// Scenario tags which pipeline domain produced the model (from the
+	// artifact's "scenario" metadata; empty for hand-saved artifacts).
+	Scenario   string            `json:"scenario,omitempty"`
 	Nodes      int               `json:"nodes"`
 	Features   int               `json:"features"`
 	Classes    int               `json:"classes,omitempty"`
 	OutDim     int               `json:"out_dim,omitempty"`
 	Regression bool              `json:"regression"`
 	Meta       map[string]string `json:"meta,omitempty"`
+}
+
+// info renders a model's registry row.
+func (m *Model) info() modelInfo {
+	return modelInfo{
+		Name: m.Name, Kind: m.Kind, Scenario: m.Meta["scenario"],
+		Nodes: m.Compiled.NumNodes(), Features: m.Compiled.NumFeatures,
+		Classes: m.Compiled.NumClasses, OutDim: m.Compiled.OutDim,
+		Regression: m.Compiled.IsRegression(), Meta: m.Meta,
+	}
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
@@ -172,14 +187,33 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	}
 	var infos []modelInfo
 	for _, m := range s.Models() {
-		infos = append(infos, modelInfo{
-			Name: m.Name, Kind: m.Kind,
-			Nodes: m.Compiled.NumNodes(), Features: m.Compiled.NumFeatures,
-			Classes: m.Compiled.NumClasses, OutDim: m.Compiled.OutDim,
-			Regression: m.Compiled.IsRegression(), Meta: m.Meta,
-		})
+		infos = append(infos, m.info())
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"models": infos})
+}
+
+// modelDetail is the /v1/models/{name} body: the registry row plus the
+// model's live counters.
+type modelDetail struct {
+	modelInfo
+	Stats modelStats `json:"stats"`
+}
+
+func (s *Server) handleModelDetail(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, "/v1/models/")
+	m, ok := s.models[name]
+	if !ok {
+		s.fail(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, modelDetail{
+		modelInfo: m.info(),
+		Stats:     modelStats{Requests: m.requests.Load(), Predictions: m.predictions.Load()},
+	})
 }
 
 // predictRequest is the /v1/predict body: exactly one of X (single) or Xs

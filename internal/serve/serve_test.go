@@ -49,7 +49,7 @@ func fixtureDir(t *testing.T) (dir string, cls *dtree.Tree, reg *dtree.Compiled)
 		t.Fatal(err)
 	}
 
-	if err := artifact.SaveModel(filepath.Join(dir, "abr.metis"), cls, map[string]string{"name": "abr"}); err != nil {
+	if err := artifact.SaveModel(filepath.Join(dir, "abr.metis"), cls, map[string]string{"name": "abr", "scenario": "abr"}); err != nil {
 		t.Fatal(err)
 	}
 	if err := artifact.SaveModel(filepath.Join(dir, "thresholds.metis"), reg, nil); err != nil {
@@ -190,6 +190,72 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 	if stats.Errors != 6 {
 		t.Fatalf("errors = %v, want 6", stats.Errors)
+	}
+}
+
+// TestModelDetailEndpoint: /v1/models/{name} returns one model's kind,
+// metadata, scenario tag, and live counters; unknown names 404.
+func TestModelDetailEndpoint(t *testing.T) {
+	dir, _, _ := fixtureDir(t)
+	s, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Drive one prediction so the counters are non-zero.
+	if r, _ := post(t, ts, `{"model":"abr","x":[0.9,0.1]}`); r.StatusCode != 200 {
+		t.Fatalf("predict: %d", r.StatusCode)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/models/abr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("detail: %d", resp.StatusCode)
+	}
+	var detail struct {
+		Name     string            `json:"name"`
+		Kind     string            `json:"kind"`
+		Scenario string            `json:"scenario"`
+		Meta     map[string]string `json:"meta"`
+		Stats    struct {
+			Requests    float64 `json:"requests"`
+			Predictions float64 `json:"predictions"`
+		} `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&detail); err != nil {
+		t.Fatal(err)
+	}
+	if detail.Name != "abr" || detail.Kind != artifact.KindTree || detail.Scenario != "abr" {
+		t.Fatalf("detail header %+v", detail)
+	}
+	if detail.Meta["scenario"] != "abr" {
+		t.Fatalf("detail meta %+v", detail.Meta)
+	}
+	if detail.Stats.Requests != 1 || detail.Stats.Predictions != 1 {
+		t.Fatalf("detail stats %+v", detail.Stats)
+	}
+
+	// Unknown model and wrong method.
+	resp, err = http.Get(ts.URL + "/v1/models/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown model: %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/models/abr", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Fatalf("POST detail: %d, want 405", resp.StatusCode)
 	}
 }
 

@@ -21,6 +21,12 @@
 // (LIME, LEMNA), and a harness that regenerates every table and figure
 // (internal/experiments, driven by cmd/metis-exp).
 //
+// Both engines are unified behind the scenario layer (internal/scenario):
+// every domain — the three paper systems plus the appendix scenarios (job
+// scheduling, NFV placement, cellular association) — implements one small
+// Scenario interface and runs through the same train → distill → evaluate →
+// persist pipeline. See Scenarios and RunScenario.
+//
 // Every compute-heavy stage — CART split search and DAgger rollout
 // collection in Distill, the SPSA evaluations in CriticalConnections, and
 // the interpretation baselines — runs on the shared worker-pool layer in
@@ -31,13 +37,20 @@
 package metis
 
 import (
+	"fmt"
 	"net/http"
+	"strings"
 
 	"repro/internal/artifact"
 	"repro/internal/metis/dtree"
 	"repro/internal/metis/mask"
 	"repro/internal/rl"
+	"repro/internal/scenario"
 	"repro/internal/serve"
+
+	// Register the built-in scenarios (ABR, AuTO lRLA/sRLA, RouteNet*,
+	// jobs, NFV, cellular) so RunScenario and Scenarios see them.
+	_ "repro/internal/scenarios"
 )
 
 // Env is a sequential decision environment (an alias of the internal RL
@@ -111,9 +124,10 @@ func SaveTree(path string, t *Tree, meta map[string]string) error {
 func LoadTree(path string) (*Tree, error) { return artifact.LoadTree(path) }
 
 // Serve loads every model artifact in dir into a serving registry and
-// returns the metis-serve HTTP API (GET /v1/models, POST /v1/predict,
-// GET /v1/stats, GET /healthz) backed by lock-free compiled-tree inference.
-// workers bounds the goroutines used per batch prediction (0 = all cores).
+// returns the metis-serve HTTP API (GET /v1/models, GET /v1/models/{name},
+// POST /v1/predict, GET /v1/stats, GET /healthz) backed by lock-free
+// compiled-tree inference. workers bounds the goroutines used per batch
+// prediction (0 = all cores).
 func Serve(dir string, workers int) (http.Handler, error) {
 	s, err := serve.LoadDir(dir)
 	if err != nil {
@@ -121,4 +135,31 @@ func Serve(dir string, workers int) (http.Handler, error) {
 	}
 	s.Workers = workers
 	return s.Handler(), nil
+}
+
+// ScenarioConfig carries the generic pipeline knobs: Scale ("tiny", "test",
+// "full"), Workers, CacheDir (teacher cache), and OutDir (student artifact +
+// manifest destination).
+type ScenarioConfig = scenario.Config
+
+// ScenarioReport is the outcome of one pipeline run: the student's kind and
+// interpretation summary, evaluation metrics, stage timings, and artifact
+// paths.
+type ScenarioReport = scenario.Report
+
+// Scenarios lists every registered scenario name. Each runs the same
+// teacher→student pipeline: train (or restore) the teacher, distill the
+// interpretable student, evaluate both, and optionally persist the student
+// with a provenance manifest.
+func Scenarios() []string { return scenario.Names() }
+
+// RunScenario drives one registered scenario end to end through the generic
+// pipeline.
+func RunScenario(name string, cfg ScenarioConfig) (*ScenarioReport, error) {
+	sc, ok := scenario.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("metis: unknown scenario %q (registered: %s)", name, strings.Join(scenario.Names(), ", "))
+	}
+	p := &scenario.Pipeline{Config: cfg}
+	return p.Run(sc)
 }

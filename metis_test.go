@@ -165,3 +165,38 @@ func TestPublicSaveServe(t *testing.T) {
 		t.Fatalf("served action %d, tree says %d", out.Action, res.Tree.Predict([]float64{0.9}))
 	}
 }
+
+func TestPublicScenarios(t *testing.T) {
+	names := Scenarios()
+	if len(names) < 6 {
+		t.Fatalf("only %d scenarios registered: %v", len(names), names)
+	}
+	for _, want := range []string{"abr", "auto-lrla", "auto-srla", "routenet", "jobs", "nfv", "cellular"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("scenario %q missing from %v", want, names)
+		}
+	}
+
+	if _, err := RunScenario("no-such-scenario", ScenarioConfig{}); err == nil ||
+		!strings.Contains(err.Error(), "unknown scenario") {
+		t.Fatalf("unknown scenario error = %v", err)
+	}
+
+	out := filepath.Join(t.TempDir(), "models")
+	rep, err := RunScenario("jobs", ScenarioConfig{Scale: "tiny", Workers: 1, OutDir: out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scenario != "jobs" || rep.StudentKind != "mask" || rep.Summary == "" {
+		t.Fatalf("bad report: %+v", rep)
+	}
+	if rep.ArtifactPath == "" || rep.ManifestPath == "" {
+		t.Fatalf("pipeline did not persist: %+v", rep)
+	}
+}
