@@ -330,30 +330,39 @@ func BenchmarkCompiledPredictBatch(b *testing.B) {
 	}
 }
 
-// BenchmarkServePredictBatch measures end-to-end serving throughput: a JSON
-// batch request through the metis-serve HTTP handler, including decode,
-// registry lookup, compiled-tree inference, and response encode.
-func BenchmarkServePredictBatch(b *testing.B) {
+// serveBenchServer loads the lRLA tree into an engine behind httptest for
+// the end-to-end serving benchmarks.
+func serveBenchServer(b *testing.B) *httptest.Server {
+	b.Helper()
 	_, _, tree, _ := fixture().AuTo()
 	dir := b.TempDir()
 	if err := artifact.SaveModel(filepath.Join(dir, "dcn.metis"), tree, map[string]string{"name": "dcn"}); err != nil {
 		b.Fatal(err)
 	}
-	s, err := serve.LoadDir(dir)
+	e, err := serve.LoadDir(dir)
 	if err != nil {
 		b.Fatal(err)
 	}
-	ts := httptest.NewServer(s.Handler())
-	defer ts.Close()
+	ts := httptest.NewServer(e.Handler())
+	b.Cleanup(ts.Close)
+	return ts
+}
 
-	const batch = 512
-	payload, err := json.Marshal(map[string]any{"model": "dcn", "xs": lrlaBatch(batch)})
+// serveBenchBatch is the batch size of the end-to-end serving benchmarks.
+const serveBenchBatch = 512
+
+// BenchmarkServePredictBatch measures end-to-end serving throughput over
+// the JSON codec: a batch request through the v2 HTTP handler, including
+// decode, registry lookup, compiled-tree inference, and response encode.
+func BenchmarkServePredictBatch(b *testing.B) {
+	ts := serveBenchServer(b)
+	payload, err := json.Marshal(map[string]any{"xs": lrlaBatch(serveBenchBatch)})
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(payload))
+		resp, err := http.Post(ts.URL+"/v2/models/dcn:predict", serve.ContentTypeJSON, bytes.NewReader(payload))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -363,7 +372,34 @@ func BenchmarkServePredictBatch(b *testing.B) {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}
-	b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "preds/s")
+	b.ReportMetric(float64(serveBenchBatch)*float64(b.N)/b.Elapsed().Seconds(), "preds/s")
+}
+
+// BenchmarkServePredictBatchBinary is BenchmarkServePredictBatch over the
+// binary batch codec (application/x-metis-batch) — the same route, request
+// size, and inference work, with the packed float64 wire format replacing
+// JSON on both directions. The preds/s gap between the two is the codec
+// win.
+func BenchmarkServePredictBatchBinary(b *testing.B) {
+	ts := serveBenchServer(b)
+	var payload bytes.Buffer
+	if err := serve.EncodeBatchRequest(&payload, "dcn", lrlaBatch(serveBenchBatch)); err != nil {
+		b.Fatal(err)
+	}
+	raw := payload.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v2/models/dcn:predict", serve.ContentTypeBinary, bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	b.ReportMetric(float64(serveBenchBatch)*float64(b.N)/b.Elapsed().Seconds(), "preds/s")
 }
 
 // BenchmarkModelFootprint reports serialized sizes (Fig. 17b).

@@ -1,18 +1,26 @@
 // Command metis-serve is the deployment daemon: it loads a directory of
 // Metis model artifacts (distilled or compiled decision trees, written by
-// the -save flags of the other binaries or by metis-exp -cache) and serves
-// predictions over HTTP off the lock-free compiled-tree representation.
+// the -save flags of the other binaries, by metis-exp -cache, or by the
+// scenario pipeline's -out) and serves predictions over HTTP off the
+// lock-free compiled-tree representation.
 //
 // Quickstart:
 //
 //	go run ./examples/quickstart -save models/quickstart.metis
 //	metis-serve -dir models -addr :9090
-//	curl -s localhost:9090/v1/models
-//	curl -s -X POST localhost:9090/v1/predict \
-//	     -d '{"model":"quickstart","x":[2,1]}'
+//	curl -s localhost:9090/v2/models
+//	curl -s -X POST localhost:9090/v2/models/quickstart:predict \
+//	     -d '{"x":[2,1]}'
 //
-// Endpoints: GET /healthz, GET /v1/models, GET /v1/models/{name},
-// POST /v1/predict (single "x" or batch "xs"), GET /v1/stats.
+// Endpoints: GET /healthz, GET /v2/models[/{name}],
+// POST /v2/models/{name}:predict (JSON or application/x-metis-batch),
+// GET /v2/stats, POST /v2/admin/reload, GET /metrics — plus the v1 routes
+// as a compatibility shim.
+//
+// Hot reload: SIGHUP (or POST /v2/admin/reload) re-scans the artifact
+// directory and swaps the model registry atomically — in-flight requests
+// finish on the old model set, stats of surviving models carry over, and a
+// failed reload (e.g. a half-written artifact) keeps the old set serving.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener closes,
 // in-flight requests get up to 5 seconds to finish, and the process exits 0.
@@ -23,34 +31,97 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
-	"repro/internal/cliutil"
 	"repro/internal/serve"
 )
 
-func main() {
-	dir := flag.String("dir", "", "artifact directory to serve (required)")
-	addr := flag.String("addr", ":9090", "listen address")
-	workers := cliutil.WorkersFlag()
-	flag.Parse()
+// config is the parsed command line.
+type config struct {
+	dir      string
+	addr     string
+	workers  int
+	maxBatch int
+	inflight int
+}
 
-	if *dir == "" {
-		flag.Usage()
+// parseFlags parses args (not including the program name) into a config.
+// Errors are returned, not printed, so main owns the exit path and tests
+// can cover the validation.
+func parseFlags(args []string, stderr io.Writer) (*config, error) {
+	fs := flag.NewFlagSet("metis-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfg := &config{}
+	fs.StringVar(&cfg.dir, "dir", "", "artifact directory to serve (required)")
+	fs.StringVar(&cfg.addr, "addr", ":9090", "listen address")
+	fs.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0),
+		"server-wide inference pool shared by all in-flight batches (0 = all cores, 1 = serial)")
+	fs.IntVar(&cfg.maxBatch, "max-batch", 0,
+		fmt.Sprintf("max rows per prediction request (0 = %d)", serve.DefaultMaxBatch))
+	fs.IntVar(&cfg.inflight, "max-inflight", 0,
+		"max concurrently admitted prediction requests; beyond it requests fail fast with 503 (0 = unlimited)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if cfg.dir == "" {
+		fs.Usage()
+		return nil, errors.New("-dir is required")
+	}
+	if cfg.workers < 0 {
+		return nil, fmt.Errorf("-workers must be non-negative (got %d)", cfg.workers)
+	}
+	if cfg.maxBatch < 0 {
+		return nil, fmt.Errorf("-max-batch must be non-negative (got %d)", cfg.maxBatch)
+	}
+	if cfg.inflight < 0 {
+		return nil, fmt.Errorf("-max-inflight must be non-negative (got %d)", cfg.inflight)
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	return cfg, nil
+}
+
+// newHTTPServer wraps the engine handler with the daemon's protective
+// timeouts: ReadHeaderTimeout bounds slow-header (slowloris) clients and
+// IdleTimeout reaps idle keep-alive connections. No WriteTimeout — large
+// batch responses are legitimate, and the engine bounds request size
+// instead.
+func newHTTPServer(addr string, handler http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	s, err := serve.LoadDir(*dir)
+
+	engine, err := serve.NewEngine(cfg.dir, serve.Config{
+		Workers: cfg.workers, MaxBatch: cfg.maxBatch, MaxInflight: cfg.inflight,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	s.Workers = cliutil.Workers(*workers)
 
-	for _, m := range s.Models() {
+	for _, m := range engine.Models() {
 		shape := fmt.Sprintf("%d classes", m.Compiled.NumClasses)
 		if m.Compiled.IsRegression() {
 			shape = fmt.Sprintf("%d outputs", m.Compiled.OutDim)
@@ -58,14 +129,28 @@ func main() {
 		fmt.Printf("loaded %-20s %s, %d nodes, %d features, %s\n",
 			m.Name, m.Kind, m.Compiled.NumNodes(), m.Compiled.NumFeatures, shape)
 	}
-	for _, skip := range s.Skipped() {
+	for _, skip := range engine.Skipped() {
 		fmt.Printf("skipped %s: not a servable kind\n", skip)
 	}
-	fmt.Printf("serving %d models on %s\n", len(s.Models()), *addr)
+	fmt.Printf("serving %d models on %s (SIGHUP or POST /v2/admin/reload to hot-reload)\n",
+		len(engine.Models()), cfg.addr)
+
+	// SIGHUP → hot reload of the artifact directory.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if err := engine.Reload(""); err != nil {
+				fmt.Fprintln(os.Stderr, "reload failed, keeping current models:", err)
+				continue
+			}
+			fmt.Printf("reloaded %s: %d models\n", engine.Dir(), len(engine.Models()))
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	srv := newHTTPServer(cfg.addr, engine.Handler())
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	select {

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFlags(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"minimal", []string{"-dir", "models"}, ""},
+		{"all knobs", []string{"-dir", "m", "-addr", ":0", "-workers", "4", "-max-batch", "128", "-max-inflight", "8"}, ""},
+		{"missing dir", nil, "-dir is required"},
+		{"negative workers", []string{"-dir", "m", "-workers", "-1"}, "-workers must be non-negative"},
+		{"negative max-batch", []string{"-dir", "m", "-max-batch", "-5"}, "-max-batch must be non-negative"},
+		{"negative max-inflight", []string{"-dir", "m", "-max-inflight", "-2"}, "-max-inflight must be non-negative"},
+		{"stray positional", []string{"-dir", "m", "stray"}, "unexpected arguments"},
+		{"unknown flag", []string{"-dir", "m", "-frobnicate"}, "not defined"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, err := parseFlags(tc.args, io.Discard)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("parseFlags(%v) = %v", tc.args, err)
+				}
+				if cfg.dir == "" {
+					t.Fatal("dir not captured")
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("parseFlags(%v) err = %v, want %q", tc.args, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseFlagsDefaults(t *testing.T) {
+	cfg, err := parseFlags([]string{"-dir", "models"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != ":9090" || cfg.maxBatch != 0 || cfg.inflight != 0 || cfg.workers <= 0 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}
+
+func TestParseFlagsHelp(t *testing.T) {
+	if _, err := parseFlags([]string{"-h"}, io.Discard); err != flag.ErrHelp {
+		t.Fatalf("-h err = %v, want flag.ErrHelp", err)
+	}
+}
+
+// TestHTTPServerTimeouts: the daemon's listener must not be
+// slowloris-exposed — header reads and idle keep-alives are bounded.
+func TestHTTPServerTimeouts(t *testing.T) {
+	srv := newHTTPServer(":0", nil)
+	if srv.ReadHeaderTimeout <= 0 || srv.ReadHeaderTimeout > time.Minute {
+		t.Fatalf("ReadHeaderTimeout = %v", srv.ReadHeaderTimeout)
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Fatalf("IdleTimeout = %v", srv.IdleTimeout)
+	}
+	if srv.MaxHeaderBytes <= 0 {
+		t.Fatalf("MaxHeaderBytes = %v", srv.MaxHeaderBytes)
+	}
+}

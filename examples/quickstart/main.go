@@ -68,6 +68,7 @@ func (e *env) NumActions() int { return 3 }
 
 func main() {
 	save := flag.String("save", "", "write the distilled tree as a metis-serve artifact")
+	name := flag.String("name", "quickstart", "model name recorded in the saved artifact's metadata")
 	flag.Parse()
 
 	res, err := metis.Distill(&env{}, teacher{}, metis.DistillConfig{
@@ -91,7 +92,7 @@ func main() {
 	}
 
 	if *save != "" {
-		if err := metis.SaveTree(*save, res.Tree, map[string]string{"name": "quickstart"}); err != nil {
+		if err := metis.SaveTree(*save, res.Tree, map[string]string{"name": *name}); err != nil {
 			panic(err)
 		}
 		fmt.Printf("\nsaved tree artifact to %s — serve it with:\n  metis-serve -dir %s\n",

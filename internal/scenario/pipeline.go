@@ -107,7 +107,11 @@ func (p *Pipeline) Run(sc Scenario) (*Report, error) {
 // persist writes the student model and the run manifest as versioned
 // artifacts into cfg.OutDir. The student artifact carries the scenario tag
 // in its metadata, so metis-serve can surface which domain a model belongs
-// to.
+// to. An OutDir pointed at a live metis-serve artifact directory makes
+// pipeline output directly deployable: artifact writes are atomic
+// (temp file + rename), so a SIGHUP or POST /v2/admin/reload on the daemon
+// picks the new student up without a restart — the pipeline→reload e2e in
+// the root package pins this path down.
 func (p *Pipeline) persist(sc Scenario, cfg Config, teacher Teacher, student Student, rep *Report) error {
 	model := student.Model()
 	if model == nil {

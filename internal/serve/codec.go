@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+)
+
+// Content types negotiated by the HTTP layer.
+const (
+	// ContentTypeJSON is the default request/response codec.
+	ContentTypeJSON = "application/json"
+	// ContentTypeBinary is the high-throughput batch codec: a fixed header
+	// followed by a packed row-major little-endian float64 matrix. Compared
+	// with JSON it skips per-number formatting entirely — decode is one
+	// allocation for the matrix plus row headers, encode is a straight pack.
+	ContentTypeBinary = "application/x-metis-batch"
+)
+
+// Binary batch wire format (all integers little-endian):
+//
+//	request:  magic "MTB1" | nameLen uint16 | rows uint32 | features uint32 |
+//	          name [nameLen]byte | payload rows×features float64
+//	response: magic "MTB1" | kind uint8 (0 actions, 1 values) | rows uint32 |
+//	          dim uint32 | payload — actions: rows × int32,
+//	          values: rows×dim float64
+//
+// The format is deliberately self-describing and round-trippable:
+// EncodeBatchRequest ∘ DecodeBatchRequest and EncodeBatchResponse ∘
+// DecodeBatchResponse are identity (up to row-slice aliasing), which the
+// codec tests pin down.
+const batchMagic = "MTB1"
+
+// Binary response kind tags.
+const (
+	batchKindActions = 0
+	batchKindValues  = 1
+)
+
+// maxBinaryFeatures bounds the per-row width accepted from the wire, so a
+// corrupt header cannot make the decoder allocate rows×2^32 floats.
+const maxBinaryFeatures = 1 << 20
+
+// maxBinaryElems bounds the total float64 count of one decoded matrix
+// (rows×features); 2^27 elements is a 1 GiB payload.
+const maxBinaryElems = 1 << 27
+
+// ErrBadBatchEncoding reports a malformed binary batch message.
+var ErrBadBatchEncoding = errors.New("serve: malformed binary batch")
+
+// EncodeBatchRequest writes a binary batch prediction request for model over
+// rows. Every row must have the same width.
+func EncodeBatchRequest(w io.Writer, model string, rows [][]float64) error {
+	if len(model) > math.MaxUint16 {
+		return fmt.Errorf("%w: model name of %d bytes", ErrBadBatchEncoding, len(model))
+	}
+	features := 0
+	if len(rows) > 0 {
+		features = len(rows[0])
+	}
+	buf := make([]byte, 14+len(model)+len(rows)*features*8)
+	copy(buf, batchMagic)
+	binary.LittleEndian.PutUint16(buf[4:6], uint16(len(model)))
+	binary.LittleEndian.PutUint32(buf[6:10], uint32(len(rows)))
+	binary.LittleEndian.PutUint32(buf[10:14], uint32(features))
+	copy(buf[14:], model)
+	off := 14 + len(model)
+	for i, row := range rows {
+		if len(row) != features {
+			return fmt.Errorf("%w: row %d has %d features, row 0 has %d", ErrBadBatchEncoding, i, len(row), features)
+		}
+		for _, v := range row {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+			off += 8
+		}
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// DecodeBatchRequest parses a binary batch request, enforcing maxRows on the
+// claimed batch size before allocating. The returned rows are views into one
+// contiguous backing array (a single allocation for the whole matrix).
+func DecodeBatchRequest(r io.Reader, maxRows int) (model string, rows [][]float64, err error) {
+	var head [14]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return "", nil, fmt.Errorf("%w: short header: %v", ErrBadBatchEncoding, err)
+	}
+	if string(head[:4]) != batchMagic {
+		return "", nil, fmt.Errorf("%w: bad magic %q", ErrBadBatchEncoding, head[:4])
+	}
+	// Validate the claimed sizes in 64-bit space before any int conversion
+	// or allocation: on 32-bit platforms a uint32 header field could wrap
+	// int negative and bypass the limit checks.
+	nameLen := int(binary.LittleEndian.Uint16(head[4:6]))
+	rows64 := int64(binary.LittleEndian.Uint32(head[6:10]))
+	features64 := int64(binary.LittleEndian.Uint32(head[10:14]))
+	if rows64 > int64(maxRows) {
+		return "", nil, &BatchSizeError{Rows: int(min(rows64, 1<<31-1)), Max: maxRows}
+	}
+	if features64 > maxBinaryFeatures {
+		return "", nil, fmt.Errorf("%w: %d features per row exceeds the %d limit", ErrBadBatchEncoding, features64, maxBinaryFeatures)
+	}
+	if rows64*features64 > maxBinaryElems {
+		return "", nil, fmt.Errorf("%w: %d×%d matrix exceeds the %d-element limit", ErrBadBatchEncoding, rows64, features64, maxBinaryElems)
+	}
+	nRows, features := int(rows64), int(features64)
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, nameBuf); err != nil {
+		return "", nil, fmt.Errorf("%w: short model name: %v", ErrBadBatchEncoding, err)
+	}
+	payload := make([]byte, nRows*features*8)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return "", nil, fmt.Errorf("%w: short payload: %v", ErrBadBatchEncoding, err)
+	}
+	flat := make([]float64, nRows*features)
+	for i := range flat {
+		flat[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[i*8:]))
+	}
+	rows = make([][]float64, nRows)
+	for i := range rows {
+		rows[i] = flat[i*features : (i+1)*features : (i+1)*features]
+	}
+	return string(nameBuf), rows, nil
+}
+
+// EncodeBatchResponse writes a prediction in the binary batch format.
+func EncodeBatchResponse(w io.Writer, p *Prediction) error {
+	var buf []byte
+	if p.Values != nil {
+		dim := 0
+		if len(p.Values) > 0 {
+			dim = len(p.Values[0])
+		}
+		buf = make([]byte, 13+len(p.Values)*dim*8)
+		buf[4] = batchKindValues
+		binary.LittleEndian.PutUint32(buf[5:9], uint32(len(p.Values)))
+		binary.LittleEndian.PutUint32(buf[9:13], uint32(dim))
+		off := 13
+		for i, row := range p.Values {
+			if len(row) != dim {
+				return fmt.Errorf("%w: value row %d has dim %d, row 0 has %d", ErrBadBatchEncoding, i, len(row), dim)
+			}
+			for _, v := range row {
+				binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+				off += 8
+			}
+		}
+	} else {
+		buf = make([]byte, 13+len(p.Actions)*4)
+		buf[4] = batchKindActions
+		binary.LittleEndian.PutUint32(buf[5:9], uint32(len(p.Actions)))
+		binary.LittleEndian.PutUint32(buf[9:13], 1)
+		off := 13
+		for _, a := range p.Actions {
+			binary.LittleEndian.PutUint32(buf[off:], uint32(int32(a)))
+			off += 4
+		}
+	}
+	copy(buf, batchMagic)
+	_, err := w.Write(buf)
+	return err
+}
+
+// DecodeBatchResponse parses a binary batch response into a Prediction
+// (Model is not carried on the response wire and is left empty).
+func DecodeBatchResponse(r io.Reader) (*Prediction, error) {
+	var head [13]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadBatchEncoding, err)
+	}
+	if string(head[:4]) != batchMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadBatchEncoding, head[:4])
+	}
+	kind := head[4]
+	// As in DecodeBatchRequest: validate in 64-bit space first, so a
+	// malicious server cannot wrap the sizes negative on 32-bit clients.
+	rows64 := int64(binary.LittleEndian.Uint32(head[5:9]))
+	dim64 := int64(binary.LittleEndian.Uint32(head[9:13]))
+	if dim64 > maxBinaryFeatures {
+		return nil, fmt.Errorf("%w: %d outputs per row exceeds the %d limit", ErrBadBatchEncoding, dim64, maxBinaryFeatures)
+	}
+	if rows64 > maxBinaryElems || rows64*max(dim64, 1) > maxBinaryElems {
+		return nil, fmt.Errorf("%w: %d×%d response exceeds the %d-element limit", ErrBadBatchEncoding, rows64, dim64, maxBinaryElems)
+	}
+	nRows, dim := int(rows64), int(dim64)
+	p := &Prediction{}
+	switch kind {
+	case batchKindActions:
+		payload := make([]byte, nRows*4)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, fmt.Errorf("%w: short payload: %v", ErrBadBatchEncoding, err)
+		}
+		p.Actions = make([]int, nRows)
+		for i := range p.Actions {
+			p.Actions[i] = int(int32(binary.LittleEndian.Uint32(payload[i*4:])))
+		}
+	case batchKindValues:
+		payload := make([]byte, nRows*dim*8)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, fmt.Errorf("%w: short payload: %v", ErrBadBatchEncoding, err)
+		}
+		flat := make([]float64, nRows*dim)
+		for i := range flat {
+			flat[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[i*8:]))
+		}
+		p.Values = make([][]float64, nRows)
+		for i := range p.Values {
+			p.Values[i] = flat[i*dim : (i+1)*dim : (i+1)*dim]
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown response kind %d", ErrBadBatchEncoding, kind)
+	}
+	return p, nil
+}
+
+// writeJSON renders v with the JSON content type and status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", ContentTypeJSON)
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

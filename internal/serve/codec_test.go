@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestBatchRequestRoundTrip: EncodeBatchRequest ∘ DecodeBatchRequest is the
+// identity on (model, rows).
+func TestBatchRequestRoundTrip(t *testing.T) {
+	rows := [][]float64{
+		{0, 1.5, -2.25},
+		{math.Pi, math.MaxFloat64, math.SmallestNonzeroFloat64},
+		{math.Inf(1), math.Inf(-1), -0.0},
+	}
+	var buf bytes.Buffer
+	if err := EncodeBatchRequest(&buf, "abr/v2", rows); err != nil {
+		t.Fatal(err)
+	}
+	model, got, err := DecodeBatchRequest(&buf, DefaultMaxBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model != "abr/v2" {
+		t.Fatalf("model = %q", model)
+	}
+	if !reflect.DeepEqual(got, rows) {
+		t.Fatalf("rows = %v, want %v", got, rows)
+	}
+}
+
+// TestBatchRequestRoundTripEmptyAndUnicode: zero-row batches and non-ASCII
+// model names survive the wire.
+func TestBatchRequestRoundTripEmptyAndUnicode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeBatchRequest(&buf, "modèle-λ", nil); err != nil {
+		t.Fatal(err)
+	}
+	model, rows, err := DecodeBatchRequest(&buf, DefaultMaxBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model != "modèle-λ" || len(rows) != 0 {
+		t.Fatalf("round trip = %q, %v", model, rows)
+	}
+}
+
+// TestBatchResponseRoundTrip covers both response kinds.
+func TestBatchResponseRoundTrip(t *testing.T) {
+	// Actions (classification), including negative sentinel values.
+	var buf bytes.Buffer
+	if err := EncodeBatchResponse(&buf, &Prediction{Actions: []int{0, 5, -1, 1 << 20}}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := DecodeBatchResponse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Actions, []int{0, 5, -1, 1 << 20}) || p.Values != nil {
+		t.Fatalf("actions = %+v", p)
+	}
+
+	// Values (regression).
+	values := [][]float64{{1.5, -2.5}, {0, math.Pi}}
+	buf.Reset()
+	if err := EncodeBatchResponse(&buf, &Prediction{Values: values}); err != nil {
+		t.Fatal(err)
+	}
+	p, err = DecodeBatchResponse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Values, values) || p.Actions != nil {
+		t.Fatalf("values = %+v", p)
+	}
+}
+
+// TestBatchDecodeErrors: every malformed-input path yields
+// ErrBadBatchEncoding (or the typed batch-size error), never a panic or a
+// huge allocation.
+func TestBatchDecodeErrors(t *testing.T) {
+	good := func() []byte {
+		var buf bytes.Buffer
+		if err := EncodeBatchRequest(&buf, "m", [][]float64{{1, 2}}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+
+	for name, raw := range map[string][]byte{
+		"empty":          {},
+		"short header":   good[:10],
+		"bad magic":      append([]byte("NOPE"), good[4:]...),
+		"truncated body": good[:len(good)-3],
+	} {
+		if _, _, err := DecodeBatchRequest(bytes.NewReader(raw), DefaultMaxBatch); !errors.Is(err, ErrBadBatchEncoding) {
+			t.Errorf("%s: err = %v, want ErrBadBatchEncoding", name, err)
+		}
+	}
+
+	// Batch over the row cap fails with the typed size error before any
+	// payload allocation.
+	var big bytes.Buffer
+	if err := EncodeBatchRequest(&big, "m", make([][]float64, 3)); err != nil {
+		t.Fatal(err)
+	}
+	var size *BatchSizeError
+	if _, _, err := DecodeBatchRequest(&big, 2); !errors.As(err, &size) || size.Rows != 3 {
+		t.Fatalf("oversize err = %v", err)
+	}
+
+	// A header claiming an absurd feature width is rejected without
+	// allocating rows×width floats.
+	huge := append([]byte(nil), good...)
+	huge[10], huge[11], huge[12], huge[13] = 0xff, 0xff, 0xff, 0xff
+	if _, _, err := DecodeBatchRequest(bytes.NewReader(huge), DefaultMaxBatch); err == nil ||
+		!strings.Contains(err.Error(), "features per row") {
+		t.Fatalf("huge features err = %v", err)
+	}
+
+	// Response-side: unknown kind byte.
+	var rbuf bytes.Buffer
+	if err := EncodeBatchResponse(&rbuf, &Prediction{Actions: []int{1}}); err != nil {
+		t.Fatal(err)
+	}
+	raw := rbuf.Bytes()
+	raw[4] = 7
+	if _, err := DecodeBatchResponse(bytes.NewReader(raw)); !errors.Is(err, ErrBadBatchEncoding) {
+		t.Fatalf("unknown kind err = %v", err)
+	}
+}
+
+// TestEncodeBatchRequestRaggedRows: rows of differing widths are a caller
+// bug reported as an encoding error.
+func TestEncodeBatchRequestRaggedRows(t *testing.T) {
+	var buf bytes.Buffer
+	err := EncodeBatchRequest(&buf, "m", [][]float64{{1, 2}, {3}})
+	if !errors.Is(err, ErrBadBatchEncoding) {
+		t.Fatalf("ragged rows err = %v", err)
+	}
+}

@@ -1,0 +1,412 @@
+// Package serve is the model-serving runtime behind cmd/metis-serve. It is
+// built as a transport-agnostic inference engine with codec layers on top:
+//
+//   - engine.go (this file): Engine — an atomic-pointer model registry with
+//     lock-free hot reload, server-wide admission control, and the core
+//     Predict API returning typed errors. The engine knows nothing about
+//     HTTP.
+//   - codec.go: the wire codecs — JSON helpers and the binary row-major
+//     float64 batch format (application/x-metis-batch) for high-throughput
+//     clients.
+//   - http.go: the HTTP layer — the v2 route surface, the v1 shim, and the
+//     Prometheus /metrics rendering.
+//
+// Serving rides the compiled-tree representation (dtree.Compiled)
+// exclusively — evaluation walks immutable flat arrays, so the hot path
+// takes no locks and any number of request goroutines predict concurrently;
+// the only shared writes are atomic stat counters, and a hot reload swaps
+// the whole registry through one atomic pointer store. This is the §6.4
+// deployment story of the paper as a daemon: the distilled controller is
+// small and cheap enough to answer per-decision queries at data-plane rates.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/metis/dtree"
+	"repro/internal/parallel"
+)
+
+// Ext is the conventional artifact file extension scanned by LoadDir.
+const Ext = ".metis"
+
+// DefaultMaxBatch is the per-request row cap when Config.MaxBatch is 0.
+const DefaultMaxBatch = 1 << 16
+
+// Typed errors surfaced by Engine.Predict. The HTTP layer maps them to
+// status codes; embedded callers can match them with errors.Is/As.
+var (
+	// ErrBusy means the engine's in-flight admission limit is reached; the
+	// caller should retry after a short backoff (HTTP 503 + Retry-After).
+	ErrBusy = errors.New("serve: server at capacity, retry later")
+	// ErrEmptyBatch means a predict call carried zero rows.
+	ErrEmptyBatch = errors.New("serve: empty batch")
+)
+
+// UnknownModelError reports a predict against a name absent from the
+// registry (HTTP 404).
+type UnknownModelError struct{ Name string }
+
+func (e *UnknownModelError) Error() string {
+	return fmt.Sprintf("serve: unknown model %q", e.Name)
+}
+
+// BatchSizeError reports a batch exceeding the engine's row cap (HTTP 413).
+type BatchSizeError struct{ Rows, Max int }
+
+func (e *BatchSizeError) Error() string {
+	return fmt.Sprintf("serve: batch of %d rows exceeds the %d-row limit", e.Rows, e.Max)
+}
+
+// DimensionError reports an input row whose width disagrees with the model
+// (HTTP 400).
+type DimensionError struct {
+	Model     string
+	Row       int
+	Got, Want int
+}
+
+func (e *DimensionError) Error() string {
+	return fmt.Sprintf("serve: input %d has %d features, model %q wants %d", e.Row, e.Got, e.Model, e.Want)
+}
+
+// Model is one servable entry in the registry: a compiled tree plus the
+// artifact metadata it was loaded with.
+type Model struct {
+	Name string
+	// Kind is the artifact kind the model was loaded from (a raw dtree/tree
+	// is compiled at load time).
+	Kind string
+	Meta map[string]string
+	// Compiled is the serving representation (NumClasses/OutDim/NumFeatures
+	// describe the model's shape).
+	Compiled *dtree.Compiled
+
+	requests    atomic.Int64
+	predictions atomic.Int64
+}
+
+// registry is one immutable generation of the model set. The engine swaps
+// whole generations through an atomic pointer: predict paths load the
+// pointer once and never observe a half-reloaded set.
+type registry struct {
+	dir      string
+	models   map[string]*Model
+	skipped  []string
+	loadedAt time.Time
+}
+
+// Config carries the engine knobs. The zero value serves with all cores,
+// the default batch cap, and no in-flight limit.
+type Config struct {
+	// Workers sizes the server-wide inference pool shared by ALL in-flight
+	// batch predictions (0 = GOMAXPROCS, 1 = serial). Unlike the old
+	// per-request Workers semantics, concurrent batches never multiply
+	// goroutines: a batch recruits helpers only while pool slots are free
+	// and otherwise runs on its own request goroutine.
+	Workers int
+	// MaxBatch caps the rows accepted per predict call (0 = DefaultMaxBatch).
+	// Oversized requests fail with *BatchSizeError.
+	MaxBatch int
+	// MaxInflight caps concurrently admitted predict calls (0 = unlimited).
+	// Calls beyond the cap fail fast with ErrBusy instead of queueing.
+	MaxInflight int
+}
+
+// Engine is the transport-agnostic serving core: a hot-reloadable model
+// registry plus admission-controlled batch inference. All methods are safe
+// for concurrent use; Predict never blocks on Reload.
+type Engine struct {
+	cfg Config
+
+	reg atomic.Pointer[registry]
+	// reloadMu serializes Reload calls only — the predict path never touches
+	// it.
+	reloadMu sync.Mutex
+	// sem holds the spare-worker tokens of the shared inference pool
+	// (capacity Workers-1: the request goroutine itself is the first
+	// worker). nil when the engine is configured serial.
+	sem chan struct{}
+	// inflight holds the admission tokens (nil = unlimited).
+	inflight chan struct{}
+
+	start    time.Time
+	requests atomic.Int64
+	errors   atomic.Int64
+	reloads  atomic.Int64
+}
+
+// NewEngine loads every servable artifact in dir into a fresh engine.
+func NewEngine(dir string, cfg Config) (*Engine, error) {
+	reg, err := loadRegistry(dir)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg, start: time.Now()}
+	if w := parallel.Workers(cfg.Workers); w > 1 {
+		e.sem = make(chan struct{}, w-1)
+	}
+	if cfg.MaxInflight > 0 {
+		e.inflight = make(chan struct{}, cfg.MaxInflight)
+	}
+	e.reg.Store(reg)
+	return e, nil
+}
+
+// LoadDir builds an engine with the default Config from every *.metis
+// artifact in dir. Tree artifacts (dtree/tree) are compiled on load;
+// compiled-tree artifacts are served as-is; artifacts of any other kind are
+// skipped and listed in Skipped. A model is named by its artifact's "name"
+// metadata, falling back to the file's base name.
+func LoadDir(dir string) (*Engine, error) { return NewEngine(dir, Config{}) }
+
+// loadRegistry scans dir into one immutable registry generation.
+func loadRegistry(dir string) (*registry, error) {
+	entries, err := filepath.Glob(filepath.Join(dir, "*"+Ext))
+	if err != nil {
+		return nil, fmt.Errorf("serve: scan %s: %w", dir, err)
+	}
+	if len(entries) == 0 {
+		if _, statErr := os.Stat(dir); statErr != nil {
+			return nil, fmt.Errorf("serve: %w", statErr)
+		}
+		return nil, fmt.Errorf("serve: no %s artifacts in %s", Ext, dir)
+	}
+	reg := &registry{dir: dir, models: map[string]*Model{}, loadedAt: time.Now()}
+	sort.Strings(entries)
+	for _, path := range entries {
+		// Parse the container (cheap, checksum-verified) and dispatch on the
+		// kind tag before decoding: non-tree artifacts — including kinds
+		// this build doesn't know — are skipped without paying for (or
+		// choking on) their payload decode.
+		a, err := artifact.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		if a.Kind != artifact.KindTree && a.Kind != artifact.KindCompiledTree {
+			reg.skipped = append(reg.skipped, fmt.Sprintf("%s (kind %s)", filepath.Base(path), a.Kind))
+			continue
+		}
+		model, err := a.Decode()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		name := a.Meta["name"]
+		if name == "" {
+			name = strings.TrimSuffix(filepath.Base(path), Ext)
+		}
+		var c *dtree.Compiled
+		switch m := model.(type) {
+		case *dtree.Tree:
+			if c, err = m.Compile(); err != nil {
+				return nil, fmt.Errorf("serve: compile %s: %w", path, err)
+			}
+		case *dtree.Compiled:
+			c = m
+		}
+		// The checksum protects bytes, not invariants: a malformed compiled
+		// tree could panic or loop the predict handler, so reject it here.
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: %s: %w", path, err)
+		}
+		if _, dup := reg.models[name]; dup {
+			return nil, fmt.Errorf("serve: duplicate model name %q (set distinct \"name\" metadata)", name)
+		}
+		reg.models[name] = &Model{Name: name, Kind: a.Kind, Meta: a.Meta, Compiled: c}
+	}
+	if len(reg.models) == 0 {
+		return nil, fmt.Errorf("serve: no servable artifacts in %s (skipped: %s)", dir, strings.Join(reg.skipped, ", "))
+	}
+	return reg, nil
+}
+
+// Reload loads dir ("" = the currently served directory) into a fresh
+// registry generation and swaps it in atomically. In-flight predictions
+// keep using the generation they loaded; new requests see the new set on
+// their next registry load — no lock is taken on the predict path. Stats of
+// models that survive the reload (matched by name) are carried over; a
+// failed load leaves the current generation serving untouched.
+func (e *Engine) Reload(dir string) error {
+	e.reloadMu.Lock()
+	defer e.reloadMu.Unlock()
+	old := e.reg.Load()
+	if dir == "" {
+		dir = old.dir
+	}
+	reg, err := loadRegistry(dir)
+	if err != nil {
+		return err
+	}
+	for name, m := range reg.models {
+		if prev, ok := old.models[name]; ok {
+			// In-flight requests on the old generation may still bump prev
+			// after this copy; that sliver of drift is accepted — counters
+			// are operational telemetry, not an exactness contract.
+			m.requests.Store(prev.requests.Load())
+			m.predictions.Store(prev.predictions.Load())
+		}
+	}
+	e.reg.Store(reg)
+	e.reloads.Add(1)
+	return nil
+}
+
+// Dir returns the artifact directory backing the current registry
+// generation.
+func (e *Engine) Dir() string { return e.reg.Load().dir }
+
+// LoadedAt returns when the current registry generation was loaded.
+func (e *Engine) LoadedAt() time.Time { return e.reg.Load().loadedAt }
+
+// Reloads returns how many reloads have been applied.
+func (e *Engine) Reloads() int64 { return e.reloads.Load() }
+
+// Models returns the current generation's entries sorted by name.
+func (e *Engine) Models() []*Model {
+	reg := e.reg.Load()
+	out := make([]*Model, 0, len(reg.models))
+	for _, m := range reg.models {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Model looks one model up in the current generation.
+func (e *Engine) Model(name string) (*Model, bool) {
+	m, ok := e.reg.Load().models[name]
+	return m, ok
+}
+
+// Skipped lists artifacts that were present but not servable in the current
+// generation.
+func (e *Engine) Skipped() []string { return e.reg.Load().skipped }
+
+// maxBatch returns the effective per-request row cap.
+func (e *Engine) maxBatch() int {
+	if e.cfg.MaxBatch > 0 {
+		return e.cfg.MaxBatch
+	}
+	return DefaultMaxBatch
+}
+
+// Prediction is the outcome of one predict call: Actions for classification
+// models, Values for regression models — exactly one is set, with one entry
+// per input row. Values rows alias the model's immutable value array and
+// must not be modified.
+type Prediction struct {
+	Model   string
+	Actions []int
+	Values  [][]float64
+}
+
+// Predict runs rows through the named model on the shared inference pool.
+// It validates admission (ErrBusy), the model name (*UnknownModelError),
+// the batch size (ErrEmptyBatch, *BatchSizeError), and every row's width
+// (*DimensionError) before touching the model. Failed calls are not
+// accounted in the error counter here — the HTTP layer's fail() is the
+// single error-accounting point.
+func (e *Engine) Predict(name string, rows [][]float64) (*Prediction, error) {
+	e.requests.Add(1)
+	if e.inflight != nil {
+		select {
+		case e.inflight <- struct{}{}:
+			defer func() { <-e.inflight }()
+		default:
+			return nil, ErrBusy
+		}
+	}
+	m, ok := e.reg.Load().models[name]
+	if !ok {
+		return nil, &UnknownModelError{Name: name}
+	}
+	if len(rows) == 0 {
+		return nil, ErrEmptyBatch
+	}
+	if max := e.maxBatch(); len(rows) > max {
+		return nil, &BatchSizeError{Rows: len(rows), Max: max}
+	}
+	for i, row := range rows {
+		if len(row) != m.Compiled.NumFeatures {
+			return nil, &DimensionError{Model: m.Name, Row: i, Got: len(row), Want: m.Compiled.NumFeatures}
+		}
+	}
+	m.requests.Add(1)
+	m.predictions.Add(int64(len(rows)))
+	p := &Prediction{Model: m.Name}
+	if m.Compiled.IsRegression() {
+		out := make([][]float64, len(rows))
+		e.forEachChunk(len(rows), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = m.Compiled.PredictReg(rows[i])
+			}
+		})
+		p.Values = out
+	} else {
+		out := make([]int, len(rows))
+		e.forEachChunk(len(rows), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = m.Compiled.Predict(rows[i])
+			}
+		})
+		p.Actions = out
+	}
+	return p, nil
+}
+
+// predictChunk is the per-task granularity of the shared pool: single tree
+// evaluations cost nanoseconds, so work is handed out in blocks large
+// enough to amortize scheduling.
+const predictChunk = 512
+
+// forEachChunk splits [0, n) into predictChunk blocks and runs them on the
+// request goroutine plus any helpers it can recruit from the shared pool.
+// Recruitment is non-blocking: when every pool slot is busy serving other
+// requests, the batch simply runs serially on its own goroutine — total
+// inference goroutines across ALL in-flight requests never exceed
+// Config.Workers.
+func (e *Engine) forEachChunk(n int, fn func(lo, hi int)) {
+	tasks := (n + predictChunk - 1) / predictChunk
+	if tasks <= 1 || e.sem == nil {
+		fn(0, n)
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			t := int(next.Add(1)) - 1
+			if t >= tasks {
+				return
+			}
+			lo := t * predictChunk
+			hi := min(lo+predictChunk, n)
+			fn(lo, hi)
+		}
+	}
+	var wg sync.WaitGroup
+recruit:
+	for h := 0; h < tasks-1; h++ {
+		select {
+		case e.sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-e.sem }()
+				work()
+			}()
+		default:
+			break recruit
+		}
+	}
+	work()
+	wg.Wait()
+}

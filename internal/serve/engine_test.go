@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/metis/dtree"
+)
+
+// TestEngineReload: Reload atomically swaps the model set — new artifacts
+// appear, removed ones vanish, and counters of surviving models carry over.
+func TestEngineReload(t *testing.T) {
+	dir, cls, _ := fixtureDir(t)
+	e, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Dir() != dir {
+		t.Fatalf("Dir() = %q, want %q", e.Dir(), dir)
+	}
+
+	// Build up per-model stats on the original generation.
+	for i := 0; i < 3; i++ {
+		if _, err := e.Predict("abr", [][]float64{{0.9, 0.1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Grow the directory: one more servable artifact, drop one.
+	if err := artifact.SaveModel(filepath.Join(dir, "extra.metis"), cls, map[string]string{"name": "extra"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "thresholds.metis")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Reload(""); err != nil {
+		t.Fatal(err)
+	}
+	if e.Reloads() != 1 {
+		t.Fatalf("Reloads() = %d, want 1", e.Reloads())
+	}
+
+	names := map[string]bool{}
+	for _, m := range e.Models() {
+		names[m.Name] = true
+	}
+	if !names["abr"] || !names["extra"] || names["thresholds"] {
+		t.Fatalf("post-reload models = %v", names)
+	}
+	if _, err := e.Predict("thresholds", [][]float64{{0.3, 0.7}}); err == nil {
+		t.Fatal("removed model still predicts")
+	}
+
+	// Survivor stats carried over, newcomer starts at zero.
+	abr, _ := e.Model("abr")
+	if got := abr.predictions.Load(); got != 3 {
+		t.Fatalf("abr predictions after reload = %d, want 3", got)
+	}
+	extra, _ := e.Model("extra")
+	if got := extra.predictions.Load(); got != 0 {
+		t.Fatalf("extra predictions after reload = %d, want 0", got)
+	}
+}
+
+// TestEngineReloadFailureKeepsServing: a reload pointed at a bad directory
+// returns an error and leaves the current generation untouched.
+func TestEngineReloadFailureKeepsServing(t *testing.T) {
+	dir, _, _ := fixtureDir(t)
+	e, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Reload(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("expected reload error for missing dir")
+	}
+	if e.Reloads() != 0 {
+		t.Fatalf("failed reload counted: %d", e.Reloads())
+	}
+	if _, err := e.Predict("abr", [][]float64{{0.9, 0.1}}); err != nil {
+		t.Fatalf("engine broken after failed reload: %v", err)
+	}
+	if e.Dir() != dir {
+		t.Fatalf("Dir() changed to %q after failed reload", e.Dir())
+	}
+}
+
+// TestEngineConcurrentPredictDuringReload hammers Predict from many
+// goroutines while the registry is reloaded repeatedly. Run under -race
+// (the CI race job covers internal/serve) this pins down the lock-free swap:
+// readers must never observe a half-built generation or trip the detector.
+func TestEngineConcurrentPredictDuringReload(t *testing.T) {
+	dir, cls, _ := fixtureDir(t)
+	e, err := NewEngine(dir, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cls.Predict([]float64{0.9, 0.1})
+
+	const predictors = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < predictors; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rows := [][]float64{{0.9, 0.1}, {0.1, 0.9}}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p, err := e.Predict("abr", rows)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if p.Actions[0] != want {
+					t.Errorf("prediction drifted during reload: %d", p.Actions[0])
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		if err := e.Reload(""); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if e.Reloads() != 50 {
+		t.Fatalf("Reloads() = %d, want 50", e.Reloads())
+	}
+}
+
+// TestEngineTypedErrors: each rejection path surfaces its typed error.
+func TestEngineTypedErrors(t *testing.T) {
+	dir, _, _ := fixtureDir(t)
+	e, err := NewEngine(dir, Config{MaxBatch: 4, MaxInflight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var unknown *UnknownModelError
+	if _, err := e.Predict("nope", [][]float64{{1, 2}}); !errors.As(err, &unknown) || unknown.Name != "nope" {
+		t.Fatalf("unknown model error = %v", err)
+	}
+	if _, err := e.Predict("abr", nil); !errors.Is(err, ErrEmptyBatch) {
+		t.Fatalf("empty batch error = %v", err)
+	}
+	var size *BatchSizeError
+	if _, err := e.Predict("abr", make([][]float64, 5)); !errors.As(err, &size) || size.Max != 4 {
+		t.Fatalf("batch size error = %v", err)
+	}
+	var dim *DimensionError
+	if _, err := e.Predict("abr", [][]float64{{1, 2, 3}}); !errors.As(err, &dim) || dim.Want != 2 {
+		t.Fatalf("dimension error = %v", err)
+	}
+
+	// Admission: occupy the only inflight slot, next call must fail fast.
+	e.inflight <- struct{}{}
+	if _, err := e.Predict("abr", [][]float64{{1, 2}}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("busy error = %v", err)
+	}
+	<-e.inflight
+	if _, err := e.Predict("abr", [][]float64{{1, 2}}); err != nil {
+		t.Fatalf("predict after slot freed: %v", err)
+	}
+}
+
+// TestEngineSharedPoolMatchesSerial: batch predictions through the shared
+// pool are bit-identical to serial evaluation at any worker count.
+func TestEngineSharedPoolMatchesSerial(t *testing.T) {
+	dir, cls, _ := fixtureDir(t)
+	rows := make([][]float64, 3000)
+	for i := range rows {
+		rows[i] = []float64{float64(i%100) / 100, float64((i*37)%100) / 100}
+	}
+	want := make([]int, len(rows))
+	for i, r := range rows {
+		want[i] = cls.Predict(r)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		e, err := NewEngine(dir, Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := e.Predict("abr", rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if p.Actions[i] != want[i] {
+				t.Fatalf("workers=%d: row %d = %d, want %d", workers, i, p.Actions[i], want[i])
+			}
+		}
+	}
+}
+
+// TestLoadDirAllSkipped: a directory holding only non-servable artifacts
+// fails with a message naming what was skipped.
+func TestLoadDirAllSkipped(t *testing.T) {
+	dir := t.TempDir()
+	f, err := os.Create(filepath.Join(dir, "future.metis"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := artifact.WritePayload(f, "future/model", nil, []byte("opaque")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	_, err = LoadDir(dir)
+	if err == nil || !strings.Contains(err.Error(), "no servable artifacts") || !strings.Contains(err.Error(), "future.metis") {
+		t.Fatalf("all-skipped error = %v", err)
+	}
+}
+
+// TestLoadDirCorruptCompiled: a compiled-tree artifact whose payload decodes
+// but violates the structural invariants is rejected by Validate at load.
+func TestLoadDirCorruptCompiled(t *testing.T) {
+	dir := t.TempDir()
+	// A compiled "tree" whose root's children point at themselves — a walk
+	// would loop forever. MarshalBinary does not validate, so the artifact
+	// writes cleanly; only the load-time Validate can catch it.
+	evil := &dtree.Compiled{
+		Feature:     []int32{0},
+		Threshold:   []float64{0.5},
+		Left:        []int32{0},
+		Right:       []int32{0},
+		Out:         []int32{0},
+		NumFeatures: 1,
+	}
+	if err := artifact.SaveModel(filepath.Join(dir, "evil.metis"), evil, map[string]string{"name": "evil"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(dir); err == nil || !strings.Contains(err.Error(), "children") {
+		t.Fatalf("corrupt compiled tree error = %v", err)
+	}
+}

@@ -1,0 +1,370 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// maxJSONBody bounds a JSON request body; the binary codec bounds itself by
+// row/feature counts instead.
+const maxJSONBody = 64 << 20
+
+// Handler returns the HTTP API over the engine:
+//
+//	GET  /healthz                      liveness probe
+//	GET  /v2/models                    registry listing
+//	GET  /v2/models/{name}             one model's detail + live counters
+//	POST /v2/models/{name}:predict     prediction (JSON or binary batch)
+//	GET  /v2/stats                     engine counters, uptime, reload state
+//	POST /v2/admin/reload              hot-reload the artifact directory
+//	GET  /metrics                      Prometheus text exposition
+//
+// plus the v1 surface, kept as a thin shim over the same engine:
+//
+//	GET  /v1/models, GET /v1/models/{name}, POST /v1/predict, GET /v1/stats
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+
+	// v2: the engine-native surface.
+	mux.HandleFunc("GET /v2/models", e.handleModels)
+	mux.HandleFunc("GET /v2/models/{name}", e.handleModelDetail)
+	mux.HandleFunc("POST /v2/models/{action}", e.handleModelAction)
+	mux.HandleFunc("GET /v2/stats", e.handleStatsV2)
+	mux.HandleFunc("POST /v2/admin/reload", e.handleReload)
+	mux.HandleFunc("GET /metrics", e.handleMetrics)
+
+	// v1 shim: same engine, original routes and response shapes. The mux
+	// patterns give v1 the same {name} matching as v2, fixing the old raw
+	// TrimPrefix resolution (percent-escapes now decode, and names with
+	// path separators can no longer alias other routes).
+	mux.HandleFunc("GET /v1/models", e.handleModels)
+	mux.HandleFunc("GET /v1/models/{name}", e.handleModelDetail)
+	mux.HandleFunc("POST /v1/predict", e.handlePredictJSON)
+	mux.HandleFunc("GET /v1/stats", e.handleStatsV1)
+	return mux
+}
+
+// modelInfo is one models-listing row.
+type modelInfo struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	// Scenario tags which pipeline domain produced the model (from the
+	// artifact's "scenario" metadata; empty for hand-saved artifacts).
+	Scenario   string            `json:"scenario,omitempty"`
+	Nodes      int               `json:"nodes"`
+	Features   int               `json:"features"`
+	Classes    int               `json:"classes,omitempty"`
+	OutDim     int               `json:"out_dim,omitempty"`
+	Regression bool              `json:"regression"`
+	Meta       map[string]string `json:"meta,omitempty"`
+}
+
+// info renders a model's registry row.
+func (m *Model) info() modelInfo {
+	return modelInfo{
+		Name: m.Name, Kind: m.Kind, Scenario: m.Meta["scenario"],
+		Nodes: m.Compiled.NumNodes(), Features: m.Compiled.NumFeatures,
+		Classes: m.Compiled.NumClasses, OutDim: m.Compiled.OutDim,
+		Regression: m.Compiled.IsRegression(), Meta: m.Meta,
+	}
+}
+
+func (e *Engine) handleModels(w http.ResponseWriter, r *http.Request) {
+	var infos []modelInfo
+	for _, m := range e.Models() {
+		infos = append(infos, m.info())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": infos})
+}
+
+// modelStats is one stats entry.
+type modelStats struct {
+	Requests    int64 `json:"requests"`
+	Predictions int64 `json:"predictions"`
+}
+
+// modelDetail is the models/{name} body: the registry row plus the model's
+// live counters.
+type modelDetail struct {
+	modelInfo
+	Stats modelStats `json:"stats"`
+}
+
+func (e *Engine) handleModelDetail(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	m, ok := e.Model(name)
+	if !ok {
+		e.fail(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, modelDetail{
+		modelInfo: m.info(),
+		Stats:     modelStats{Requests: m.requests.Load(), Predictions: m.predictions.Load()},
+	})
+}
+
+// handleModelAction routes POST /v2/models/{name}:{verb}. The whole last
+// segment arrives as one path value; the verb is split off at the final
+// colon, so model names themselves may contain colons.
+func (e *Engine) handleModelAction(w http.ResponseWriter, r *http.Request) {
+	seg := r.PathValue("action")
+	i := strings.LastIndex(seg, ":")
+	if i < 0 {
+		e.fail(w, http.StatusNotFound, fmt.Sprintf("POST %s: want /v2/models/{name}:predict", r.URL.Path))
+		return
+	}
+	name, verb := seg[:i], seg[i+1:]
+	if verb != "predict" {
+		e.fail(w, http.StatusNotFound, fmt.Sprintf("unknown model action %q (supported: predict)", verb))
+		return
+	}
+	// Codec negotiation: the binary batch type selects the packed codec;
+	// anything else is decoded as JSON (curl -d sends
+	// x-www-form-urlencoded, so being strict here would break the plain
+	// curl examples — a non-JSON body still fails with a clear 400).
+	if contentType(r) == ContentTypeBinary {
+		e.predictBinary(w, r, name)
+		return
+	}
+	e.predictJSONNamed(w, r, name)
+}
+
+// contentType returns the media type of the request body without parameters.
+func contentType(r *http.Request) string {
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.TrimSpace(strings.ToLower(ct))
+}
+
+// predictBinary is the high-throughput path: binary request in, binary
+// response out.
+func (e *Engine) predictBinary(w http.ResponseWriter, r *http.Request, name string) {
+	bodyModel, rows, err := DecodeBatchRequest(r.Body, e.maxBatch())
+	if err != nil {
+		e.failErr(w, err)
+		return
+	}
+	if bodyModel != "" && bodyModel != name {
+		e.fail(w, http.StatusBadRequest,
+			fmt.Sprintf("body names model %q but the URL names %q", bodyModel, name))
+		return
+	}
+	p, err := e.Predict(name, rows)
+	if err != nil {
+		e.failErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", ContentTypeBinary)
+	EncodeBatchResponse(w, p)
+}
+
+// predictRequest is the JSON predict body: exactly one of X (single) or Xs
+// (batch) must be set. Model is required on /v1/predict and optional on the
+// per-model v2 route (where it must match the URL if present).
+type predictRequest struct {
+	Model string      `json:"model"`
+	X     []float64   `json:"x,omitempty"`
+	Xs    [][]float64 `json:"xs,omitempty"`
+}
+
+// predictResponse carries either a class decision or a regression vector,
+// singly or per batch row.
+type predictResponse struct {
+	Model   string      `json:"model"`
+	Action  *int        `json:"action,omitempty"`
+	Actions []int       `json:"actions,omitempty"`
+	Value   []float64   `json:"value,omitempty"`
+	Values  [][]float64 `json:"values,omitempty"`
+}
+
+// handlePredictJSON is the v1 predict route: the model is named in the body.
+func (e *Engine) handlePredictJSON(w http.ResponseWriter, r *http.Request) {
+	req, ok := e.decodePredictJSON(w, r)
+	if !ok {
+		return
+	}
+	e.servePredictJSON(w, req.Model, req)
+}
+
+// predictJSONNamed is the v2 per-model JSON predict: the URL names the model.
+func (e *Engine) predictJSONNamed(w http.ResponseWriter, r *http.Request, name string) {
+	req, ok := e.decodePredictJSON(w, r)
+	if !ok {
+		return
+	}
+	if req.Model != "" && req.Model != name {
+		e.fail(w, http.StatusBadRequest,
+			fmt.Sprintf("body names model %q but the URL names %q", req.Model, name))
+		return
+	}
+	e.servePredictJSON(w, name, req)
+}
+
+// decodePredictJSON parses and shape-checks a JSON predict body.
+func (e *Engine) decodePredictJSON(w http.ResponseWriter, r *http.Request) (*predictRequest, bool) {
+	var req predictRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJSONBody))
+	if err := dec.Decode(&req); err != nil {
+		e.fail(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return nil, false
+	}
+	if (req.X != nil) == (req.Xs != nil) {
+		e.fail(w, http.StatusBadRequest, `set exactly one of "x" (single) or "xs" (batch)`)
+		return nil, false
+	}
+	return &req, true
+}
+
+// servePredictJSON runs the decoded request through the engine and renders
+// the JSON response.
+func (e *Engine) servePredictJSON(w http.ResponseWriter, name string, req *predictRequest) {
+	single := req.X != nil
+	rows := req.Xs
+	if single {
+		rows = [][]float64{req.X}
+	}
+	p, err := e.Predict(name, rows)
+	if err != nil {
+		e.failErr(w, err)
+		return
+	}
+	resp := predictResponse{Model: p.Model}
+	switch {
+	case p.Values != nil && single:
+		resp.Value = p.Values[0]
+	case p.Values != nil:
+		resp.Values = p.Values
+	case single:
+		resp.Action = &p.Actions[0]
+	default:
+		resp.Actions = p.Actions
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (e *Engine) handleStatsV1(w http.ResponseWriter, r *http.Request) {
+	per := map[string]modelStats{}
+	for _, m := range e.Models() {
+		per[m.Name] = modelStats{Requests: m.requests.Load(), Predictions: m.predictions.Load()}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_s": time.Since(e.start).Seconds(),
+		"requests": e.requests.Load(),
+		"errors":   e.errors.Load(),
+		"models":   per,
+	})
+}
+
+func (e *Engine) handleStatsV2(w http.ResponseWriter, r *http.Request) {
+	per := map[string]modelStats{}
+	for _, m := range e.Models() {
+		per[m.Name] = modelStats{Requests: m.requests.Load(), Predictions: m.predictions.Load()}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_s":  time.Since(e.start).Seconds(),
+		"requests":  e.requests.Load(),
+		"errors":    e.errors.Load(),
+		"reloads":   e.reloads.Load(),
+		"dir":       e.Dir(),
+		"loaded_at": e.LoadedAt().UTC().Format(time.RFC3339),
+		"models":    per,
+	})
+}
+
+// reloadRequest is the optional /v2/admin/reload body.
+type reloadRequest struct {
+	// Dir switches the engine to a new artifact directory; empty reloads
+	// the current one.
+	Dir string `json:"dir"`
+}
+
+func (e *Engine) handleReload(w http.ResponseWriter, r *http.Request) {
+	var req reloadRequest
+	if body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20)); err != nil {
+		e.fail(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	} else if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			e.fail(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+	}
+	if err := e.Reload(req.Dir); err != nil {
+		// The old generation is still serving; the reload itself failed.
+		e.fail(w, http.StatusConflict, err.Error())
+		return
+	}
+	names := make([]string, 0)
+	for _, m := range e.Models() {
+		names = append(names, m.Name)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"reloaded": true,
+		"dir":      e.Dir(),
+		"models":   names,
+		"skipped":  len(e.Skipped()),
+	})
+}
+
+// handleMetrics renders the engine counters in the Prometheus text
+// exposition format — no client library, the format is four line shapes.
+func (e *Engine) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("metis_requests_total", "Predict calls admitted or rejected by the engine.", e.requests.Load())
+	counter("metis_errors_total", "Requests that failed (any 4xx/5xx).", e.errors.Load())
+	counter("metis_reloads_total", "Registry hot reloads applied.", e.reloads.Load())
+	fmt.Fprintf(&b, "# HELP metis_uptime_seconds Engine uptime.\n# TYPE metis_uptime_seconds gauge\nmetis_uptime_seconds %.3f\n",
+		time.Since(e.start).Seconds())
+	models := e.Models() // already sorted by name
+	fmt.Fprintf(&b, "# HELP metis_models Servable models in the current registry generation.\n# TYPE metis_models gauge\nmetis_models %d\n", len(models))
+	b.WriteString("# HELP metis_model_requests_total Predict requests per model.\n# TYPE metis_model_requests_total counter\n")
+	for _, m := range models {
+		fmt.Fprintf(&b, "metis_model_requests_total{model=%q} %d\n", m.Name, m.requests.Load())
+	}
+	b.WriteString("# HELP metis_model_predictions_total Rows predicted per model.\n# TYPE metis_model_predictions_total counter\n")
+	for _, m := range models {
+		fmt.Fprintf(&b, "metis_model_predictions_total{model=%q} %d\n", m.Name, m.predictions.Load())
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String()))
+}
+
+// failErr maps an engine error to its HTTP status.
+func (e *Engine) failErr(w http.ResponseWriter, err error) {
+	var (
+		unknown *UnknownModelError
+		size    *BatchSizeError
+	)
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrBusy):
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	case errors.As(err, &unknown):
+		code = http.StatusNotFound
+	case errors.As(err, &size):
+		code = http.StatusRequestEntityTooLarge
+	}
+	e.fail(w, code, err.Error())
+}
+
+// fail renders a JSON error and accounts it in the engine error counter —
+// the single error-accounting point of the HTTP layer, so every 4xx/5xx
+// response bumps the counter exactly once.
+func (e *Engine) fail(w http.ResponseWriter, code int, msg string) {
+	e.errors.Add(1)
+	writeJSON(w, code, map[string]string{"error": msg})
+}

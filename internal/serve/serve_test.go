@@ -76,7 +76,7 @@ func post(t *testing.T, ts *httptest.Server, body string) (*http.Response, map[s
 	return resp, out
 }
 
-func TestServerEndToEnd(t *testing.T) {
+func TestEngineEndToEnd(t *testing.T) {
 	dir, cls, reg := fixtureDir(t)
 	s, err := LoadDir(dir)
 	if err != nil {

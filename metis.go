@@ -39,8 +39,13 @@ package metis
 import (
 	"fmt"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
 
+	"repro/client"
 	"repro/internal/artifact"
 	"repro/internal/metis/dtree"
 	"repro/internal/metis/mask"
@@ -123,18 +128,125 @@ func SaveTree(path string, t *Tree, meta map[string]string) error {
 // -save flag).
 func LoadTree(path string) (*Tree, error) { return artifact.LoadTree(path) }
 
-// Serve loads every model artifact in dir into a serving registry and
-// returns the metis-serve HTTP API (GET /v1/models, GET /v1/models/{name},
-// POST /v1/predict, GET /v1/stats, GET /healthz) backed by lock-free
-// compiled-tree inference. workers bounds the goroutines used per batch
-// prediction (0 = all cores).
-func Serve(dir string, workers int) (http.Handler, error) {
-	s, err := serve.LoadDir(dir)
+// ServeOption customizes a Server built by NewServer.
+type ServeOption func(*serveOptions)
+
+type serveOptions struct {
+	cfg    serve.Config
+	sighup bool
+}
+
+// WithWorkers sizes the server-wide inference pool shared by all in-flight
+// batch predictions (0 = all cores, 1 = serial). The pool is global to the
+// server, not per request: concurrent batches never multiply goroutines.
+func WithWorkers(n int) ServeOption {
+	return func(o *serveOptions) { o.cfg.Workers = n }
+}
+
+// WithMaxBatch caps the rows accepted per prediction request; oversized
+// batches are rejected with a typed error (HTTP 413).
+func WithMaxBatch(n int) ServeOption {
+	return func(o *serveOptions) { o.cfg.MaxBatch = n }
+}
+
+// WithMaxInflight caps concurrently admitted prediction requests; beyond it
+// the server fails fast with HTTP 503 + Retry-After (the client SDK retries
+// those automatically).
+func WithMaxInflight(n int) ServeOption {
+	return func(o *serveOptions) { o.cfg.MaxInflight = n }
+}
+
+// WithReloadOnSIGHUP makes the server hot-reload its artifact directory
+// when the process receives SIGHUP (the classic daemon reload convention).
+// Call Close to release the signal handler.
+func WithReloadOnSIGHUP() ServeOption {
+	return func(o *serveOptions) { o.sighup = true }
+}
+
+// Server is the embeddable serving runtime: a hot-reloadable model registry
+// with the v1+v2 HTTP API (see Handler). Build one with NewServer.
+type Server struct {
+	engine *serve.Engine
+	stop   func()
+}
+
+// NewServer loads every model artifact in dir into a serving engine. The
+// returned server exposes the metis-serve HTTP API — GET /v2/models[/{name}],
+// POST /v2/models/{name}:predict (JSON or the binary batch codec),
+// GET /v2/stats, POST /v2/admin/reload, GET /metrics, GET /healthz, plus
+// the v1 routes as a compatibility shim — backed by lock-free compiled-tree
+// inference.
+//
+// NewServer replaces the v1 facade call Serve(dir, workers); the per-request
+// workers knob became the server-wide WithWorkers pool.
+func NewServer(dir string, opts ...ServeOption) (*Server, error) {
+	var o serveOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	engine, err := serve.NewEngine(dir, o.cfg)
 	if err != nil {
 		return nil, err
 	}
-	s.Workers = workers
-	return s.Handler(), nil
+	s := &Server{engine: engine, stop: func() {}}
+	if o.sighup {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, syscall.SIGHUP)
+		done := make(chan struct{})
+		go func() {
+			for {
+				select {
+				case <-ch:
+					// A failed reload (e.g. half-written artifact) keeps the
+					// current generation serving; nothing to do here.
+					s.engine.Reload("")
+				case <-done:
+					return
+				}
+			}
+		}()
+		var once sync.Once
+		s.stop = func() {
+			once.Do(func() {
+				signal.Stop(ch)
+				close(done)
+			})
+		}
+	}
+	return s, nil
+}
+
+// Handler returns the server's HTTP API.
+func (s *Server) Handler() http.Handler { return s.engine.Handler() }
+
+// Reload hot-swaps the model registry from dir ("" reloads the current
+// directory). In-flight predictions finish on the old model set; stats of
+// models that survive are carried over.
+func (s *Server) Reload(dir string) error { return s.engine.Reload(dir) }
+
+// Models returns the names of the currently served models, sorted.
+func (s *Server) Models() []string {
+	models := s.engine.Models()
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.Name
+	}
+	return names
+}
+
+// Close releases the SIGHUP handler installed by WithReloadOnSIGHUP (a
+// no-op otherwise). The server keeps serving; only the signal wiring stops.
+func (s *Server) Close() { s.stop() }
+
+// Client is the Go SDK for a metis-serve endpoint (re-exported from
+// repro/client): typed model listing, single/batch prediction over the
+// binary batch codec with JSON fallback, stats, and hot reload, with
+// automatic retry on 503.
+type Client = client.Client
+
+// NewClient returns a Client for the serving daemon at baseURL.
+func NewClient(baseURL string, opts ...client.Option) *Client {
+	return client.New(baseURL, opts...)
 }
 
 // ScenarioConfig carries the generic pipeline knobs: Scale ("tiny", "test",

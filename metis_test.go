@@ -2,6 +2,7 @@ package metis
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -113,8 +114,8 @@ func TestPublicCriticalConnections(t *testing.T) {
 }
 
 // TestPublicSaveServe covers the deployment loop end to end through the
-// facade: distill → SaveTree → LoadTree → Compile parity → Serve → HTTP
-// prediction.
+// facade: distill → SaveTree → LoadTree → Compile parity → NewServer →
+// prediction over both the v1 shim and the v2 client SDK.
 func TestPublicSaveServe(t *testing.T) {
 	res, err := Distill(&scanEnv{}, stairPolicy{}, DistillConfig{
 		MaxLeaves: 8, Iterations: 2, EpisodesPerIter: 15, MaxSteps: 25,
@@ -143,12 +144,18 @@ func TestPublicSaveServe(t *testing.T) {
 		}
 	}
 
-	handler, err := Serve(dir, 1)
+	srv, err := NewServer(dir, WithWorkers(1), WithMaxBatch(64))
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(handler)
+	defer srv.Close()
+	if models := srv.Models(); len(models) != 1 || models[0] != "stair" {
+		t.Fatalf("served models = %v", models)
+	}
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
+
+	// v1 shim still answers.
 	resp, err := http.Post(ts.URL+"/v1/predict", "application/json",
 		bytes.NewBufferString(`{"model":"stair","x":[0.9]}`))
 	if err != nil {
@@ -163,6 +170,88 @@ func TestPublicSaveServe(t *testing.T) {
 	}
 	if out.Action != res.Tree.Predict([]float64{0.9}) {
 		t.Fatalf("served action %d, tree says %d", out.Action, res.Tree.Predict([]float64{0.9}))
+	}
+
+	// v2 via the re-exported client SDK (binary batch codec).
+	c := NewClient(ts.URL)
+	pred, err := c.PredictBatch(context.Background(), "stair", [][]float64{{0.1}, {0.5}, {0.9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range []float64{0.1, 0.5, 0.9} {
+		if pred.Actions[i] != res.Tree.Predict([]float64{x}) {
+			t.Fatalf("client action[%d] = %d, tree says %d", i, pred.Actions[i], res.Tree.Predict([]float64{x}))
+		}
+	}
+}
+
+// TestPipelineServeReload is the pipeline→deployment e2e: artifacts written
+// by the scenario engine's OutDir are directly servable, and a running
+// server picks newly produced students up through hot reload without a
+// restart.
+func TestPipelineServeReload(t *testing.T) {
+	res, err := Distill(&scanEnv{}, stairPolicy{}, DistillConfig{
+		MaxLeaves: 8, Iterations: 1, EpisodesPerIter: 10, MaxSteps: 25, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := SaveTree(filepath.Join(dir, "stair.metis"), res.Tree, map[string]string{"name": "stair"}); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := NewServer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL)
+
+	// A pipeline run drops its student (and manifest) into the served dir.
+	rep, err := RunScenario("auto-lrla", ScenarioConfig{Scale: "tiny", Workers: 1, OutDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ArtifactPath == "" {
+		t.Fatalf("pipeline did not persist: %+v", rep)
+	}
+
+	// Hot reload through the admin endpoint: the new student appears, the
+	// manifest artifact is skipped, and the old model keeps serving.
+	names, err := c.Reload(context.Background(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range names {
+		if n == "auto-lrla-tiny" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("reloaded models = %v, want auto-lrla-tiny", names)
+	}
+
+	detail, err := c.Model(context.Background(), "auto-lrla-tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if detail.Scenario != "auto-lrla" || detail.Features <= 0 {
+		t.Fatalf("pipeline student detail = %+v", detail)
+	}
+	pred, err := c.PredictBatch(context.Background(), "auto-lrla-tiny",
+		[][]float64{make([]float64, detail.Features)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred.Actions) != 1 {
+		t.Fatalf("pipeline student prediction = %+v", pred)
+	}
+	if _, err := c.Predict(context.Background(), "stair", []float64{0.9}); err != nil {
+		t.Fatalf("pre-reload model gone: %v", err)
 	}
 }
 

@@ -11,7 +11,7 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${1:-3x}"
 [ $# -gt 0 ] && shift
 
-BENCHES='BenchmarkFig07DecisionTree|BenchmarkMaskSearch$|BenchmarkMaskSearchSerial|BenchmarkCARTBuild|BenchmarkExtractionOverhead|BenchmarkFig27InterpBaselines|BenchmarkTreeDecision|BenchmarkDNNDecision|BenchmarkCompiledPredictBatch|BenchmarkServePredictBatch|BenchmarkScenarioPipeline$|BenchmarkScenarioPipelineAll'
+BENCHES='BenchmarkFig07DecisionTree|BenchmarkMaskSearch$|BenchmarkMaskSearchSerial|BenchmarkCARTBuild|BenchmarkExtractionOverhead|BenchmarkFig27InterpBaselines|BenchmarkTreeDecision|BenchmarkDNNDecision|BenchmarkCompiledPredictBatch|BenchmarkServePredictBatch$|BenchmarkServePredictBatchBinary|BenchmarkScenarioPipeline$|BenchmarkScenarioPipelineAll'
 DATE="$(date +%Y-%m-%d)"
 OUT="BENCH_${DATE}.json"
 # Never clobber an earlier record (e.g. a same-day before/after pair):
