@@ -1,0 +1,42 @@
+package artifact_test
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/dataset"
+)
+
+// TestDatasetKindRoundtrip pins the dataset artifact kind: a columnar table
+// saved by a pipeline must reload bit-identically through the generic
+// kind registry.
+func TestDatasetKindRoundtrip(t *testing.T) {
+	tab, err := dataset.FromRows(
+		[][]float64{{1, 2}, {3, 4}, {5, 6}},
+		[]int{0, 1, 0},
+		[]float64{1, 0.5, 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind, err := artifact.KindOf(tab); err != nil || kind != artifact.KindDataset {
+		t.Fatalf("KindOf = %q, %v", kind, err)
+	}
+	path := filepath.Join(t.TempDir(), "corpus.metis")
+	if err := artifact.SaveModel(path, tab, map[string]string{"name": "corpus"}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := artifact.LoadAs[*dataset.Table](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, tab) {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", back, tab)
+	}
+	// A dataset artifact must not load as a tree.
+	if _, err := artifact.LoadTree(path); err == nil {
+		t.Fatal("dataset artifact loaded as a tree")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/auto"
+	"repro/internal/dataset"
 	"repro/internal/metis/dtree"
 	"repro/internal/metis/mask"
 	"repro/internal/nn"
@@ -23,6 +24,11 @@ const (
 	KindAutoSRLA      = "auto/srla"
 	KindRouteNet      = "routenet/model"
 	KindMaskResult    = "mask/result"
+	// KindDataset persists a columnar training table (a distillation
+	// corpus), letting pipelines cache DAgger datasets next to the
+	// teachers that produced them and refit students without re-rolling
+	// trajectories.
+	KindDataset = "dataset/table"
 	// KindManifest ("pipeline/manifest") is declared in manifest.go.
 )
 
@@ -36,6 +42,7 @@ var decoders = map[string]func([]byte) (any, error){
 	KindAutoSRLA:      decodeInto(func() *auto.SRLA { return new(auto.SRLA) }),
 	KindRouteNet:      decodeInto(func() *routenet.Model { return new(routenet.Model) }),
 	KindMaskResult:    decodeInto(func() *mask.Result { return new(mask.Result) }),
+	KindDataset:       decodeInto(func() *dataset.Table { return new(dataset.Table) }),
 	KindManifest:      decodeInto(func() *Manifest { return new(Manifest) }),
 }
 
@@ -70,6 +77,8 @@ func KindOf(model any) (string, error) {
 		return KindRouteNet, nil
 	case *mask.Result:
 		return KindMaskResult, nil
+	case *dataset.Table:
+		return KindDataset, nil
 	case *Manifest:
 		return KindManifest, nil
 	}

@@ -1,0 +1,48 @@
+package dataset
+
+import "fmt"
+
+// Batch is a dense row-major matrix backed by a single flat allocation —
+// the shape perturbation generators and blackbox evaluators exchange. Rows
+// are zero-copy views into the backing array, and a Batch is meant to be
+// refilled and reused across iterations, so steady-state hot loops allocate
+// nothing.
+type Batch struct {
+	data []float64
+	rows int
+	dim  int
+}
+
+// NewBatch allocates a rows×dim batch (zero-filled).
+func NewBatch(rows, dim int) *Batch {
+	return &Batch{data: make([]float64, rows*dim), rows: rows, dim: dim}
+}
+
+// BatchFromRows copies a row-major slice matrix into a fresh Batch. Every
+// row must have the same width.
+func BatchFromRows(X [][]float64) (*Batch, error) {
+	dim := 0
+	if len(X) > 0 {
+		dim = len(X[0])
+	}
+	b := NewBatch(len(X), dim)
+	for i, row := range X {
+		if len(row) != dim {
+			return nil, fmt.Errorf("dataset: batch row %d has %d values, row 0 has %d", i, len(row), dim)
+		}
+		copy(b.Row(i), row)
+	}
+	return b, nil
+}
+
+// Rows returns the row count.
+func (b *Batch) Rows() int { return b.rows }
+
+// Dim returns the per-row width.
+func (b *Batch) Dim() int { return b.dim }
+
+// Row returns row i as a zero-copy view (len == Dim). Mutating it mutates
+// the batch — that is the point: generators fill rows in place.
+func (b *Batch) Row(i int) []float64 {
+	return b.data[i*b.dim : (i+1)*b.dim : (i+1)*b.dim]
+}

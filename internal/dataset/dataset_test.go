@@ -1,0 +1,327 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestFromRowsRoundtrip(t *testing.T) {
+	X := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	y := []int{0, 1, 0}
+	w := []float64{1, 2, 3}
+	tab, err := FromRows(X, y, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 3 || tab.NumFeatures() != 2 || tab.IsRegression() {
+		t.Fatalf("shape: len=%d features=%d reg=%v", tab.Len(), tab.NumFeatures(), tab.IsRegression())
+	}
+	if got := tab.Col(1); !reflect.DeepEqual(got, []float64{2, 4, 6}) {
+		t.Fatalf("column 1 = %v", got)
+	}
+	if !reflect.DeepEqual(tab.Rows(), X) {
+		t.Fatalf("Rows() = %v", tab.Rows())
+	}
+	if tab.Label(1) != 1 || tab.Weight(2) != 3 {
+		t.Fatal("label/weight accessors wrong")
+	}
+	row := tab.Row(1, nil)
+	if !reflect.DeepEqual(row, []float64{3, 4}) {
+		t.Fatalf("Row(1) = %v", row)
+	}
+}
+
+func TestFromRowsValidation(t *testing.T) {
+	if _, err := FromRows([][]float64{{1}, {2, 3}}, []int{0, 1}, nil); err == nil {
+		t.Fatal("ragged rows should error")
+	}
+	if _, err := FromRows([][]float64{{1}}, []int{0, 1}, nil); err == nil {
+		t.Fatal("label length mismatch should error")
+	}
+	if _, err := FromRows([][]float64{{1}}, []int{0}, []float64{1, 2}); err == nil {
+		t.Fatal("weight length mismatch should error")
+	}
+	if _, err := FromRegRows([][]float64{{1}, {2}}, [][]float64{{1, 2}, {3}}, nil); err == nil {
+		t.Fatal("ragged targets should error")
+	}
+}
+
+func TestAppendLazyWeights(t *testing.T) {
+	tab := New(2)
+	tab.AppendRow([]float64{1, 2}, 0, 1)
+	tab.AppendRow([]float64{3, 4}, 1, 1)
+	if tab.Weights() != nil {
+		t.Fatal("all-1 weights should stay nil (uniform fast path)")
+	}
+	tab.AppendRow([]float64{5, 6}, 0, 2.5)
+	if got := tab.Weights(); !reflect.DeepEqual(got, []float64{1, 1, 2.5}) {
+		t.Fatalf("weights = %v", got)
+	}
+	if tab.Weight(0) != 1 || tab.Weight(2) != 2.5 {
+		t.Fatal("Weight accessor wrong after materialization")
+	}
+}
+
+func TestAppendTable(t *testing.T) {
+	a := New(1)
+	a.AppendRow([]float64{1}, 0, 1)
+	b := New(1)
+	b.AppendRow([]float64{2}, 1, 3)
+	a.AppendTable(b)
+	if a.Len() != 2 || a.Label(1) != 1 || a.Weight(0) != 1 || a.Weight(1) != 3 {
+		t.Fatalf("after append: len=%d labels=%v weights=%v", a.Len(), a.Labels(), a.Weights())
+	}
+}
+
+func TestRegressionTable(t *testing.T) {
+	tab := NewRegression(1, 2)
+	tab.AppendRegRow([]float64{1}, []float64{10, -10}, 1)
+	tab.AppendRegRow([]float64{2}, []float64{20, -20}, 1)
+	if !tab.IsRegression() || tab.Outputs() != 2 {
+		t.Fatal("regression shape wrong")
+	}
+	if got := tab.Target(1); !reflect.DeepEqual(got, []float64{-10, -20}) {
+		t.Fatalf("target column 1 = %v", got)
+	}
+}
+
+func TestSliceIsZeroCopyView(t *testing.T) {
+	tab, _ := FromRows([][]float64{{1}, {2}, {3}, {4}}, []int{0, 0, 1, 1}, nil)
+	s := tab.Slice(1, 3)
+	if s.Len() != 2 || s.Col(0)[0] != 2 || s.Label(1) != 1 {
+		t.Fatalf("slice contents wrong: %v %v", s.Col(0), s.Labels())
+	}
+	// Mutating the parent column must show through the view (zero-copy).
+	tab.Col(0)[1] = 99
+	if s.Col(0)[0] != 99 {
+		t.Fatal("Slice copied the column")
+	}
+}
+
+func TestSliceAppendDoesNotClobberParent(t *testing.T) {
+	tab, _ := FromRows([][]float64{{1}, {2}, {3}, {4}}, []int{0, 0, 1, 1}, nil)
+	head := tab.Slice(0, 2)
+	head.AppendRow([]float64{42}, 1, 1)
+	if tab.Col(0)[2] != 3 || tab.Label(2) != 1 {
+		t.Fatalf("appending to a slice view overwrote the parent: col=%v labels=%v", tab.Col(0), tab.Labels())
+	}
+	if head.Len() != 3 || head.Col(0)[2] != 42 {
+		t.Fatalf("view append lost its own row: %v", head.Col(0))
+	}
+}
+
+func TestSampleDeterministicAndWithoutReplacement(t *testing.T) {
+	n := 100
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		X[i] = []float64{float64(i)}
+		y[i] = i % 3
+	}
+	tab, _ := FromRows(X, y, nil)
+	a := tab.Sample(7, 40)
+	b := tab.Sample(7, 40)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must give the same subsample")
+	}
+	c := tab.Sample(8, 40)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds should give different subsamples")
+	}
+	seen := map[float64]bool{}
+	for i := 0; i < a.Len(); i++ {
+		v := a.Col(0)[i]
+		if seen[v] {
+			t.Fatalf("value %v drawn twice", v)
+		}
+		seen[v] = true
+	}
+	full := tab.Sample(9, n+10)
+	if full.Len() != n || !reflect.DeepEqual(full.Col(0), tab.Col(0)) {
+		t.Fatal("oversized sample should be a full in-order copy")
+	}
+}
+
+func TestBinLosslessLowCardinality(t *testing.T) {
+	tab, _ := FromRows([][]float64{{0}, {1}, {1}, {2}, {0}}, []int{0, 0, 0, 0, 0}, nil)
+	b := tab.Bin(256, 1)
+	if got := b.NumBins(0); got != 3 {
+		t.Fatalf("3 distinct values should give 3 bins, got %d", got)
+	}
+	// Edges are midpoints: 0.5 and 1.5.
+	if b.Edge(0, 0) != 0.5 || b.Edge(0, 1) != 1.5 {
+		t.Fatalf("edges = %v %v", b.Edge(0, 0), b.Edge(0, 1))
+	}
+	want := []uint8{0, 1, 1, 2, 0}
+	if !reflect.DeepEqual(b.Bins8(0), want) {
+		t.Fatalf("bins = %v, want %v", b.Bins8(0), want)
+	}
+}
+
+func TestBinQuantileHighCardinality(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 10000
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		X[i] = []float64{rng.NormFloat64()}
+	}
+	tab, _ := FromRows(X, y, nil)
+	b := tab.Bin(64, 1)
+	if got := b.NumBins(0); got != 64 {
+		t.Fatalf("bins = %d, want 64", got)
+	}
+	// Quantile bins should be roughly equal-mass.
+	counts := make([]int, 64)
+	for _, bin := range b.Bins8(0) {
+		counts[bin]++
+	}
+	for bin, c := range counts {
+		if c < n/64/4 || c > n/64*4 {
+			t.Fatalf("bin %d holds %d of %d samples — not quantile-ish", bin, c, n)
+		}
+	}
+	// Bin membership must agree with the edge thresholds.
+	for i := 0; i < n; i++ {
+		v := tab.Col(0)[i]
+		bin := int(b.Bins8(0)[i])
+		if bin > 0 && v < b.Edge(0, bin-1) {
+			t.Fatalf("value %v in bin %d but < lower edge %v", v, bin, b.Edge(0, bin-1))
+		}
+		if bin < b.NumBins(0)-1 && v >= b.Edge(0, bin) {
+			t.Fatalf("value %v in bin %d but ≥ upper edge %v", v, bin, b.Edge(0, bin))
+		}
+	}
+}
+
+func TestBinWideBudgetUsesUint16(t *testing.T) {
+	n := 2000
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		X[i] = []float64{float64(i)}
+	}
+	tab, _ := FromRows(X, y, nil)
+	b := tab.Bin(1024, 1)
+	if b.Bins8(0) != nil || b.Bins16(0) == nil {
+		t.Fatal("bin budget > 256 should pack into uint16")
+	}
+	if got := b.NumBins(0); got > 1024 || got < 512 {
+		t.Fatalf("bins = %d, want ≈1024", got)
+	}
+}
+
+func TestBinNaNLandsInLastBin(t *testing.T) {
+	tab, _ := FromRows([][]float64{{1}, {math.NaN()}, {2}, {3}}, []int{0, 0, 0, 0}, nil)
+	b := tab.Bin(256, 1)
+	last := uint8(b.NumBins(0) - 1)
+	if got := b.Bins8(0)[1]; got != last {
+		t.Fatalf("NaN binned to %d, want last bin %d", got, last)
+	}
+}
+
+func TestBinConstantAndAllNaNColumns(t *testing.T) {
+	tab, _ := FromRows([][]float64{{5, math.NaN()}, {5, math.NaN()}, {5, math.NaN()}}, []int{0, 1, 0}, nil)
+	b := tab.Bin(256, 1)
+	if b.NumBins(0) != 1 {
+		t.Fatalf("constant column has %d bins, want 1", b.NumBins(0))
+	}
+	if b.NumBins(1) != 1 {
+		t.Fatalf("all-NaN column has %d bins, want 1", b.NumBins(1))
+	}
+}
+
+func TestBinWorkerCountInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 3000
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		X[i] = []float64{rng.NormFloat64(), float64(rng.Intn(7)), rng.ExpFloat64()}
+	}
+	// A fresh table per worker count: Bin memoizes per table, so rebinning
+	// the same table would just return the cached serial result and the
+	// comparison would be vacuous.
+	bin := func(workers int) *Binned {
+		tab, err := FromRows(X, y, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab.Bin(128, workers)
+	}
+	serial := bin(1)
+	for _, workers := range []int{3, 7} {
+		par := bin(workers)
+		if !reflect.DeepEqual(serial.edges, par.edges) || !reflect.DeepEqual(serial.b8, par.b8) {
+			t.Fatalf("binning with %d workers differs from serial", workers)
+		}
+	}
+}
+
+func TestTableMarshalRoundtrip(t *testing.T) {
+	tab, _ := FromRows([][]float64{{1, 2}, {3, 4}}, []int{0, 1}, []float64{1, 5})
+	data, err := tab.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, tab) {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", back, tab)
+	}
+
+	reg := NewRegression(1, 1)
+	reg.AppendRegRow([]float64{1}, []float64{2}, 1)
+	data, err = reg.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regBack Table
+	if err := regBack.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !regBack.IsRegression() || regBack.Target(0)[0] != 2 {
+		t.Fatal("regression roundtrip lost targets")
+	}
+	if err := regBack.UnmarshalBinary([]byte("garbage")); err == nil {
+		t.Fatal("garbage must not decode")
+	}
+}
+
+func TestBatch(t *testing.T) {
+	b := NewBatch(3, 2)
+	copy(b.Row(1), []float64{7, 8})
+	if got := b.Row(1); !reflect.DeepEqual(got, []float64{7, 8}) {
+		t.Fatalf("Row(1) = %v", got)
+	}
+	if b.Row(0)[0] != 0 || b.Row(2)[1] != 0 {
+		t.Fatal("fresh batch not zero-filled")
+	}
+	b.Row(2)[0] = 9 // rows are views: in-place mutation must stick
+	if b.Row(2)[0] != 9 {
+		t.Fatal("Row does not alias the backing array")
+	}
+	if _, err := BatchFromRows([][]float64{{1}, {2, 3}}); err == nil {
+		t.Fatal("ragged batch rows should error")
+	}
+	fb, err := BatchFromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil || fb.Rows() != 2 || fb.Dim() != 2 || fb.Row(1)[0] != 3 {
+		t.Fatalf("BatchFromRows: %v %+v", err, fb)
+	}
+}
+
+func TestWithWeightsSharesColumns(t *testing.T) {
+	tab, _ := FromRows([][]float64{{1}, {2}}, []int{0, 1}, nil)
+	re := tab.WithWeights([]float64{2, 3})
+	if re.Weight(0) != 2 || tab.Weights() != nil {
+		t.Fatal("WithWeights must not touch the source")
+	}
+	tab.Col(0)[0] = 42
+	if re.Col(0)[0] != 42 {
+		t.Fatal("WithWeights must share feature columns")
+	}
+}

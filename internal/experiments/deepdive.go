@@ -61,11 +61,14 @@ func blackboxPool(p rl.Policy, workers int) []func([]float64) []float64 {
 func Fig27(f *Fixture, clusterSettings []int) *Fig27Result {
 	agent := f.Pensieve()
 	res := f.PensieveTree()
-	ds := res.Dataset
+	ds := res.Data
 
-	// Split into train/eval halves.
+	// Split into train/eval halves. The baselines are row-oriented
+	// consumers (clustering, per-sample blackbox queries), so the halves
+	// are materialized as rows once here.
 	half := ds.Len() / 2
-	trainX, evalX := ds.X[:half], ds.X[half:]
+	trainX := ds.Slice(0, half).Rows()
+	evalX := ds.Slice(half, ds.Len()).Rows()
 	teacherPool := blackboxPool(agent, parallel.Workers(f.Workers))
 	teacherProbs := teacherPool[0]
 
@@ -235,23 +238,23 @@ func (r *Fig28Result) String() string {
 // Fig28 sweeps the leaf budget on the cached distillation dataset.
 func Fig28(f *Fixture, leafSettings []int) *Fig28Result {
 	agent := f.Pensieve()
-	ds := f.PensieveTree().Dataset
+	ds := f.PensieveTree().Data
 	half := ds.Len() / 2
-	train := &dtree.Dataset{X: ds.X[:half], Y: ds.Y[:half]}
-	if ds.W != nil {
-		train.W = ds.W[:half]
-	}
-	evalX, evalY := ds.X[half:], ds.Y[half:]
+	// Zero-copy halves: Slice re-slices the feature/label/weight columns.
+	train := ds.Slice(0, half)
+	eval := ds.Slice(half, ds.Len())
 
 	r := &Fig28Result{}
+	buf := make([]float64, ds.NumFeatures())
 	for _, leaves := range leafSettings {
-		tree, err := dtree.FitDataset(train, dtree.DistillConfig{MaxLeaves: leaves, Workers: f.Workers})
+		tree, err := dtree.FitTable(train, dtree.DistillConfig{MaxLeaves: leaves, Workers: f.Workers})
 		if err != nil {
 			panic("experiments: fig28: " + err.Error())
 		}
 		agree, se, n := 0, 0.0, 0
-		for i, x := range evalX {
-			if tree.Predict(x) == evalY[i] {
+		for i := 0; i < eval.Len(); i++ {
+			x := eval.Row(i, buf)
+			if tree.Predict(x) == eval.Label(i) {
 				agree++
 			}
 			dist := normalizedDist(tree, x)
@@ -263,7 +266,7 @@ func Fig28(f *Fixture, leafSettings []int) *Fig28Result {
 			}
 		}
 		r.Leaves = append(r.Leaves, leaves)
-		r.Acc = append(r.Acc, float64(agree)/float64(len(evalX)))
+		r.Acc = append(r.Acc, float64(agree)/float64(eval.Len()))
 		r.RMSE = append(r.RMSE, sqrt(se/float64(n)))
 	}
 	return r
@@ -291,11 +294,11 @@ func (r *Fig31Result) String() string {
 
 // Fig31 times tree fitting at several leaf budgets plus one mask search.
 func Fig31(f *Fixture, leafSettings []int) *Fig31Result {
-	ds := f.PensieveTree().Dataset
+	ds := f.PensieveTree().Data
 	r := &Fig31Result{}
 	for _, leaves := range leafSettings {
 		start := time.Now()
-		if _, err := dtree.FitDataset(ds, dtree.DistillConfig{MaxLeaves: leaves, Workers: f.Workers}); err != nil {
+		if _, err := dtree.FitTable(ds, dtree.DistillConfig{MaxLeaves: leaves, Workers: f.Workers}); err != nil {
 			panic("experiments: fig31: " + err.Error())
 		}
 		r.Leaves = append(r.Leaves, leaves)

@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/dataset"
 	"repro/internal/nn"
 	"repro/internal/parallel"
 )
@@ -72,12 +73,22 @@ func (m *Model) linear(k int, x []float64) float64 {
 	return s
 }
 
-// Fit runs EM on (X, y).
+// Fit runs EM on (X, y). The rows are packed into one contiguous batch
+// first; callers that already hold a dataset.Batch should use FitBatch.
 func Fit(X [][]float64, y []float64, cfg Config) (*Model, error) {
+	b, err := dataset.BatchFromRows(X)
+	if err != nil {
+		return nil, err
+	}
+	return FitBatch(b, y, cfg)
+}
+
+// FitBatch runs EM on a flat row-major sample batch.
+func FitBatch(X *dataset.Batch, y []float64, cfg Config) (*Model, error) {
 	cfg.defaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	n := len(X)
-	d := len(X[0])
+	n := X.Rows()
+	d := X.Dim()
 	K := cfg.Components
 
 	m := &Model{
@@ -106,14 +117,14 @@ func Fit(X [][]float64, y []float64, cfg Config) (*Model, error) {
 			atb := make([]float64, dim)
 			row := make([]float64, dim)
 			wsum := 0.0
-			for i := range X {
+			for i := 0; i < n; i++ {
 				w := resp[i][k]
 				if w < 1e-12 {
 					continue
 				}
 				wsum += w
 				row[0] = 1
-				copy(row[1:], X[i])
+				copy(row[1:], X.Row(i))
 				for a := 0; a < dim; a++ {
 					if row[a] == 0 {
 						continue
@@ -138,11 +149,11 @@ func Fit(X [][]float64, y []float64, cfg Config) (*Model, error) {
 			m.Pi[k] = wsum / float64(n)
 			// Weighted residual variance.
 			se := 0.0
-			for i := range X {
+			for i := 0; i < n; i++ {
 				if resp[i][k] < 1e-12 {
 					continue
 				}
-				r := y[i] - m.linear(k, X[i])
+				r := y[i] - m.linear(k, X.Row(i))
 				se += resp[i][k] * r * r
 			}
 			if wsum > 0 {
@@ -158,9 +169,10 @@ func Fit(X [][]float64, y []float64, cfg Config) (*Model, error) {
 		}
 		// E-step: Gaussian responsibilities, one independent row per sample.
 		parallel.ForEach(workers, n, func(i int) {
+			xi := X.Row(i)
 			total := 0.0
 			for k := 0; k < K; k++ {
-				r := y[i] - m.linear(k, X[i])
+				r := y[i] - m.linear(k, xi)
 				p := m.Pi[k] * math.Exp(-r*r/(2*m.Sigma2[k])) / math.Sqrt(2*math.Pi*m.Sigma2[k])
 				resp[i][k] = p + 1e-12
 				total += resp[i][k]

@@ -8,6 +8,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/dataset"
 	"repro/internal/nn"
 	"repro/internal/parallel"
 )
@@ -92,13 +93,15 @@ func ExplainWith(fs []func([]float64) []float64, x0 []float64, scale []float64, 
 
 	// Draw every perturbation up front from the seeded stream (the blackbox
 	// consumes no randomness, so the stream order matches a serial
-	// draw-then-evaluate loop), then batch the blackbox evaluations across
-	// the worker pool.
-	X := make([][]float64, cfg.Samples)
-	Y := make([][]float64, cfg.Samples)
+	// draw-then-evaluate loop) into one flat row-major batch, then fan the
+	// blackbox evaluations out across the worker pool, each writing its
+	// output row in place — two allocations total instead of two per
+	// sample.
+	X := dataset.NewBatch(cfg.Samples, d)
+	Y := dataset.NewBatch(cfg.Samples, k)
 	W := make([]float64, cfg.Samples)
 	for i := 0; i < cfg.Samples; i++ {
-		x := make([]float64, d)
+		x := X.Row(i)
 		dist := 0.0
 		for j := range x {
 			s := cfg.Noise
@@ -111,12 +114,11 @@ func ExplainWith(fs []func([]float64) []float64, x0 []float64, scale []float64, 
 				dist += (eps / s) * (eps / s)
 			}
 		}
-		X[i] = x
 		W[i] = math.Exp(-dist / (cfg.Kernel * cfg.Kernel * float64(d)))
 	}
 	workers := min(parallel.Workers(cfg.Workers), len(fs))
 	parallel.ForEachWorker(workers, cfg.Samples, func(w, i int) {
-		Y[i] = append([]float64(nil), fs[w](X[i])...)
+		copy(Y.Row(i), fs[w](X.Row(i)))
 	})
 
 	// Weighted ridge regression per output: features are (x−x0) plus an
@@ -127,12 +129,14 @@ func ExplainWith(fs []func([]float64) []float64, x0 []float64, scale []float64, 
 		ata := nn.NewMatrix(dim, dim)
 		atb := make([]float64, dim)
 		row := make([]float64, dim)
-		for i := range X {
+		for i := 0; i < cfg.Samples; i++ {
+			xi := X.Row(i)
 			row[0] = 1
 			for j := 0; j < d; j++ {
-				row[j+1] = X[i][j] - x0[j]
+				row[j+1] = xi[j] - x0[j]
 			}
 			w := W[i]
+			yi := Y.Row(i)[out]
 			for a := 0; a < dim; a++ {
 				if row[a] == 0 {
 					continue
@@ -142,7 +146,7 @@ func ExplainWith(fs []func([]float64) []float64, x0 []float64, scale []float64, 
 				for b := 0; b < dim; b++ {
 					r[b] += fa * row[b]
 				}
-				atb[a] += fa * Y[i][out]
+				atb[a] += fa * yi
 			}
 		}
 		for a := 1; a < dim; a++ {

@@ -2,9 +2,9 @@ package dtree
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
+	"repro/internal/dataset"
 	"repro/internal/parallel"
 	"repro/internal/rl"
 )
@@ -48,6 +48,13 @@ type DistillConfig struct {
 	// worker count: each episode is seeded independently and samples are
 	// aggregated in episode order.
 	Workers int
+	// Histogram selects the binned CART split search for every fit in the
+	// distillation loop (see BuildOptions.Histogram): much cheaper on large
+	// DAgger corpora, at sub-bin threshold resolution. The default (false)
+	// keeps the exact search and its bit-identical-to-pre-refactor output.
+	Histogram bool
+	// MaxBins is the histogram-mode bin budget (default 256).
+	MaxBins int
 }
 
 func (c *DistillConfig) defaults() {
@@ -77,6 +84,18 @@ func (c *DistillConfig) defaults() {
 	}
 }
 
+// buildOptions maps the distillation knobs onto one CART fit.
+func (c *DistillConfig) buildOptions() BuildOptions {
+	return BuildOptions{
+		MaxLeaves:      c.MaxLeaves * c.GrowFactor,
+		MinSamplesLeaf: c.MinSamplesLeaf,
+		FeatureNames:   c.FeatureNames,
+		Workers:        c.Workers,
+		Histogram:      c.Histogram,
+		MaxBins:        c.MaxBins,
+	}
+}
+
 // DistillResult is the outcome of a policy distillation.
 type DistillResult struct {
 	// Tree is the pruned student policy.
@@ -87,9 +106,10 @@ type DistillResult struct {
 	DatasetSize int
 	// Fidelity is the student-teacher action agreement on the dataset.
 	Fidelity float64
-	// Dataset is the final aggregated training set (useful for debugging
-	// and the Appendix E baselines).
-	Dataset *Dataset
+	// Data is the final aggregated training table (useful for debugging,
+	// the Appendix E baselines, and dataset caching via the artifact
+	// layer's dataset kind).
+	Data *dataset.Table
 }
 
 // rolloutCtx is the per-worker state for DAgger episode collection: an
@@ -101,29 +121,20 @@ type rolloutCtx struct {
 	q       *rl.QEstimator
 }
 
-// episodeSamples is one episode's collected (state, label, weight) triples.
-type episodeSamples struct {
-	X [][]float64
-	Y []int
-	W []float64
-}
-
-// collectEpisode rolls one seeded episode: the teacher labels every state,
-// and after round 0 the student controls the rollout (DAgger) so the tree
-// visits its own induced state distribution while the teacher provides
-// corrective labels.
-func collectEpisode(c *rolloutCtx, student *Tree, iter int, seed int64, cfg DistillConfig) episodeSamples {
-	var out episodeSamples
+// collectEpisode rolls one seeded episode into its own columnar table: the
+// teacher labels every state, and after round 0 the student controls the
+// rollout (DAgger) so the tree visits its own induced state distribution
+// while the teacher provides corrective labels.
+func collectEpisode(c *rolloutCtx, student *Tree, iter int, seed int64, cfg DistillConfig) *dataset.Table {
 	s := c.env.Reset(seed)
+	out := dataset.New(len(s))
 	for step := 0; step < cfg.MaxSteps; step++ {
 		label := rl.Greedy(c.teacher, s)
 		w := 1.0
 		if c.q != nil {
 			w = c.q.Weight(c.env)
 		}
-		out.X = append(out.X, append([]float64(nil), s...))
-		out.Y = append(out.Y, label)
-		out.W = append(out.W, w)
+		out.AppendRow(s, label, w)
 
 		act := label
 		if iter > 0 && student != nil {
@@ -168,11 +179,13 @@ func rolloutPool(env rl.Env, teacher rl.Policy, q *rl.QEstimator, cfg DistillCon
 
 // DistillPolicy converts a discrete-action teacher policy into a decision
 // tree by the paper's four-step recipe: trajectory collection with DAgger
-// takeover, advantage resampling, CART fitting, and CCP pruning.
+// takeover, advantage resampling, CART fitting, and CCP pruning. Samples
+// aggregate directly into one growing columnar table — episode tables are
+// appended column-wise in episode order, so no row-major copy of the corpus
+// is ever materialized and the result stays bit-identical at any worker
+// count.
 func DistillPolicy(env rl.Env, teacher rl.Policy, cfg DistillConfig) (*DistillResult, error) {
 	cfg.defaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	_ = rng
 
 	var q *rl.QEstimator
 	if cfg.Resample {
@@ -183,144 +196,145 @@ func DistillPolicy(env rl.Env, teacher rl.Policy, cfg DistillConfig) (*DistillRe
 	}
 
 	pool := rolloutPool(env, teacher, q, cfg)
-	ds := &Dataset{}
+	var ds *dataset.Table
 	var student *Tree
 
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		// Episodes are independent given the (fixed) student of this round
 		// and their per-episode seed, so they fan out across the pool; the
-		// ordered append below keeps the aggregated dataset identical to a
+		// ordered append below keeps the aggregated table identical to a
 		// serial run.
-		episodes := make([]episodeSamples, cfg.EpisodesPerIter)
+		episodes := make([]*dataset.Table, cfg.EpisodesPerIter)
 		parallel.ForEachWorker(len(pool), cfg.EpisodesPerIter, func(w, ep int) {
 			seed := cfg.Seed + int64(iter*cfg.EpisodesPerIter+ep)
 			episodes[ep] = collectEpisode(pool[w], student, iter, seed, cfg)
 		})
 		for _, e := range episodes {
-			ds.X = append(ds.X, e.X...)
-			ds.Y = append(ds.Y, e.Y...)
-			ds.W = append(ds.W, e.W...)
+			if ds == nil {
+				ds = dataset.New(e.NumFeatures())
+			}
+			ds.AppendTable(e)
 		}
-		fit := fittingCopy(ds, cfg.Oversample)
-		grown, err := Build(fit, BuildOptions{
-			MaxLeaves:      cfg.MaxLeaves * cfg.GrowFactor,
-			MinSamplesLeaf: cfg.MinSamplesLeaf,
-			FeatureNames:   cfg.FeatureNames,
-			Workers:        cfg.Workers,
-		})
+		grown, err := BuildTable(fittingView(ds, cfg.Oversample), cfg.buildOptions())
 		if err != nil {
 			return nil, err
 		}
 		student = grown.PruneToLeaves(cfg.MaxLeaves)
 	}
 
-	final := fittingCopy(ds, cfg.Oversample)
-	grown, err := Build(final, BuildOptions{
-		MaxLeaves:      cfg.MaxLeaves * cfg.GrowFactor,
-		MinSamplesLeaf: cfg.MinSamplesLeaf,
-		FeatureNames:   cfg.FeatureNames,
-		Workers:        cfg.Workers,
-	})
+	final := fittingView(ds, cfg.Oversample)
+	grown, err := BuildTable(final, cfg.buildOptions())
 	if err != nil {
 		return nil, err
 	}
 	res := &DistillResult{
 		UnprunedLeaves: grown.NumLeaves(),
 		DatasetSize:    ds.Len(),
-		Dataset:        final,
+		Data:           final,
 	}
 	res.Tree = grown.PruneToLeaves(cfg.MaxLeaves)
-	agree := 0
-	for i, x := range ds.X {
-		if res.Tree.Predict(x) == ds.Y[i] {
-			agree++
-		}
-	}
-	res.Fidelity = float64(agree) / float64(ds.Len())
+	res.Fidelity = TableFidelity(res.Tree, ds)
 	return res, nil
 }
 
-// fittingCopy returns a dataset sharing X/Y with ds but carrying normalized,
-// oversample-boosted weights. Raw advantage weights stay untouched in ds so
-// that repeated DAgger rounds never re-normalize an already-normalized mix.
-func fittingCopy(ds *Dataset, oversample map[int]float64) *Dataset {
-	fit := &Dataset{X: ds.X, Y: ds.Y, YReg: ds.YReg}
-	if ds.W != nil {
-		fit.W = append([]float64(nil), ds.W...)
+// TableFidelity is the fraction of a table's samples on which the tree
+// reproduces the recorded label.
+func TableFidelity(t *Tree, ds *dataset.Table) float64 {
+	if ds.Len() == 0 {
+		return 0
 	}
-	normalizeWeights(fit)
-	applyOversample(fit, oversample)
-	return fit
+	agree := 0
+	buf := make([]float64, ds.NumFeatures())
+	for i := 0; i < ds.Len(); i++ {
+		if t.Predict(ds.Row(i, buf)) == ds.Label(i) {
+			agree++
+		}
+	}
+	return float64(agree) / float64(ds.Len())
 }
 
-// normalizeWeights rescales weights to mean 1 and winsorizes the tails.
-// Advantage weights (Q-range estimates) are heavy-tailed: a handful of
-// catastrophic states (e.g. rebuffering cliffs) can carry weights two orders
-// of magnitude above typical ones, which after mean normalization pushes
-// typical weights toward zero and starves tree growth through the weighted
-// MinSamplesLeaf constraint. Clipping to [0.1, 20]× the median keeps the
-// prioritization while bounding the skew.
-func normalizeWeights(ds *Dataset) {
-	if len(ds.W) == 0 {
+// fittingView returns a zero-copy view of ds carrying normalized,
+// oversample-boosted weights. Raw advantage weights stay untouched in ds so
+// that repeated DAgger rounds never re-normalize an already-normalized mix.
+func fittingView(ds *dataset.Table, oversample map[int]float64) *dataset.Table {
+	var w []float64
+	if ds.Weights() != nil {
+		w = append([]float64(nil), ds.Weights()...)
+	}
+	normalizeWeights(w)
+	w = applyOversample(w, ds.Labels(), oversample)
+	return ds.WithWeights(w)
+}
+
+// normalizeWeights rescales weights in place to mean 1 and winsorizes the
+// tails. Advantage weights (Q-range estimates) are heavy-tailed: a handful
+// of catastrophic states (e.g. rebuffering cliffs) can carry weights two
+// orders of magnitude above typical ones, which after mean normalization
+// pushes typical weights toward zero and starves tree growth through the
+// weighted MinSamplesLeaf constraint. Clipping to [0.1, 20]× the median
+// keeps the prioritization while bounding the skew.
+func normalizeWeights(ws []float64) {
+	if len(ws) == 0 {
 		return
 	}
 	sum := 0.0
-	for _, w := range ds.W {
+	for _, w := range ws {
 		sum += w
 	}
 	if sum <= 0 {
-		for i := range ds.W {
-			ds.W[i] = 1
+		for i := range ws {
+			ws[i] = 1
 		}
 		return
 	}
 	// Scale by the median, not the mean: the mean is dominated by the few
 	// catastrophic-state outliers, which would push typical weights to the
 	// clip floor.
-	sorted := append([]float64(nil), ds.W...)
+	sorted := append([]float64(nil), ws...)
 	sort.Float64s(sorted)
 	med := sorted[len(sorted)/2]
 	if med <= 0 {
-		med = sum / float64(len(ds.W))
+		med = sum / float64(len(ws))
 	}
 	sum = 0
-	for i := range ds.W {
-		w := ds.W[i] / med
+	for i := range ws {
+		w := ws[i] / med
 		if w < 0.1 {
 			w = 0.1
 		}
 		if w > 20 {
 			w = 20
 		}
-		ds.W[i] = w
+		ws[i] = w
 		sum += w
 	}
 	// Re-center to mean 1 after clipping so MinSamplesLeaf keeps its
 	// "effective samples" interpretation.
-	mean := sum / float64(len(ds.W))
-	for i := range ds.W {
-		ds.W[i] /= mean
+	mean := sum / float64(len(ws))
+	for i := range ws {
+		ws[i] /= mean
 	}
 }
 
 // applyOversample boosts the weights of under-represented classes so that
 // each class listed in targets reaches at least its target weighted
-// frequency — the §6.3 fix for Pensieve's abandoned bitrates.
-func applyOversample(ds *Dataset, targets map[int]float64) {
+// frequency — the §6.3 fix for Pensieve's abandoned bitrates. It returns
+// the (possibly newly materialized) weight slice.
+func applyOversample(ws []float64, y []int, targets map[int]float64) []float64 {
 	if len(targets) == 0 {
-		return
+		return ws
 	}
-	if ds.W == nil {
-		ds.W = make([]float64, ds.Len())
-		for i := range ds.W {
-			ds.W[i] = 1
+	if ws == nil {
+		ws = make([]float64, len(y))
+		for i := range ws {
+			ws[i] = 1
 		}
 	}
 	total := 0.0
 	perClass := map[int]float64{}
-	for i, y := range ds.Y {
-		total += ds.W[i]
-		perClass[y] += ds.W[i]
+	for i, label := range y {
+		total += ws[i]
+		perClass[label] += ws[i]
 	}
 	for class, target := range targets {
 		c := perClass[class]
@@ -329,24 +343,30 @@ func applyOversample(ds *Dataset, targets map[int]float64) {
 		}
 		// Solve boost b such that b·c / (total − c + b·c) = target.
 		boost := target * (total - c) / (c * (1 - target))
-		for i, y := range ds.Y {
-			if y == class {
-				ds.W[i] *= boost
+		for i, label := range y {
+			if label == class {
+				ws[i] *= boost
 			}
 		}
 	}
+	return ws
 }
 
-// FitDataset fits and prunes a tree on an already-collected dataset; used for
-// regression teachers (e.g. AuTO's sRLA thresholds) and offline studies.
+// FitDataset fits and prunes a tree on an already-collected row-major
+// dataset; used for regression teachers (e.g. AuTO's sRLA thresholds) and
+// offline studies.
 func FitDataset(ds *Dataset, cfg DistillConfig) (*Tree, error) {
+	t, err := ds.Table()
+	if err != nil {
+		return nil, err
+	}
+	return FitTable(t, cfg)
+}
+
+// FitTable is FitDataset on a columnar table (no conversion pass).
+func FitTable(t *dataset.Table, cfg DistillConfig) (*Tree, error) {
 	cfg.defaults()
-	grown, err := Build(ds, BuildOptions{
-		MaxLeaves:      cfg.MaxLeaves * cfg.GrowFactor,
-		MinSamplesLeaf: cfg.MinSamplesLeaf,
-		FeatureNames:   cfg.FeatureNames,
-		Workers:        cfg.Workers,
-	})
+	grown, err := BuildTable(t, cfg.buildOptions())
 	if err != nil {
 		return nil, err
 	}

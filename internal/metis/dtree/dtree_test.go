@@ -229,16 +229,13 @@ func TestDatasetValidation(t *testing.T) {
 }
 
 func TestOversampleBoostsRareClass(t *testing.T) {
-	ds := &Dataset{
-		X: [][]float64{{0}, {1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}, {9}},
-		Y: []int{0, 0, 0, 0, 0, 0, 0, 0, 0, 1},
-	}
-	applyOversample(ds, map[int]float64{1: 0.3})
+	y := []int{0, 0, 0, 0, 0, 0, 0, 0, 0, 1}
+	w := applyOversample(nil, y, map[int]float64{1: 0.3})
 	total, cls1 := 0.0, 0.0
-	for i, w := range ds.W {
-		total += w
-		if ds.Y[i] == 1 {
-			cls1 += w
+	for i, wi := range w {
+		total += wi
+		if y[i] == 1 {
+			cls1 += wi
 		}
 	}
 	if frac := cls1 / total; frac < 0.25 {

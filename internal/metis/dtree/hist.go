@@ -1,0 +1,419 @@
+package dtree
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/parallel"
+)
+
+// Histogram-mode CART growth (the standard GBDT split search): feature
+// columns are quantile-binned once up front, and a node's split candidates
+// come from per-feature histograms — one O(|node|) accumulation pass over
+// the packed bin column, then a boundary scan over the touched bins —
+// instead of the exact mode's presorted scans and per-split order
+// partitions. Histograms are sparse: an epoch-marked scratch tracks which
+// bins a node actually touches, so small nodes never pay for the full bin
+// budget (no per-node memset, no dense 256-bin scan). Besides the
+// constant-factor win, the accumulation tasks (one per (child, feature)
+// pair) share no state, so the search parallelizes across features *and*
+// across the two children produced by every split.
+//
+// Determinism: each task accumulates its own histogram over the node's
+// index list, scans boundaries in ascending bin order, and reductions run
+// in (child, feature) order on the caller's goroutine — results are
+// bit-identical at any worker count, the same contract as exact mode.
+
+// histScratch is one worker's reusable accumulation state. vals holds the
+// per-bin statistics rows; marks/epoch implement O(1) logical clearing (a
+// bin's row is valid only when marks[bin] == epoch), so scratch reuse costs
+// nothing per node regardless of the bin budget.
+type histScratch struct {
+	vals    []float64
+	marks   []int64
+	epoch   int64
+	touched []int
+	regBuf  []float64 // regression scan accumulators (6×dims)
+}
+
+func newHistScratch(maxBins, stride, dims int) *histScratch {
+	return &histScratch{
+		vals:    make([]float64, maxBins*stride),
+		marks:   make([]int64, maxBins),
+		touched: make([]int, 0, maxBins),
+		regBuf:  make([]float64, 6*dims),
+	}
+}
+
+// touch returns bin b's statistics row, zeroing it and recording the bin on
+// first touch this epoch.
+func (sc *histScratch) touch(b, stride int) []float64 {
+	row := sc.vals[b*stride : (b+1)*stride]
+	if sc.marks[b] != sc.epoch {
+		sc.marks[b] = sc.epoch
+		for i := range row {
+			row[i] = 0
+		}
+		sc.touched = append(sc.touched, b)
+	}
+	return row
+}
+
+// begin starts a new accumulation epoch and returns the touched-bin list
+// reset to empty.
+func (sc *histScratch) begin() {
+	sc.epoch++
+	sc.touched = sc.touched[:0]
+}
+
+// sortedTouched returns the touched-bin list in ascending order. Dense
+// nodes (most bins touched) rebuild the list with one pass over the mark
+// column instead of paying a comparison sort — the two paths produce the
+// same list, only the constant differs.
+func sortedTouched(touched []int, marks []int64, epoch int64, nb int) []int {
+	if len(touched)*4 >= nb {
+		touched = touched[:0]
+		for b := 0; b < nb; b++ {
+			if marks[b] == epoch {
+				touched = append(touched, b)
+			}
+		}
+		return touched
+	}
+	sort.Ints(touched)
+	return touched
+}
+
+// maxNumBins is the widest per-feature binning of b.
+func maxNumBins(b *dataset.Binned) int {
+	m := 1
+	for f := 0; f < b.Table().NumFeatures(); f++ {
+		if nb := b.NumBins(f); nb > m {
+			m = nb
+		}
+	}
+	return m
+}
+
+// growHistogram grows tree on t with the binned split search. It mirrors
+// the exact best-first loop but computes both children's candidates in one
+// flattened parallel pass.
+func growHistogram(tree *Tree, t *dataset.Table, numClasses, dims int, opts BuildOptions, workers int) error {
+	binned := t.Bin(opts.MaxBins, workers)
+	stride := numClasses
+	if dims > 0 {
+		stride = 1 + 2*dims
+	}
+	scratch := make([]*histScratch, workers)
+	maxNB := maxNumBins(binned)
+	for w := range scratch {
+		scratch[w] = newHistScratch(maxNB, stride, dims)
+	}
+	numFeatures := t.NumFeatures()
+
+	idx := make([]int, t.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	root := &nodeSamples{idx: idx}
+	tree.Root = makeLeaf(t, idx, numClasses, dims)
+
+	// histBest finds a node's best admissible split across features. The
+	// node's leaf statistics double as the parent stats, so nothing is
+	// recomputed.
+	histBest := func(node *Node, ns *nodeSamples) *splitCandidate {
+		parent, ok := histParent(node, ns)
+		if !ok {
+			return nil
+		}
+		cands := make([]*splitCandidate, numFeatures)
+		parallel.ForEachWorker(effectiveWorkers(workers, len(ns.idx)), numFeatures, func(w, f int) {
+			cands[f] = histBestFeature(t, binned, ns.idx, f, parent, numClasses, dims, opts, scratch[w])
+		})
+		return reduceCands(cands)
+	}
+
+	h := &growHeap{}
+	if cand := histBest(tree.Root, root); cand != nil {
+		heap.Push(h, &growItem{node: tree.Root, samples: root, cand: cand})
+	}
+	leaves := 1
+	goesLeft := make([]bool, t.Len())
+	childCands := make([]*splitCandidate, 2*numFeatures)
+	for h.Len() > 0 && (opts.MaxLeaves <= 0 || leaves < opts.MaxLeaves) {
+		it := heap.Pop(h).(*growItem)
+		n, cand := it.node, it.cand
+		left, right := it.samples.split(t, cand.feature, cand.threshold, goesLeft, workers)
+		n.Feature = cand.feature
+		n.Threshold = cand.threshold
+		n.Left = makeLeaf(t, left.idx, numClasses, dims)
+		n.Right = makeLeaf(t, right.idx, numClasses, dims)
+		leaves++
+
+		// Candidate search for both children in one fan-out: 2×F
+		// independent (child, feature) histogram tasks.
+		children := [2]*nodeSamples{left, right}
+		nodes := [2]*Node{n.Left, n.Right}
+		var parents [2]nodeStats
+		var splittable [2]bool
+		for c := range children {
+			parents[c], splittable[c] = histParent(nodes[c], children[c])
+		}
+		for i := range childCands {
+			childCands[i] = nil
+		}
+		parallel.ForEachWorker(effectiveWorkers(workers, len(it.samples.idx)), 2*numFeatures, func(w, task int) {
+			c, f := task/numFeatures, task%numFeatures
+			if !splittable[c] {
+				return
+			}
+			childCands[task] = histBestFeature(t, binned, children[c].idx, f, parents[c], numClasses, dims, opts, scratch[w])
+		})
+		if lc := reduceCands(childCands[:numFeatures]); lc != nil {
+			heap.Push(h, &growItem{node: n.Left, samples: left, cand: lc})
+		}
+		if rc := reduceCands(childCands[numFeatures:]); rc != nil {
+			heap.Push(h, &growItem{node: n.Right, samples: right, cand: rc})
+		}
+	}
+	return nil
+}
+
+// histParent reconstructs a node's label statistics from its freshly built
+// leaf (makeLeaf already computed weight, distribution/mean, and impurity),
+// reporting whether the node is worth searching — the same guards as the
+// exact path, without re-scanning the samples.
+func histParent(node *Node, ns *nodeSamples) (nodeStats, bool) {
+	if len(ns.idx) < 2 {
+		return nodeStats{}, false
+	}
+	if node.Impurity <= 1e-12 {
+		return nodeStats{}, false
+	}
+	return nodeStats{
+		weight:   node.Samples,
+		dist:     node.ClassDist,
+		mean:     node.Value,
+		impurity: node.Impurity,
+	}, true
+}
+
+// reduceCands picks the winner in feature order with a strict comparison,
+// matching the exact scan's tie-breaking.
+func reduceCands(cands []*splitCandidate) *splitCandidate {
+	var best *splitCandidate
+	for _, c := range cands {
+		if c != nil && (best == nil || c.decrease > best.decrease) {
+			best = c
+		}
+	}
+	return best
+}
+
+// histBestFeature finds the best boundary split of one feature via its
+// sparse bin histogram. Only bins the node actually populates are zeroed,
+// accumulated, and scanned (in ascending bin order, so the float
+// accumulation order — and therefore the result — matches a dense scan
+// bit for bit: skipped bins would contribute exact zeros).
+func histBestFeature(t *dataset.Table, b *dataset.Binned, idx []int, f int, parent nodeStats, numClasses, dims int, opts BuildOptions, sc *histScratch) *splitCandidate {
+	nb := b.NumBins(f)
+	if nb < 2 {
+		return nil // constant (or all-NaN) column: nothing to split on
+	}
+	if dims > 0 {
+		return histBestRegression(t, b, idx, f, parent, dims, opts, sc, nb)
+	}
+	return histBestClassification(t, b, idx, f, parent, numClasses, opts, sc, nb)
+}
+
+func histBestClassification(t *dataset.Table, b *dataset.Binned, idx []int, f int, parent nodeStats, numClasses int, opts BuildOptions, sc *histScratch, nb int) *splitCandidate {
+	sc.begin()
+	y, w := t.Labels(), t.Weights()
+	// The accumulate loop is the hot path of the whole histogram build
+	// (O(samples × features) per tree level), so the epoch bookkeeping is
+	// inlined into each bins8/bins16 × weighted/uniform variant.
+	vals, marks, epoch := sc.vals, sc.marks, sc.epoch
+	touched := sc.touched
+	if bins := b.Bins8(f); bins != nil {
+		if w == nil {
+			for _, i := range idx {
+				bin := int(bins[i])
+				base := bin * numClasses
+				if marks[bin] != epoch {
+					marks[bin] = epoch
+					clear(vals[base : base+numClasses])
+					touched = append(touched, bin)
+				}
+				vals[base+y[i]]++
+			}
+		} else {
+			for _, i := range idx {
+				bin := int(bins[i])
+				base := bin * numClasses
+				if marks[bin] != epoch {
+					marks[bin] = epoch
+					clear(vals[base : base+numClasses])
+					touched = append(touched, bin)
+				}
+				vals[base+y[i]] += w[i]
+			}
+		}
+	} else {
+		bins16 := b.Bins16(f)
+		if w == nil {
+			for _, i := range idx {
+				bin := int(bins16[i])
+				base := bin * numClasses
+				if marks[bin] != epoch {
+					marks[bin] = epoch
+					clear(vals[base : base+numClasses])
+					touched = append(touched, bin)
+				}
+				vals[base+y[i]]++
+			}
+		} else {
+			for _, i := range idx {
+				bin := int(bins16[i])
+				base := bin * numClasses
+				if marks[bin] != epoch {
+					marks[bin] = epoch
+					clear(vals[base : base+numClasses])
+					touched = append(touched, bin)
+				}
+				vals[base+y[i]] += w[i]
+			}
+		}
+	}
+	sc.touched = sortedTouched(touched, marks, epoch, nb)
+
+	var leftDistArr [32]float64
+	var leftDist, rightDist []float64
+	if numClasses <= 16 {
+		leftDist = leftDistArr[:numClasses]
+		rightDist = leftDistArr[16 : 16+numClasses]
+	} else {
+		leftDist = make([]float64, numClasses)
+		rightDist = make([]float64, numClasses)
+	}
+	for c := range leftDist {
+		leftDist[c] = 0
+	}
+
+	var best *splitCandidate
+	leftW := 0.0
+	for ti, bin := range sc.touched {
+		row := sc.vals[bin*numClasses : (bin+1)*numClasses]
+		binW := 0.0
+		for c, v := range row {
+			leftDist[c] += v
+			binW += v
+		}
+		leftW += binW
+		// The boundary after the last touched bin (and any boundary at or
+		// past the final bin) leaves an empty right side — a dense scan
+		// rejects those through MinSamplesLeaf (≥ 1), so skipping them here
+		// changes nothing.
+		if ti == len(sc.touched)-1 || bin >= nb-1 {
+			break
+		}
+		if binW == 0 {
+			continue // all-zero-weight bin: dense scans skip it too
+		}
+		rightW := parent.weight - leftW
+		if leftW < opts.MinSamplesLeaf || rightW < opts.MinSamplesLeaf {
+			continue
+		}
+		for c := range rightDist {
+			rightDist[c] = parent.dist[c] - leftDist[c]
+		}
+		children := (leftW*gini(leftDist, leftW) + rightW*gini(rightDist, rightW)) / parent.weight
+		dec := (parent.impurity - children) * parent.weight
+		if dec > opts.MinImpurityDecrease && (best == nil || dec > best.decrease) {
+			best = &splitCandidate{feature: f, threshold: b.Edge(f, bin), decrease: dec}
+		}
+	}
+	return best
+}
+
+func histBestRegression(t *dataset.Table, b *dataset.Binned, idx []int, f int, parent nodeStats, dims int, opts BuildOptions, sc *histScratch, nb int) *splitCandidate {
+	// Per-bin layout: [weight, sum_0..sum_{d-1}, sq_0..sq_{d-1}].
+	stride := 1 + 2*dims
+	sc.begin()
+	bins8, bins16 := b.Bins8(f), b.Bins16(f)
+	for _, i := range idx {
+		var bin int
+		if bins8 != nil {
+			bin = int(bins8[i])
+		} else {
+			bin = int(bins16[i])
+		}
+		row := sc.touch(bin, stride)
+		w := t.Weight(i)
+		row[0] += w
+		for k := 0; k < dims; k++ {
+			v := t.Target(k)[i]
+			row[1+k] += w * v
+			row[1+dims+k] += w * v * v
+		}
+	}
+	sc.touched = sortedTouched(sc.touched, sc.marks, sc.epoch, nb)
+
+	buf := sc.regBuf
+	leftSum, leftSq := buf[:dims], buf[dims:2*dims]
+	rightSum, rightSq := buf[2*dims:3*dims], buf[3*dims:4*dims]
+	totSum, totSq := buf[4*dims:5*dims], buf[5*dims:6*dims]
+	for i := range buf {
+		buf[i] = 0
+	}
+	for _, bin := range sc.touched {
+		row := sc.vals[bin*stride : (bin+1)*stride]
+		for k := 0; k < dims; k++ {
+			totSum[k] += row[1+k]
+			totSq[k] += row[1+dims+k]
+		}
+	}
+	impurityOf := func(sum, sq []float64, w float64) float64 {
+		if w <= 0 {
+			return 0
+		}
+		imp := 0.0
+		for k := range sum {
+			m := sum[k] / w
+			imp += sq[k]/w - m*m
+		}
+		return imp
+	}
+
+	var best *splitCandidate
+	leftW := 0.0
+	for ti, bin := range sc.touched {
+		row := sc.vals[bin*stride : (bin+1)*stride]
+		binW := row[0]
+		leftW += binW
+		for k := 0; k < dims; k++ {
+			leftSum[k] += row[1+k]
+			leftSq[k] += row[1+dims+k]
+		}
+		if ti == len(sc.touched)-1 || bin >= nb-1 {
+			break
+		}
+		if binW == 0 {
+			continue // all-zero-weight bin: dense scans skip it too
+		}
+		rightW := parent.weight - leftW
+		if leftW < opts.MinSamplesLeaf || rightW < opts.MinSamplesLeaf {
+			continue
+		}
+		for k := 0; k < dims; k++ {
+			rightSum[k] = totSum[k] - leftSum[k]
+			rightSq[k] = totSq[k] - leftSq[k]
+		}
+		children := (leftW*impurityOf(leftSum, leftSq, leftW) + rightW*impurityOf(rightSum, rightSq, rightW)) / parent.weight
+		dec := (parent.impurity - children) * parent.weight
+		if dec > opts.MinImpurityDecrease && (best == nil || dec > best.decrease) {
+			best = &splitCandidate{feature: f, threshold: b.Edge(f, bin), decrease: dec}
+		}
+	}
+	return best
+}

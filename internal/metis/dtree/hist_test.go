@@ -1,0 +1,246 @@
+package dtree
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// workerSweep is the worker-count grid of the determinism satellite: serial,
+// two awkward odd counts, and every core the host has.
+func workerSweep() []int {
+	return []int{1, 3, 7, runtime.NumCPU()}
+}
+
+// TestBuildTableWorkerSweepExact: same seed, Workers ∈ {1, 3, 7, NumCPU} →
+// bit-identical trees in exact mode, classification and regression.
+func TestBuildTableWorkerSweepExact(t *testing.T) {
+	for _, regression := range []bool{false, true} {
+		ds := synthDataset(900, 6, 31, regression)
+		tab, err := ds.Table()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ref *Tree
+		for _, workers := range workerSweep() {
+			tree, err := BuildTable(tab, BuildOptions{MaxLeaves: 64, MinSamplesLeaf: 2, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = tree
+				continue
+			}
+			if !reflect.DeepEqual(ref, tree) {
+				t.Fatalf("regression=%v: exact tree differs at Workers=%d", regression, workers)
+			}
+		}
+	}
+}
+
+// TestBuildTableWorkerSweepHistogram: the histogram search must also be
+// bit-identical at every worker count — both the trees and the underlying
+// binnings.
+func TestBuildTableWorkerSweepHistogram(t *testing.T) {
+	for _, regression := range []bool{false, true} {
+		ds := synthDataset(900, 6, 37, regression)
+		tab, err := ds.Table()
+		if err != nil {
+			t.Fatal(err)
+		}
+		serialBins := tab.Bin(64, 1)
+		var ref *Tree
+		for _, workers := range workerSweep() {
+			// Bit-identical histograms: binning is the histogram input, so
+			// its determinism is checked explicitly per worker count. Bin
+			// memoizes per table, so a fresh columnarization is made for
+			// each count — rebinning tab would return the cached serial
+			// result and compare it to itself.
+			fresh, err := ds.Table()
+			if err != nil {
+				t.Fatal(err)
+			}
+			bins := fresh.Bin(64, workers)
+			for f := 0; f < tab.NumFeatures(); f++ {
+				if !reflect.DeepEqual(serialBins.Bins8(f), bins.Bins8(f)) {
+					t.Fatalf("binning differs at Workers=%d (feature %d)", workers, f)
+				}
+			}
+			tree, err := BuildTable(fresh, BuildOptions{MaxLeaves: 64, MinSamplesLeaf: 2, Workers: workers, Histogram: true, MaxBins: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = tree
+				continue
+			}
+			if !reflect.DeepEqual(ref, tree) {
+				t.Fatalf("regression=%v: histogram tree differs at Workers=%d", regression, workers)
+			}
+		}
+	}
+}
+
+// TestHistogramMatchesExactOnQuantizedData: the synthetic datasets quantize
+// features to 13 levels, far below the bin budget, so binning is lossless —
+// every non-empty bin boundary is a partition the exact scan also
+// evaluates. On unweighted data the impurity sums are small exact integers,
+// so both modes must choose the same partition sequence: same leaf count,
+// same root feature, and identical predictions on every training sample.
+// (The trees are not compared bit for bit: histogram thresholds are root
+// bin edges while exact thresholds are node-local midpoints — equal
+// partitions, different float values.)
+func TestHistogramMatchesExactOnQuantizedData(t *testing.T) {
+	ds := synthDataset(700, 5, 41, false)
+	ds.W = nil
+	tab, err := ds.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := BuildTable(tab, BuildOptions{MaxLeaves: 48, MinSamplesLeaf: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := BuildTable(tab, BuildOptions{MaxLeaves: 48, MinSamplesLeaf: 2, Histogram: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.NumLeaves() != hist.NumLeaves() {
+		t.Fatalf("leaf counts differ: exact %d, histogram %d", exact.NumLeaves(), hist.NumLeaves())
+	}
+	if exact.Root.Feature != hist.Root.Feature {
+		t.Fatalf("root features differ: exact %d, histogram %d", exact.Root.Feature, hist.Root.Feature)
+	}
+	buf := make([]float64, tab.NumFeatures())
+	for i := 0; i < tab.Len(); i++ {
+		x := tab.Row(i, buf)
+		if exact.Predict(x) != hist.Predict(x) {
+			t.Fatalf("sample %d: exact predicts %d, histogram %d", i, exact.Predict(x), hist.Predict(x))
+		}
+	}
+}
+
+// TestHistogramCloseToExactOnContinuousData: on high-cardinality features
+// the bin budget quantizes thresholds; the tree need not be identical but
+// its training accuracy must stay close to the exact tree's.
+func TestHistogramCloseToExactOnContinuousData(t *testing.T) {
+	d := axisDataset(2000, 43)
+	tab, err := d.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := func(tree *Tree) float64 {
+		agree := 0
+		buf := make([]float64, tab.NumFeatures())
+		for i := 0; i < tab.Len(); i++ {
+			if tree.Predict(tab.Row(i, buf)) == tab.Label(i) {
+				agree++
+			}
+		}
+		return float64(agree) / float64(tab.Len())
+	}
+	exact, err := BuildTable(tab, BuildOptions{MaxLeaves: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := BuildTable(tab, BuildOptions{MaxLeaves: 16, Histogram: true, MaxBins: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ea, ha := acc(exact), acc(hist); ha < ea-0.01 {
+		t.Fatalf("histogram accuracy %.4f below exact %.4f", ha, ea)
+	}
+}
+
+// TestHistogramHandlesNaN: NaN features must bin deterministically (last
+// bin, the "NaN < threshold is false" serving convention) and never panic;
+// exact mode must reject them loudly instead of silently mis-sorting.
+func TestHistogramHandlesNaN(t *testing.T) {
+	tab := dataset.New(2)
+	for i := 0; i < 200; i++ {
+		x0 := float64(i%10) / 10
+		x1 := math.NaN()
+		if i%4 != 0 {
+			x1 = float64(i%7) / 7
+		}
+		label := 0
+		if x0 >= 0.5 {
+			label = 1
+		}
+		tab.AppendRow([]float64{x0, x1}, label, 1)
+	}
+	var ref *Tree
+	for _, workers := range workerSweep() {
+		tree, err := BuildTable(tab, BuildOptions{MaxLeaves: 8, Histogram: true, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = tree
+		} else if !reflect.DeepEqual(ref, tree) {
+			t.Fatalf("NaN histogram tree differs at Workers=%d", workers)
+		}
+	}
+	if ref.Root.IsLeaf() || ref.Root.Feature != 0 {
+		t.Fatalf("expected a split on the clean feature, got feature %d", ref.Root.Feature)
+	}
+	if _, err := BuildTable(tab, BuildOptions{MaxLeaves: 8}); err == nil {
+		t.Fatal("exact mode must reject NaN features")
+	}
+}
+
+// TestHistogramEmptyAndConstantColumns: constant and all-NaN columns have a
+// single bin and must simply never be chosen, not break the build.
+func TestHistogramEmptyAndConstantColumns(t *testing.T) {
+	tab := dataset.New(3)
+	for i := 0; i < 100; i++ {
+		x := []float64{float64(i) / 100, 5, math.NaN()}
+		label := 0
+		if i >= 50 {
+			label = 1
+		}
+		tab.AppendRow(x, label, 1)
+	}
+	tree, err := BuildTable(tab, BuildOptions{MaxLeaves: 4, Histogram: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil || n.IsLeaf() {
+			return
+		}
+		if n.Feature != 0 {
+			t.Fatalf("split on degenerate feature %d", n.Feature)
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(tree.Root)
+	if tree.Root.IsLeaf() {
+		t.Fatal("separable data produced a stump")
+	}
+}
+
+// TestFitTableHistogramDistill exercises the DistillConfig plumbing of the
+// histogram knobs end to end.
+func TestFitTableHistogramDistill(t *testing.T) {
+	ds := synthDataset(500, 4, 47, false)
+	tab, err := ds.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := FitTable(tab, DistillConfig{MaxLeaves: 20, Histogram: true, MaxBins: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumLeaves() > 20 {
+		t.Fatalf("pruned tree has %d leaves, budget 20", tree.NumLeaves())
+	}
+	if fid := TableFidelity(tree, tab); fid < 0.8 {
+		t.Fatalf("histogram-distilled fidelity %.3f too low", fid)
+	}
+}

@@ -105,8 +105,8 @@ func TestDistillWorkerCountInvariant(t *testing.T) {
 		t.Fatalf("metrics differ: fidelity %v vs %v, size %d vs %d",
 			serial.Fidelity, par.Fidelity, serial.DatasetSize, par.DatasetSize)
 	}
-	if !reflect.DeepEqual(serial.Dataset, par.Dataset) {
-		t.Fatal("aggregated DAgger datasets differ across worker counts")
+	if !reflect.DeepEqual(serial.Data, par.Data) {
+		t.Fatal("aggregated DAgger tables differ across worker counts")
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/dataset"
 	"repro/internal/parallel"
 )
 
@@ -176,14 +177,13 @@ func Search(sys System, opts Options) *Result {
 		logits[i] = opts.InitLogit
 	}
 
-	taskLossOn := func(s System, lg []float64) float64 {
-		w := make([]float64, n)
+	maskBuf := make([]float64, n)
+	taskLoss := func(lg []float64) float64 {
 		for i, v := range lg {
-			w[i] = sigmoid(v)
+			maskBuf[i] = sigmoid(v)
 		}
-		return divergence(yI, s.Output(w), s.Discrete())
+		return divergence(yI, sys.Output(maskBuf), sys.Discrete())
 	}
-	taskLoss := func(lg []float64) float64 { return taskLossOn(sys, lg) }
 
 	// Adam state.
 	m := make([]float64, n)
@@ -195,6 +195,10 @@ func Search(sys System, opts Options) *Result {
 		plus[s] = make([]bool, n)
 	}
 	losses := make([]float64, 2*opts.SPSASamples)
+	// Perturbation batch: one row per SPSA evaluation (W′+cΔ, W′−cΔ),
+	// refilled in place every iteration — the steady-state loop allocates
+	// nothing per perturbation.
+	pert := dataset.NewBatch(2*opts.SPSASamples, n)
 
 	for it := 1; it <= opts.Iterations; it++ {
 		for i := range grad {
@@ -203,24 +207,29 @@ func Search(sys System, opts Options) *Result {
 		// SPSA estimate of dD/dW′. The Rademacher sign vectors for every
 		// sample are drawn up front (the same stream order as a serial
 		// draw-then-evaluate loop, since evaluations consume no
-		// randomness), which frees the 2·SPSASamples blackbox evaluations
-		// — the expensive part — to run concurrently across the pool.
+		// randomness) and the perturbed masks are generated into the
+		// batch's rows, which frees the 2·SPSASamples blackbox evaluations
+		// — the expensive part — to run concurrently across the pool over
+		// zero-copy batch views.
 		for s := range plus {
 			for i := range plus[s] {
 				plus[s][i] = rng.Intn(2) == 0
 			}
 		}
-		parallel.ForEachWorker(len(pool), 2*opts.SPSASamples, func(w, t int) {
+		for t := 0; t < pert.Rows(); t++ {
 			s, flip := t/2, t%2 == 1
-			lg := make([]float64, n)
-			for i := range lg {
+			row := pert.Row(t)
+			for i := range row {
 				delta := opts.Perturbation
 				if plus[s][i] == flip {
 					delta = -delta
 				}
-				lg[i] = logits[i] + delta
+				row[i] = sigmoid(logits[i] + delta)
 			}
-			losses[t] = taskLossOn(pool[w], lg)
+		}
+		parallel.ForEachWorker(len(pool), pert.Rows(), func(w, t int) {
+			s := pool[w]
+			losses[t] = divergence(yI, s.Output(pert.Row(t)), s.Discrete())
 		})
 		for s := 0; s < opts.SPSASamples; s++ {
 			diff := (losses[2*s] - losses[2*s+1]) / (2 * opts.Perturbation)

@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"repro/internal/artifact"
+	"repro/internal/dataset"
 	"repro/internal/rl"
 )
 
@@ -158,6 +159,55 @@ func (c Config) SaveCachedTeacher(scenarioName, fingerprint string, model any) e
 		"config":   fingerprint,
 	}
 	return artifact.SaveModel(path, model, meta)
+}
+
+// datasetCachePath is the artifact path for a cached distillation corpus,
+// or "" when caching is disabled.
+func (c Config) datasetCachePath(scenarioName string) string {
+	if c.CacheDir == "" {
+		return ""
+	}
+	return filepath.Join(c.CacheDir, fmt.Sprintf("scenario-%s-%s-dataset.metis", scenarioName, c.scale()))
+}
+
+// LoadCachedDataset restores a distillation corpus (a columnar
+// dataset.Table persisted under the artifact layer's dataset kind) from
+// CacheDir, reporting whether it hit. Scenarios whose distillation is
+// "collect samples, then fit" use it to skip the collection stage entirely:
+// refitting on a bit-identical cached table reproduces the student bit for
+// bit. As with the teacher cache, any miss or failure silently falls back
+// to collecting fresh samples.
+func (c Config) LoadCachedDataset(scenarioName, fingerprint string) (*dataset.Table, bool) {
+	path := c.datasetCachePath(scenarioName)
+	if path == "" {
+		return nil, false
+	}
+	a, err := artifact.Open(path)
+	if err != nil || a.Kind != artifact.KindDataset || a.Meta["config"] != fingerprint {
+		return nil, false
+	}
+	t := new(dataset.Table)
+	if t.UnmarshalBinary(a.Payload) != nil {
+		return nil, false
+	}
+	return t, true
+}
+
+// SaveCachedDataset persists a freshly collected distillation corpus to
+// CacheDir. A broken cache directory is a configuration error the user
+// asked for, so the error is returned rather than swallowed.
+func (c Config) SaveCachedDataset(scenarioName, fingerprint string, t *dataset.Table) error {
+	path := c.datasetCachePath(scenarioName)
+	if path == "" {
+		return nil
+	}
+	meta := map[string]string{
+		"name":     scenarioName + "-dataset",
+		"scenario": scenarioName,
+		"scale":    c.scale(),
+		"config":   fingerprint,
+	}
+	return artifact.SaveModel(path, t, meta)
 }
 
 // Scenario wires one domain into the teacher→student pipeline. Methods are

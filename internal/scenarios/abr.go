@@ -105,18 +105,34 @@ func (sc abrScenario) Train(cfg scenario.Config) (scenario.Teacher, error) {
 	return t, nil
 }
 
-func (abrScenario) Distill(cfg scenario.Config, t scenario.Teacher) (scenario.Student, error) {
+func (sc abrScenario) Distill(cfg scenario.Config, t scenario.Teacher) (scenario.Student, error) {
 	at, ok := t.(*abrTeacher)
 	if !ok {
 		return nil, fmt.Errorf("abr: teacher is %T, not an abr teacher", t)
 	}
 	p := at.params
-	res, err := dtree.DistillPolicy(at.train(), at.agent,
-		PensieveDistillConfig(p.TreeLeaves, p.DistillIters, p.DistillEps, p.VideoChunks+2, cfg.Workers))
+	dcfg := PensieveDistillConfig(p.TreeLeaves, p.DistillIters, p.DistillEps, p.VideoChunks+2, cfg.Workers)
+	const header = "Metis+Pensieve bitrate tree"
+
+	// A cached corpus (the final DAgger aggregate with its fitting
+	// weights, stored as a dataset artifact) skips rollout collection
+	// entirely: refitting on the bit-identical table reproduces the final
+	// CART fit — and therefore the student — bit for bit.
+	if ds, ok := cfg.LoadCachedDataset("abr", sc.Fingerprint(cfg)); ok {
+		tree, err := dtree.FitTable(ds, dcfg)
+		if err != nil {
+			return nil, err
+		}
+		return &treeStudent{tree: tree, fidelity: dtree.TableFidelity(tree, ds), header: header}, nil
+	}
+	res, err := dtree.DistillPolicy(at.train(), at.agent, dcfg)
 	if err != nil {
 		return nil, err
 	}
-	return &treeStudent{tree: res.Tree, fidelity: res.Fidelity, header: "Metis+Pensieve bitrate tree"}, nil
+	if err := cfg.SaveCachedDataset("abr", sc.Fingerprint(cfg), res.Data); err != nil {
+		return nil, err
+	}
+	return &treeStudent{tree: res.Tree, fidelity: res.Fidelity, header: header}, nil
 }
 
 func (abrScenario) Evaluate(cfg scenario.Config, t scenario.Teacher, s scenario.Student) ([]scenario.Metric, error) {

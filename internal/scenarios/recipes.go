@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/abr"
 	"repro/internal/auto"
+	"repro/internal/dataset"
 	"repro/internal/dcn"
 	"repro/internal/metis/dtree"
 	"repro/internal/pensieve"
@@ -117,15 +118,18 @@ func TrainAuTOSRLA(flowsPerRun, generations int) *auto.SRLA {
 }
 
 // DistillLRLATree collects lRLA decisions over fabric runs and fits the
-// classification student, returning the tree and the dataset it was fitted
-// on.
-func DistillLRLATree(l *auto.LRLA, runs, maxLeaves, workers int) (*dtree.Tree, *dtree.Dataset, error) {
+// classification student, returning the tree and the columnar table it was
+// fitted on.
+func DistillLRLATree(l *auto.LRLA, runs, maxLeaves, workers int) (*dtree.Tree, *dataset.Table, error) {
 	states, actions := auto.CollectLRLADataset(l, dcn.WebSearch, runs, seedLRLADataset)
 	if len(states) == 0 {
 		return nil, nil, errors.New("scenarios: no lRLA decisions collected")
 	}
-	ds := &dtree.Dataset{X: states, Y: actions}
-	tr, err := dtree.FitDataset(ds, dtree.DistillConfig{
+	ds, err := dataset.FromRows(states, actions, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr, err := dtree.FitTable(ds, dtree.DistillConfig{
 		MaxLeaves: maxLeaves, FeatureNames: auto.LongFlowStateNames(), Workers: workers,
 	})
 	if err != nil {
@@ -135,11 +139,14 @@ func DistillLRLATree(l *auto.LRLA, runs, maxLeaves, workers int) (*dtree.Tree, *
 }
 
 // DistillSRLATree samples sRLA threshold outputs and fits the regression
-// student, returning the tree and the dataset it was fitted on.
-func DistillSRLATree(s *auto.SRLA, samples, maxLeaves, workers int) (*dtree.Tree, *dtree.Dataset, error) {
+// student, returning the tree and the columnar table it was fitted on.
+func DistillSRLATree(s *auto.SRLA, samples, maxLeaves, workers int) (*dtree.Tree, *dataset.Table, error) {
 	states, targets := auto.CollectSRLADataset(s, dcn.WebSearch, samples, seedSRLADataset)
-	ds := &dtree.Dataset{X: states, YReg: targets}
-	tr, err := dtree.FitDataset(ds, dtree.DistillConfig{MaxLeaves: maxLeaves, Workers: workers})
+	ds, err := dataset.FromRegRows(states, targets, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr, err := dtree.FitTable(ds, dtree.DistillConfig{MaxLeaves: maxLeaves, Workers: workers})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -207,6 +207,41 @@ func TestTeacherCacheSkipsRetraining(t *testing.T) {
 	}
 }
 
+// TestDatasetCacheSkipsCollection verifies the dataset artifact kind end to
+// end: the abr scenario's first run persists its DAgger corpus as a
+// dataset/table artifact, and a second run refits on the cached table —
+// skipping rollout collection — while producing a bit-identical student.
+func TestDatasetCacheSkipsCollection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the tiny Pensieve teacher; skipped in -short")
+	}
+	cache := t.TempDir()
+	sc, _ := scenario.Get("abr")
+	run := func() []byte {
+		p := &scenario.Pipeline{Config: scenario.Config{
+			Scale: scenario.ScaleTiny, Workers: 1, CacheDir: cache, OutDir: t.TempDir(),
+		}}
+		rep, err := p.Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return studentBytes(t, rep)
+	}
+	first := run()
+	cfg := scenario.Config{Scale: scenario.ScaleTiny, CacheDir: cache}
+	ds, ok := cfg.LoadCachedDataset("abr", sc.Fingerprint(cfg))
+	if !ok {
+		t.Fatal("first run left no loadable dataset in the cache")
+	}
+	if ds.Len() == 0 || ds.NumFeatures() == 0 {
+		t.Fatalf("cached corpus is degenerate: %d×%d", ds.Len(), ds.NumFeatures())
+	}
+	second := run()
+	if !bytes.Equal(first, second) {
+		t.Fatal("cached-dataset run produced a different student")
+	}
+}
+
 // TestTeacherQueryCloneContract enforces the scenario.Teacher contract on
 // every cheap built-in teacher: Query answers an input vector, and a Clone
 // answers identically while being independently usable.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/dataset"
 	"repro/internal/metis/dtree"
 	"repro/internal/metis/mask"
 )
@@ -39,18 +40,10 @@ func (s *treeStudent) Summary() string {
 	return b.String()
 }
 
-// classifierFidelity is the student-teacher action agreement on a dataset.
-func classifierFidelity(t *dtree.Tree, ds *dtree.Dataset) float64 {
-	if len(ds.X) == 0 {
-		return 0
-	}
-	agree := 0
-	for i, x := range ds.X {
-		if t.Predict(x) == ds.Y[i] {
-			agree++
-		}
-	}
-	return float64(agree) / float64(len(ds.X))
+// classifierFidelity is the student-teacher action agreement on a columnar
+// table (rows are gathered through a reused buffer, never materialized).
+func classifierFidelity(t *dtree.Tree, ds *dataset.Table) float64 {
+	return dtree.TableFidelity(t, ds)
 }
 
 // maskStudent is the interpretable student of every global scenario: the

@@ -47,6 +47,7 @@ import (
 
 	"repro/client"
 	"repro/internal/artifact"
+	"repro/internal/dataset"
 	"repro/internal/metis/dtree"
 	"repro/internal/metis/mask"
 	"repro/internal/rl"
@@ -75,11 +76,43 @@ type DistillConfig = dtree.DistillConfig
 // DistillResult is the outcome of a distillation run.
 type DistillResult = dtree.DistillResult
 
-// Dataset is a weighted supervised dataset for offline tree fitting.
+// Dataset is a weighted supervised dataset in row-major convenience form —
+// the literal-friendly input to FitTree. The training stack itself runs on
+// the columnar Table; Dataset is columnarized once on entry.
 type Dataset = dtree.Dataset
 
+// Table is the columnar training dataset of the stack: contiguous
+// per-feature columns plus label/target/weight columns, with zero-copy
+// views for splits, quantile binning for the histogram CART search, and
+// deterministic seeded subsampling. Build one with NewTable /
+// NewRegressionTable and AppendRow / AppendRegRow, or columnarize existing
+// rows with TableFromRows / TableFromRegRows; fit it with FitTreeOnTable.
+// Tables persist as versioned artifacts (SaveTable / LoadTable), so a
+// distillation corpus can be cached and refit without re-collecting it.
+type Table = dataset.Table
+
+// NewTable returns an empty columnar classification dataset.
+func NewTable(features int) *Table { return dataset.New(features) }
+
+// NewRegressionTable returns an empty columnar regression dataset.
+func NewRegressionTable(features, outputs int) *Table {
+	return dataset.NewRegression(features, outputs)
+}
+
+// TableFromRows columnarizes row-major classification data (w may be nil
+// for uniform weights).
+func TableFromRows(X [][]float64, y []int, w []float64) (*Table, error) {
+	return dataset.FromRows(X, y, w)
+}
+
+// TableFromRegRows columnarizes row-major regression data.
+func TableFromRegRows(X [][]float64, targets [][]float64, w []float64) (*Table, error) {
+	return dataset.FromRegRows(X, targets, w)
+}
+
 // Distill converts a DNN teacher policy for a local system into a decision
-// tree using the paper's four-step §3.2 recipe.
+// tree using the paper's four-step §3.2 recipe. Set DistillConfig.Histogram
+// to use the binned CART split search on large DAgger corpora.
 func Distill(env Env, teacher Policy, cfg DistillConfig) (*DistillResult, error) {
 	return dtree.DistillPolicy(env, teacher, cfg)
 }
@@ -89,6 +122,22 @@ func Distill(env Env, teacher Policy, cfg DistillConfig) (*DistillResult, error)
 // state-action logs.
 func FitTree(ds *Dataset, cfg DistillConfig) (*Tree, error) {
 	return dtree.FitDataset(ds, cfg)
+}
+
+// FitTreeOnTable is FitTree on a columnar Table (no conversion pass).
+func FitTreeOnTable(t *Table, cfg DistillConfig) (*Tree, error) {
+	return dtree.FitTable(t, cfg)
+}
+
+// SaveTable persists a columnar dataset as a versioned, checksummed
+// artifact (kind "dataset/table").
+func SaveTable(path string, t *Table, meta map[string]string) error {
+	return artifact.SaveModel(path, t, meta)
+}
+
+// LoadTable restores a dataset artifact written by SaveTable.
+func LoadTable(path string) (*Table, error) {
+	return artifact.LoadAs[*Table](path)
 }
 
 // MaskSystem is a global system whose output can be recomputed under a

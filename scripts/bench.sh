@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
-# Runs the headline figure/table benchmarks and appends a dated JSON record
-# (BENCH_<date>.json) so the performance trajectory is tracked across PRs.
+# Runs the headline figure/table benchmarks and writes a timestamped JSON
+# record (BENCH_<date>_<time>.json) so the performance trajectory is tracked
+# across PRs.
 #
 # Usage: ./scripts/bench.sh [benchtime] [extra go test args...]
 #   benchtime defaults to 3x (each bench runs 3 iterations).
@@ -13,15 +14,17 @@ BENCHTIME="${1:-3x}"
 
 BENCHES='BenchmarkFig07DecisionTree|BenchmarkMaskSearch$|BenchmarkMaskSearchSerial|BenchmarkCARTBuild|BenchmarkExtractionOverhead|BenchmarkFig27InterpBaselines|BenchmarkTreeDecision|BenchmarkDNNDecision|BenchmarkCompiledPredictBatch|BenchmarkServePredictBatch$|BenchmarkServePredictBatchBinary|BenchmarkScenarioPipeline$|BenchmarkScenarioPipelineAll'
 DATE="$(date +%Y-%m-%d)"
-OUT="BENCH_${DATE}.json"
-# Never clobber an earlier record (e.g. a same-day before/after pair):
-# fall back to a timestamped name.
-[ -e "$OUT" ] && OUT="BENCH_${DATE}_$(date +%H%M%S).json"
+# One timestamped record per run — a same-day before/after pair never
+# collides and never produces two differently named files for one run.
+OUT="BENCH_${DATE}_$(date +%H%M%S).json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 echo "running benchmarks (benchtime=${BENCHTIME})…" >&2
-go test -run '^$' -bench "$BENCHES" -benchtime "$BENCHTIME" -timeout 3600s "$@" . | tee "$RAW" >&2
+# -benchmem lands B/op and allocs/op in the record, so allocation
+# regressions (and the dataset layer's allocation wins) are tracked in the
+# trajectory alongside wall clock.
+go test -run '^$' -bench "$BENCHES" -benchtime "$BENCHTIME" -benchmem -timeout 3600s "$@" . | tee "$RAW" >&2
 
 # Convert `BenchmarkName  N  T ns/op  [extra metrics]` lines to JSON.
 {
