@@ -8,10 +8,12 @@
 package metis
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -332,6 +334,39 @@ func BenchmarkCompiledPredictBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkQuantizedPredictBatch measures the quantized serving hot path:
+// the same batch and tree as BenchmarkCompiledPredictBatch, evaluated
+// through the flat breadth-first quantized form into a preallocated output
+// buffer. The serial subbench is the allocation contract — 0 allocs/op in
+// the traversal — and the preds/s metric is directly comparable with the
+// compiled bench.
+func BenchmarkQuantizedPredictBatch(b *testing.B) {
+	_, _, tree, _ := fixture().AuTo()
+	compiled, err := tree.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := compiled.Quantize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	X := lrlaBatch(16384)
+	out := make([]int, len(X))
+	for _, workers := range []int{1, 0} {
+		name := "serial"
+		if workers == 0 {
+			name = "allcores"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				q.PredictBatchInto(X, out, workers)
+			}
+			b.ReportMetric(float64(len(X))*float64(b.N)/b.Elapsed().Seconds(), "preds/s")
+		})
+	}
+}
+
 // serveBenchServer loads the lRLA tree into an engine behind httptest for
 // the end-to-end serving benchmarks.
 func serveBenchServer(b *testing.B) *httptest.Server {
@@ -400,6 +435,57 @@ func BenchmarkServePredictBatchBinary(b *testing.B) {
 		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
+	}
+	b.ReportMetric(float64(serveBenchBatch)*float64(b.N)/b.Elapsed().Seconds(), "preds/s")
+}
+
+// BenchmarkServePredictBatchUDS is the end-to-end daemon benchmark over the
+// framed unix-socket transport: the same engine, model, batch size, and
+// binary payloads as BenchmarkServePredictBatchBinary, with length-prefixed
+// frames on a unix socket replacing HTTP. The preds/s gap between the two is
+// what the HTTP machinery costs per request once the codec is already
+// binary.
+func BenchmarkServePredictBatchUDS(b *testing.B) {
+	_, _, tree, _ := fixture().AuTo()
+	dir := b.TempDir()
+	if err := artifact.SaveModel(filepath.Join(dir, "dcn.metis"), tree, map[string]string{"name": "dcn"}); err != nil {
+		b.Fatal(err)
+	}
+	e, err := serve.LoadDir(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sock := filepath.Join(dir, "metis.sock")
+	l, err := serve.ListenUDS(sock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	go e.ServeUDS(l)
+	b.Cleanup(func() { l.Close() })
+
+	conn, err := net.Dial("unix", sock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { conn.Close() })
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var payload bytes.Buffer
+	if err := serve.EncodeBatchRequest(&payload, "dcn", lrlaBatch(serveBenchBatch)); err != nil {
+		b.Fatal(err)
+	}
+	raw := payload.Bytes()
+	var frame []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := serve.WriteFrame(conn, raw); err != nil {
+			b.Fatal(err)
+		}
+		if frame, err = serve.ReadFrame(br, frame); err != nil {
+			b.Fatal(err)
+		}
+		if serve.FrameKind(frame) != "MTB1" {
+			b.Fatalf("frame kind %q", serve.FrameKind(frame))
+		}
 	}
 	b.ReportMetric(float64(serveBenchBatch)*float64(b.N)/b.Elapsed().Seconds(), "preds/s")
 }

@@ -27,12 +27,17 @@ import (
 	"repro/internal/serve"
 )
 
-// Client talks to one metis-serve base URL. It is safe for concurrent use.
+// Client talks to one metis-serve endpoint — an HTTP base URL, or a framed
+// unix-domain socket when the base is "unix:///path/to.sock". It is safe for
+// concurrent use.
 type Client struct {
 	base    string
 	hc      *http.Client
 	retries int
 	backoff time.Duration
+	// uds is set when the base names a unix socket; every call then rides
+	// the framed socket protocol instead of HTTP.
+	uds *udsTransport
 	// jsonOnly disables the binary batch codec (WithJSON, or a server that
 	// rejected it once with 415 — old servers answer the per-model route
 	// only for JSON).
@@ -57,14 +62,21 @@ func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
 // 50ms).
 func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
 
-// New returns a client for the serving daemon at baseURL (scheme://host[:port],
-// with or without a trailing slash).
+// New returns a client for the serving daemon at baseURL: either an HTTP
+// base (scheme://host[:port], with or without a trailing slash) or a framed
+// unix-domain socket ("unix:///var/run/metis.sock" — the path after the
+// scheme is the socket file). The socket transport carries the same binary
+// batch payloads as HTTP without per-request connection or header costs, and
+// is the right choice for co-located high-rate callers.
 func New(baseURL string, opts ...Option) *Client {
 	c := &Client{
 		base:    strings.TrimRight(baseURL, "/"),
 		hc:      http.DefaultClient,
 		retries: 3,
 		backoff: 50 * time.Millisecond,
+	}
+	if path, ok := strings.CutPrefix(baseURL, "unix://"); ok {
+		c.uds = newUDSTransport(path)
 	}
 	for _, o := range opts {
 		o(c)
@@ -194,6 +206,12 @@ func (c *Client) Models(ctx context.Context) ([]ModelInfo, error) {
 	var out struct {
 		Models []ModelInfo `json:"models"`
 	}
+	if c.uds != nil {
+		if err := c.udsControl(ctx, "models", "", "", &out); err != nil {
+			return nil, err
+		}
+		return out.Models, nil
+	}
 	if err := c.getJSON(ctx, "/v2/models", &out); err != nil {
 		return nil, err
 	}
@@ -203,6 +221,12 @@ func (c *Client) Models(ctx context.Context) ([]ModelInfo, error) {
 // Model fetches one model's detail and live counters.
 func (c *Client) Model(ctx context.Context, name string) (*ModelDetail, error) {
 	var out ModelDetail
+	if c.uds != nil {
+		if err := c.udsControl(ctx, "model", name, "", &out); err != nil {
+			return nil, err
+		}
+		return &out, nil
+	}
 	if err := c.getJSON(ctx, "/v2/models/"+url.PathEscape(name), &out); err != nil {
 		return nil, err
 	}
@@ -212,6 +236,12 @@ func (c *Client) Model(ctx context.Context, name string) (*ModelDetail, error) {
 // Stats fetches the engine counters.
 func (c *Client) Stats(ctx context.Context) (*Stats, error) {
 	var out Stats
+	if c.uds != nil {
+		if err := c.udsControl(ctx, "stats", "", "", &out); err != nil {
+			return nil, err
+		}
+		return &out, nil
+	}
 	if err := c.getJSON(ctx, "/v2/stats", &out); err != nil {
 		return nil, err
 	}
@@ -222,6 +252,15 @@ func (c *Client) Stats(ctx context.Context) (*Stats, error) {
 // reloads the currently served one) and returns the model names served
 // afterwards.
 func (c *Client) Reload(ctx context.Context, dir string) ([]string, error) {
+	if c.uds != nil {
+		var out struct {
+			Models []string `json:"models"`
+		}
+		if err := c.udsControl(ctx, "reload", "", dir, &out); err != nil {
+			return nil, err
+		}
+		return out.Models, nil
+	}
 	body, err := json.Marshal(map[string]string{"dir": dir})
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
@@ -254,9 +293,13 @@ type jsonPrediction struct {
 	Values  [][]float64 `json:"values"`
 }
 
-// Predict runs one input row through a model (JSON codec — single-row
-// requests gain nothing from the binary format).
+// Predict runs one input row through a model (over HTTP: the JSON codec —
+// single-row requests gain nothing from the binary format; over a unix
+// socket: a one-row binary batch).
 func (c *Client) Predict(ctx context.Context, model string, x []float64) (*Prediction, error) {
+	if c.uds != nil {
+		return c.udsPredictBatch(ctx, model, [][]float64{x})
+	}
 	body, err := json.Marshal(map[string]any{"x": x})
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
@@ -287,6 +330,9 @@ func (c *Client) Predict(ctx context.Context, model string, x []float64) (*Predi
 // by default; a server answering 415 (no binary support) flips the client
 // to JSON permanently, so mixed fleets keep working at the JSON rate.
 func (c *Client) PredictBatch(ctx context.Context, model string, rows [][]float64) (*Prediction, error) {
+	if c.uds != nil {
+		return c.udsPredictBatch(ctx, model, rows)
+	}
 	if !c.jsonOnly.Load() {
 		p, err := c.predictBatchBinary(ctx, model, rows)
 		var apiErr *APIError

@@ -1,0 +1,180 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// udsTransport is the framed unix-domain-socket backend of the SDK: the same
+// binary batch payloads the HTTP codec carries, minus HTTP. Connections are
+// pooled and each keeps its own frame buffers, so a steady caller reuses one
+// socket and one set of buffers across calls instead of paying connection
+// setup and header machinery per request.
+type udsTransport struct {
+	path string
+
+	mu   sync.Mutex
+	idle []*udsConn
+
+	// reqPool recycles request-payload build buffers across calls and
+	// goroutines.
+	reqPool sync.Pool
+}
+
+// udsConn is one pooled connection with its reusable read buffer.
+type udsConn struct {
+	c   net.Conn
+	br  *bufio.Reader
+	buf []byte
+}
+
+func newUDSTransport(path string) *udsTransport {
+	t := &udsTransport{path: path}
+	t.reqPool.New = func() any { return new(bytes.Buffer) }
+	return t
+}
+
+// get pops an idle connection or dials a fresh one; pooled reports which, so
+// callers know whether an I/O failure may just be a stale socket worth one
+// retry.
+func (t *udsTransport) get() (cn *udsConn, pooled bool, err error) {
+	t.mu.Lock()
+	if n := len(t.idle); n > 0 {
+		cn = t.idle[n-1]
+		t.idle = t.idle[:n-1]
+		t.mu.Unlock()
+		return cn, true, nil
+	}
+	t.mu.Unlock()
+	c, err := net.Dial("unix", t.path)
+	if err != nil {
+		return nil, false, fmt.Errorf("client: dial %s: %w", t.path, err)
+	}
+	return &udsConn{c: c, br: bufio.NewReaderSize(c, 64<<10)}, false, nil
+}
+
+// put returns a healthy connection to the pool.
+func (t *udsTransport) put(cn *udsConn) {
+	t.mu.Lock()
+	t.idle = append(t.idle, cn)
+	t.mu.Unlock()
+}
+
+// roundTrip sends one frame and reads the response payload. The returned
+// payload aliases the connection's read buffer — callers must fully decode
+// it before releasing the connection with t.put(cn). I/O failures on a
+// pooled connection get one retry on a fresh dial (the server may have
+// restarted since the connection was pooled); failures on a fresh connection
+// are final.
+func (t *udsTransport) roundTrip(ctx context.Context, payload []byte) (*udsConn, []byte, error) {
+	for {
+		cn, pooled, err := t.get()
+		if err != nil {
+			return nil, nil, err
+		}
+		deadline, _ := ctx.Deadline()
+		cn.c.SetDeadline(deadline) // zero deadline = none
+		if err := serve.WriteFrame(cn.c, payload); err == nil {
+			if cn.buf, err = serve.ReadFrame(cn.br, cn.buf); err == nil {
+				return cn, cn.buf, nil
+			}
+		}
+		cn.c.Close()
+		if pooled {
+			continue
+		}
+		return nil, nil, fmt.Errorf("client: %s: %w", t.path, err)
+	}
+}
+
+// udsCall is roundTrip plus the shared response handling: 503 retry with
+// backoff (mirroring the HTTP path's admission-control behavior) and "MTE1"
+// error mapping to *APIError. On success the handle function decodes the
+// full response payload (magic included) while the connection is still
+// owned; the connection is pooled again afterwards.
+func (c *Client) udsCall(ctx context.Context, payload []byte, handle func(kind string, resp []byte) error) error {
+	backoff := c.backoff
+	for attempt := 0; ; attempt++ {
+		cn, resp, err := c.uds.roundTrip(ctx, payload)
+		if err != nil {
+			return err
+		}
+		kind := serve.FrameKind(resp)
+		if kind == "MTE1" {
+			status, msg, perr := serve.DecodeErrorPayload(resp)
+			c.uds.put(cn)
+			if perr != nil {
+				return fmt.Errorf("client: %w", perr)
+			}
+			if status == http.StatusServiceUnavailable && attempt < c.retries {
+				select {
+				case <-time.After(backoff):
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+				backoff *= 2
+				continue
+			}
+			return &APIError{Status: status, Msg: msg}
+		}
+		err = handle(kind, resp)
+		c.uds.put(cn)
+		return err
+	}
+}
+
+// udsControl runs one "MTQ1" control op and decodes the JSON response into
+// out.
+func (c *Client) udsControl(ctx context.Context, op, name, dir string, out any) error {
+	payload, err := serve.ControlRequest(op, name, dir)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	return c.udsCall(ctx, payload, func(kind string, resp []byte) error {
+		if kind != "MTJ1" {
+			return fmt.Errorf("client: control op %q answered with frame kind %q", op, kind)
+		}
+		if err := json.Unmarshal(serve.FrameBody(resp), out); err != nil {
+			return fmt.Errorf("client: decode %s response: %w", op, err)
+		}
+		return nil
+	})
+}
+
+// udsPredictBatch runs a batch through the socket's predict frames. The
+// request payload is built in a pooled buffer; the response payload is the
+// standard binary batch response, decoded in place off the connection's read
+// buffer.
+func (c *Client) udsPredictBatch(ctx context.Context, model string, rows [][]float64) (*Prediction, error) {
+	buf := c.uds.reqPool.Get().(*bytes.Buffer)
+	defer c.uds.reqPool.Put(buf)
+	buf.Reset()
+	if err := serve.EncodeBatchRequest(buf, model, rows); err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	var p *Prediction
+	err := c.udsCall(ctx, buf.Bytes(), func(kind string, resp []byte) error {
+		if kind != "MTB1" {
+			return fmt.Errorf("client: predict answered with frame kind %q", kind)
+		}
+		sp, err := serve.DecodeBatchResponse(bytes.NewReader(resp))
+		if err != nil {
+			return fmt.Errorf("client: %w", err)
+		}
+		p = &Prediction{Actions: sp.Actions, Values: sp.Values}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -17,6 +17,11 @@
 // GET /v2/stats, POST /v2/admin/reload, GET /metrics — plus the v1 routes
 // as a compatibility shim.
 //
+// With -uds /path.sock the daemon additionally serves the framed binary
+// protocol on a unix-domain socket: the same binary batch payloads without
+// the HTTP machinery, for co-located clients that need the full in-process
+// prediction rate (client.New("unix:///path.sock") speaks it).
+//
 // Hot reload: SIGHUP (or POST /v2/admin/reload) re-scans the artifact
 // directory and swaps the model registry atomically — in-flight requests
 // finish on the old model set, stats of surviving models carry over, and a
@@ -32,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -46,6 +52,7 @@ import (
 type config struct {
 	dir      string
 	addr     string
+	uds      string
 	workers  int
 	maxBatch int
 	inflight int
@@ -60,6 +67,8 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	cfg := &config{}
 	fs.StringVar(&cfg.dir, "dir", "", "artifact directory to serve (required)")
 	fs.StringVar(&cfg.addr, "addr", ":9090", "listen address")
+	fs.StringVar(&cfg.uds, "uds", "",
+		"also serve the framed binary protocol on this unix socket path (for co-located clients; see client.New(\"unix://…\"))")
 	fs.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0),
 		"server-wide inference pool shared by all in-flight batches (0 = all cores, 1 = serial)")
 	fs.IntVar(&cfg.maxBatch, "max-batch", 0,
@@ -122,12 +131,12 @@ func main() {
 	}
 
 	for _, m := range engine.Models() {
-		shape := fmt.Sprintf("%d classes", m.Compiled.NumClasses)
-		if m.Compiled.IsRegression() {
-			shape = fmt.Sprintf("%d outputs", m.Compiled.OutDim)
+		shape := fmt.Sprintf("%d classes", m.NumClasses())
+		if m.IsRegression() {
+			shape = fmt.Sprintf("%d outputs", m.OutDim())
 		}
 		fmt.Printf("loaded %-20s %s, %d nodes, %d features, %s\n",
-			m.Name, m.Kind, m.Compiled.NumNodes(), m.Compiled.NumFeatures, shape)
+			m.Name, m.Kind, m.NumNodes(), m.NumFeatures(), shape)
 	}
 	for _, skip := range engine.Skipped() {
 		fmt.Printf("skipped %s: not a servable kind\n", skip)
@@ -152,6 +161,20 @@ func main() {
 	defer stop()
 	srv := newHTTPServer(cfg.addr, engine.Handler())
 	errCh := make(chan error, 1)
+	var udsListener net.Listener
+	if cfg.uds != "" {
+		udsListener, err = serve.ListenUDS(cfg.uds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("framed binary protocol on unix://%s\n", cfg.uds)
+		go func() {
+			if err := engine.ServeUDS(udsListener); err != nil {
+				errCh <- err
+			}
+		}()
+	}
 	go func() { errCh <- srv.ListenAndServe() }()
 	select {
 	case err := <-errCh:
@@ -160,6 +183,12 @@ func main() {
 		os.Exit(1)
 	case <-ctx.Done():
 		fmt.Println("signal received, draining in-flight requests…")
+		if udsListener != nil {
+			// Closing the unix listener unlinks the socket file; in-flight
+			// framed connections finish their current frame and end when the
+			// peer disconnects or the process exits below.
+			udsListener.Close()
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {

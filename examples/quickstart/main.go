@@ -69,6 +69,8 @@ func (e *env) NumActions() int { return 3 }
 func main() {
 	save := flag.String("save", "", "write the distilled tree as a metis-serve artifact")
 	name := flag.String("name", "quickstart", "model name recorded in the saved artifact's metadata")
+	quantize := flag.Bool("quantize", false,
+		"save the bin-quantized serving form (kind dtree/quantized) instead of the raw tree")
 	flag.Parse()
 
 	res, err := metis.Distill(&env{}, teacher{}, metis.DistillConfig{
@@ -92,7 +94,24 @@ func main() {
 	}
 
 	if *save != "" {
-		if err := metis.SaveTree(*save, res.Tree, map[string]string{"name": *name}); err != nil {
+		meta := map[string]string{"name": *name}
+		if *quantize {
+			c, err := metis.Compile(res.Tree)
+			if err != nil {
+				panic(err)
+			}
+			q, err := metis.Quantize(c)
+			if err != nil {
+				panic(err)
+			}
+			if err := metis.SaveQuantized(*save, q, meta); err != nil {
+				panic(err)
+			}
+			fmt.Printf("\nsaved quantized artifact to %s — serve it with:\n  metis-serve -dir %s\n",
+				*save, filepath.Dir(*save))
+			return
+		}
+		if err := metis.SaveTree(*save, res.Tree, meta); err != nil {
 			panic(err)
 		}
 		fmt.Printf("\nsaved tree artifact to %s — serve it with:\n  metis-serve -dir %s\n",

@@ -16,8 +16,12 @@ import (
 // Kind tags for every model the pipeline produces. The tag is stored in the
 // container header and drives Decode's dispatch.
 const (
-	KindTree          = "dtree/tree"
-	KindCompiledTree  = "dtree/compiled"
+	KindTree         = "dtree/tree"
+	KindCompiledTree = "dtree/compiled"
+	// KindQuantizedTree persists the bin-quantized serving form of a
+	// compiled tree. The serving daemon prefers it over KindCompiledTree
+	// when present: same decisions, flat breadth-first layout.
+	KindQuantizedTree = "dtree/quantized"
 	KindNetwork       = "nn/network"
 	KindPensieveAgent = "pensieve/agent"
 	KindAutoLRLA      = "auto/lrla"
@@ -36,6 +40,7 @@ const (
 var decoders = map[string]func([]byte) (any, error){
 	KindTree:          decodeInto(func() *dtree.Tree { return new(dtree.Tree) }),
 	KindCompiledTree:  decodeInto(func() *dtree.Compiled { return new(dtree.Compiled) }),
+	KindQuantizedTree: decodeInto(func() *dtree.Quantized { return new(dtree.Quantized) }),
 	KindNetwork:       decodeInto(func() *nn.Network { return new(nn.Network) }),
 	KindPensieveAgent: decodeInto(func() *pensieve.Agent { return new(pensieve.Agent) }),
 	KindAutoLRLA:      decodeInto(func() *auto.LRLA { return new(auto.LRLA) }),
@@ -65,6 +70,8 @@ func KindOf(model any) (string, error) {
 		return KindTree, nil
 	case *dtree.Compiled:
 		return KindCompiledTree, nil
+	case *dtree.Quantized:
+		return KindQuantizedTree, nil
 	case *nn.Network:
 		return KindNetwork, nil
 	case *pensieve.Agent:
@@ -141,3 +148,6 @@ func LoadTree(path string) (*dtree.Tree, error) { return LoadAs[*dtree.Tree](pat
 
 // LoadCompiled loads a compiled-tree artifact.
 func LoadCompiled(path string) (*dtree.Compiled, error) { return LoadAs[*dtree.Compiled](path) }
+
+// LoadQuantized loads a quantized-tree artifact.
+func LoadQuantized(path string) (*dtree.Quantized, error) { return LoadAs[*dtree.Quantized](path) }

@@ -113,6 +113,33 @@ func (t *Table) Bin(maxBins, workers int) *Binned {
 	return b
 }
 
+// Binner is the quantization map of a Binned view detached from its bin
+// columns: the per-feature edge lists alone. It is the piece of a binning
+// that serving shares with training — dtree.QuantizeBinned rides a Binner to
+// turn compiled-tree thresholds into bin indices, so a quantized tree and the
+// histogram fit that produced it agree on one columnar layout. A Binner is
+// immutable; callers must not modify the returned edge slices.
+type Binner struct {
+	edges [][]float64
+}
+
+// Binner returns the quantization map behind the binning (zero-copy).
+func (b *Binned) Binner() *Binner { return &Binner{edges: b.edges} }
+
+// NewBinner builds a quantization map from explicit per-feature edge lists
+// (each ascending). The slices are not copied.
+func NewBinner(edges [][]float64) *Binner { return &Binner{edges: edges} }
+
+// NumFeatures returns the feature count the binner quantizes.
+func (b *Binner) NumFeatures() int { return len(b.edges) }
+
+// Edges returns feature f's ascending edge list (zero-copy; do not modify).
+func (b *Binner) Edges(f int) []float64 { return b.edges[f] }
+
+// Bin quantizes one value of feature f: the number of edges ≤ v, with NaN in
+// the last bin — identical to the bin indices packed by Table.Bin.
+func (b *Binner) Bin(f int, v float64) int { return binOf(b.edges[f], v) }
+
 // binOf returns the bin index of v: the number of edges ≤ v (so bin b holds
 // values in [edges[b-1], edges[b])). NaN maps to the last bin, mirroring
 // "NaN < threshold is false" at prediction time.

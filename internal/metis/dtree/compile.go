@@ -54,9 +54,20 @@ func (t *Tree) Compile() (*Compiled, error) {
 			return nil, fmt.Errorf("dtree: regression tree has no value vector")
 		}
 	}
-	var walkErr error
-	var add func(n *Node) int32
-	add = func(n *Node) int32 {
+	// Explicit-stack preorder walk (node, left subtree, right subtree) —
+	// identical array layout to the old recursive version, but immune to
+	// goroutine-stack overflow on degenerate deep trees (a chain tree's
+	// depth equals its node count).
+	type frame struct {
+		n      *Node
+		parent int32 // index whose child slot this node fills; -1 for the root
+		right  bool  // fills the right slot (left otherwise)
+	}
+	stack := []frame{{n: t.Root, parent: -1}}
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := fr.n
 		idx := int32(len(c.Feature))
 		c.Feature = append(c.Feature, -1)
 		c.Threshold = append(c.Threshold, 0)
@@ -65,25 +76,24 @@ func (t *Tree) Compile() (*Compiled, error) {
 		c.Out = append(c.Out, int32(n.Class))
 		if c.OutDim > 0 {
 			if len(n.Value) != c.OutDim {
-				if walkErr == nil {
-					walkErr = fmt.Errorf("dtree: Compile: node value dim %d, tree declares %d", len(n.Value), c.OutDim)
-				}
-				c.Value = append(c.Value, make([]float64, c.OutDim)...)
+				return nil, fmt.Errorf("dtree: Compile: node value dim %d, tree declares %d", len(n.Value), c.OutDim)
+			}
+			c.Value = append(c.Value, n.Value...)
+		}
+		if fr.parent >= 0 {
+			if fr.right {
+				c.Right[fr.parent] = idx
 			} else {
-				c.Value = append(c.Value, n.Value...)
+				c.Left[fr.parent] = idx
 			}
 		}
 		if !n.IsLeaf() {
 			c.Feature[idx] = int32(n.Feature)
 			c.Threshold[idx] = n.Threshold
-			c.Left[idx] = add(n.Left)
-			c.Right[idx] = add(n.Right)
+			// Right below left on the stack, so the whole left subtree is
+			// laid out first — preorder.
+			stack = append(stack, frame{n: n.Right, parent: idx, right: true}, frame{n: n.Left, parent: idx})
 		}
-		return idx
-	}
-	add(t.Root)
-	if walkErr != nil {
-		return nil, walkErr
 	}
 	return c, nil
 }
@@ -262,23 +272,49 @@ func (c *Compiled) GenerateC(funcName string, scale float64) (string, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "/* Auto-generated by Metis: decision tree with %d nodes. */\n", c.NumNodes())
 	fmt.Fprintf(&b, "int %s(const long long *x /* features pre-scaled by %g */) {\n", funcName, scale)
-	var emit func(i int32, depth int)
-	emit = func(i int32, depth int) {
-		ind := strings.Repeat("    ", depth+1)
-		if c.Feature[i] < 0 {
-			fmt.Fprintf(&b, "%sreturn %d;\n", ind, c.Out[i])
-			return
-		}
-		fmt.Fprintf(&b, "%sif (x[%d] < %dLL) {\n", ind, c.Feature[i], int64(c.Threshold[i]*scale))
-		emit(c.Left[i], depth+1)
-		fmt.Fprintf(&b, "%s} else {\n", ind)
-		emit(c.Right[i], depth+1)
-		fmt.Fprintf(&b, "%s}\n", ind)
+	// Explicit-stack emission: each frame is either a node to render or a
+	// literal closer ("} else {" / "}") to splice between the subtrees. Like
+	// Compile, this keeps degenerate deep trees from overflowing the
+	// goroutine stack; indentation is additionally capped so a chain tree's
+	// output stays linear in its node count rather than quadratic.
+	type emitFrame struct {
+		i       int32
+		depth   int
+		literal string // emitted verbatim when non-empty; i is ignored
 	}
-	emit(0, 0)
+	indent := func(depth int) string {
+		return strings.Repeat("    ", min(depth, maxCIndentDepth)+1)
+	}
+	stack := []emitFrame{{i: 0}}
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if fr.literal != "" {
+			b.WriteString(fr.literal)
+			continue
+		}
+		ind := indent(fr.depth)
+		if c.Feature[fr.i] < 0 {
+			fmt.Fprintf(&b, "%sreturn %d;\n", ind, c.Out[fr.i])
+			continue
+		}
+		fmt.Fprintf(&b, "%sif (x[%d] < %dLL) {\n", ind, c.Feature[fr.i], int64(c.Threshold[fr.i]*scale))
+		stack = append(stack,
+			emitFrame{literal: ind + "}\n"},
+			emitFrame{i: c.Right[fr.i], depth: fr.depth + 1},
+			emitFrame{literal: ind + "} else {\n"},
+			emitFrame{i: c.Left[fr.i], depth: fr.depth + 1},
+		)
+	}
 	b.WriteString("}\n")
 	return b.String(), nil
 }
+
+// maxCIndentDepth caps GenerateC's indentation: nesting deeper than this
+// renders at a fixed indent, keeping the emitted source linear in the node
+// count for degenerate chain trees (unbounded indentation would make a
+// d-deep tree emit O(d²) whitespace).
+const maxCIndentDepth = 40
 
 // PredictScaled mirrors the integer-space evaluation performed by the
 // generated C code, for host-side verification of the offloaded model. Like

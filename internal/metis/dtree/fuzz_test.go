@@ -1,0 +1,74 @@
+package dtree
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalQuantized drives the quantized wire decoder with arbitrary
+// bytes: corrupted gob streams and structurally invalid trees (cycles,
+// out-of-range features, bin thresholds past the edge lists) must surface as
+// errors, never as panics — and any tree that decodes must evaluate without
+// panicking or looping, since Validate gates the receiver.
+func FuzzUnmarshalQuantized(f *testing.F) {
+	// Seed corpus: valid classification and regression trees, plus a
+	// truncation of each.
+	leafy := &Tree{
+		Root: &Node{
+			Feature: 0, Threshold: 0.5,
+			Left:  &Node{Feature: -1, Class: 0, ClassDist: []float64{1, 0}},
+			Right: &Node{Feature: -1, Class: 1, ClassDist: []float64{0, 1}},
+		},
+		NumFeatures: 2, NumClasses: 2,
+	}
+	c, err := leafy.Compile()
+	if err != nil {
+		f.Fatal(err)
+	}
+	q, err := c.Quantize()
+	if err != nil {
+		f.Fatal(err)
+	}
+	raw, err := q.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	f.Add(raw[:len(raw)/2])
+	reg := &Tree{
+		Root: &Node{
+			Feature: 1, Threshold: -3,
+			Left:  &Node{Feature: -1, Value: []float64{1, 2}},
+			Right: &Node{Feature: -1, Value: []float64{3, 4}},
+		},
+		NumFeatures: 3,
+	}
+	if rc, err := reg.Compile(); err == nil {
+		if rq, err := rc.Quantize(); err == nil {
+			if rraw, err := rq.MarshalBinary(); err == nil {
+				f.Add(rraw)
+			}
+		}
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var got Quantized
+		if err := got.UnmarshalBinary(data); err != nil {
+			return
+		}
+		// Whatever decoded passed Validate: evaluation must terminate for
+		// both prediction flavors on an all-zero input.
+		x := make([]float64, got.NumFeatures)
+		if got.IsRegression() {
+			got.PredictReg(x)
+		} else {
+			got.Predict(x)
+		}
+		// And it must re-encode.
+		if _, err := got.MarshalBinary(); err != nil {
+			t.Fatalf("decoded tree does not re-encode: %v", err)
+		}
+	})
+}

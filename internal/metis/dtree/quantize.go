@@ -1,0 +1,456 @@
+package dtree
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/parallel"
+)
+
+// Quantized is the bin-quantized serving form of a compiled tree. Where
+// Compiled keeps one float64 threshold per node, Quantized factors the
+// thresholds of each feature into a shared ascending edge list and stores a
+// per-node bin index instead: node i routes left when bin(x[Feature[i]]) <
+// BinThreshold[i], where bin(v) counts the edges ≤ v. Because every edge is
+// an exact threshold of the source tree, evaluation is bit-identical to the
+// compiled form — quantization changes the layout, never the decision
+// function.
+//
+// Nodes are laid out breadth-first in flat parallel arrays
+// (Feature/BinThreshold/Left/Right), so the top levels of the tree — the
+// ones every prediction visits — are packed into a few cache lines, and
+// batch traversal can walk the uint8/uint16 bin columns of a
+// dataset.Binned directly (PredictBinnedInto), level by level, with no
+// per-row pointer chasing. This is the representation that shares one
+// columnar layout between training (histogram CART fits on binned columns)
+// and serving, and the compact integer form a data-plane offload wants.
+type Quantized struct {
+	// Feature[i] is the feature tested at node i, or -1 for a leaf.
+	Feature []int32
+	// BinThreshold[i] is the quantized split: route left when
+	// bin(x[Feature[i]]) < BinThreshold[i]. Internal nodes always carry a
+	// value in [1, len(Edges[f])]; the real-valued threshold is
+	// Edges[f][BinThreshold[i]-1].
+	BinThreshold []uint16
+	// Left[i] and Right[i] are child node indices (breadth-first, so always
+	// greater than i).
+	Left, Right []int32
+	// Out[i] is the class decision at node i (classification only).
+	Out []int32
+	// Value holds the regression output of every node, flattened OutDim per
+	// node (regression trees only; nil for classification).
+	Value []float64
+	// OutDim is the regression output dimensionality (0 for classification).
+	OutDim int
+	// NumFeatures is the input dimensionality expected by Predict.
+	NumFeatures int
+	// NumClasses is the action count of a classification tree (0 for
+	// regression).
+	NumClasses int
+	// Edges[f] is feature f's ascending quantization edge list; bin(v) is
+	// the number of edges ≤ v, with NaN in the last bin. Features the tree
+	// never tests may have an empty list.
+	Edges [][]float64
+}
+
+// IsRegression reports whether the quantized tree predicts continuous values.
+func (q *Quantized) IsRegression() bool { return q.OutDim > 0 }
+
+// NumNodes returns the flattened node count.
+func (q *Quantized) NumNodes() int { return len(q.Feature) }
+
+// Quantize converts a compiled tree into its quantized form, deriving each
+// feature's edge list from the tree's own thresholds. The result predicts
+// bit-identically to c on every input (including NaN, which routes right at
+// every split in both forms).
+func (c *Compiled) Quantize() (*Quantized, error) { return QuantizeBinned(c, nil) }
+
+// QuantizeBinned is Quantize against an explicit quantization map: the
+// edge lists of binner (typically Binned.Binner() from the training table's
+// binning) become the quantized tree's edges, so the tree's bin indices are
+// directly comparable with the uint8/uint16 bin columns training packed —
+// one columnar layout for fitting and serving. Every threshold of the tree
+// must be an edge of the binner (always true for histogram-fit trees, whose
+// splits are drawn from the binning's edges); a missing threshold is an
+// error, because dropping or moving it would change predictions. A nil
+// binner derives minimal edge lists from the tree's thresholds alone.
+func QuantizeBinned(c *Compiled, binner *dataset.Binner) (*Quantized, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("dtree: quantize: %w", err)
+	}
+	if binner != nil && binner.NumFeatures() != c.NumFeatures {
+		return nil, fmt.Errorf("dtree: quantize: binner has %d features, tree declares %d", binner.NumFeatures(), c.NumFeatures)
+	}
+	n := len(c.Feature)
+
+	// Edge lists: the binner's verbatim, or the sorted distinct thresholds
+	// per feature.
+	edges := make([][]float64, c.NumFeatures)
+	if binner != nil {
+		for f := range edges {
+			edges[f] = binner.Edges(f)
+		}
+	} else {
+		perFeature := make([][]float64, c.NumFeatures)
+		for i := 0; i < n; i++ {
+			if f := c.Feature[i]; f >= 0 {
+				perFeature[f] = append(perFeature[f], c.Threshold[i])
+			}
+		}
+		for f, ts := range perFeature {
+			if len(ts) == 0 {
+				continue
+			}
+			sort.Float64s(ts)
+			dedup := ts[:1]
+			for _, t := range ts[1:] {
+				if t != dedup[len(dedup)-1] {
+					dedup = append(dedup, t)
+				}
+			}
+			edges[f] = dedup
+		}
+	}
+
+	// Breadth-first relayout: order[qi] is the compiled (preorder) index of
+	// the qi-th quantized node, pos its inverse.
+	order := make([]int32, 1, n)
+	pos := make([]int32, n)
+	for qi := 0; qi < len(order); qi++ {
+		old := order[qi]
+		pos[old] = int32(qi)
+		if c.Feature[old] >= 0 {
+			if len(order)+2 > n {
+				// A node reachable through two parents (a DAG smuggled into
+				// the array form) would blow the walk past n entries.
+				return nil, fmt.Errorf("dtree: quantize: node graph is not a tree")
+			}
+			order = append(order, c.Left[old], c.Right[old])
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("dtree: quantize: %d of %d nodes unreachable from the root", n-len(order), n)
+	}
+
+	q := &Quantized{
+		Feature:      make([]int32, n),
+		BinThreshold: make([]uint16, n),
+		Left:         make([]int32, n),
+		Right:        make([]int32, n),
+		Out:          make([]int32, n),
+		OutDim:       c.OutDim,
+		NumFeatures:  c.NumFeatures,
+		NumClasses:   c.NumClasses,
+		Edges:        edges,
+	}
+	if c.OutDim > 0 {
+		q.Value = make([]float64, n*c.OutDim)
+	}
+	for qi, old := range order {
+		q.Out[qi] = c.Out[old]
+		if c.OutDim > 0 {
+			copy(q.Value[qi*c.OutDim:(qi+1)*c.OutDim], c.Value[int(old)*c.OutDim:(int(old)+1)*c.OutDim])
+		}
+		f := c.Feature[old]
+		if f < 0 {
+			q.Feature[qi] = -1
+			continue
+		}
+		t := c.Threshold[old]
+		if math.IsNaN(t) {
+			return nil, fmt.Errorf("dtree: quantize: node %d has NaN threshold", old)
+		}
+		e := edges[f]
+		k := sort.SearchFloat64s(e, t)
+		if k >= len(e) || e[k] != t {
+			return nil, fmt.Errorf("dtree: quantize: threshold %g of feature %d is not an edge of the binning", t, f)
+		}
+		if k+1 > math.MaxUint16 {
+			return nil, fmt.Errorf("dtree: quantize: feature %d needs bin index %d, max is %d", f, k+1, math.MaxUint16)
+		}
+		q.Feature[qi] = f
+		q.BinThreshold[qi] = uint16(k + 1)
+		q.Left[qi] = pos[c.Left[old]]
+		q.Right[qi] = pos[c.Right[old]]
+	}
+	return q, nil
+}
+
+// leaf returns the index of the leaf reached by x. The comparison is against
+// the exact real-valued edge behind the node's bin threshold, so the routing
+// decision is bit-identical to the compiled form's "x < threshold" — NaN
+// fails the comparison and routes right, as everywhere else.
+func (q *Quantized) leaf(x []float64) int32 {
+	i := int32(0)
+	for {
+		f := q.Feature[i]
+		if f < 0 {
+			return i
+		}
+		if x[f] < q.Edges[f][q.BinThreshold[i]-1] {
+			i = q.Left[i]
+		} else {
+			i = q.Right[i]
+		}
+	}
+}
+
+// Predict evaluates the quantized tree (classification; regression trees
+// must use PredictReg). It performs no allocation and is safe for concurrent
+// use.
+func (q *Quantized) Predict(x []float64) int { return int(q.Out[q.leaf(x)]) }
+
+// PredictReg evaluates a quantized regression tree. The returned slice
+// aliases the tree's immutable value array; callers must not modify it.
+func (q *Quantized) PredictReg(x []float64) []float64 {
+	i := int(q.leaf(x))
+	return q.Value[i*q.OutDim : (i+1)*q.OutDim : (i+1)*q.OutDim]
+}
+
+// PredictBatchInto evaluates the quantized tree over a batch, writing the
+// decision for X[i] into out[i]. The hot loop allocates nothing — out is
+// caller-owned, so a serving loop reuses one buffer across requests. out
+// must have len(X) entries.
+func (q *Quantized) PredictBatchInto(X [][]float64, out []int, workers int) {
+	if len(out) != len(X) {
+		panic(fmt.Sprintf("dtree: PredictBatchInto: %d outputs for %d inputs", len(out), len(X)))
+	}
+	// Serial runs skip the pool entirely: no closure escapes, no goroutine
+	// bookkeeping — the loop below is allocation-free.
+	if parallel.Workers(workers) == 1 || len(X) <= batchChunk {
+		for i := range X {
+			out[i] = int(q.Out[q.leaf(X[i])])
+		}
+		return
+	}
+	forEachChunk(workers, len(X), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = int(q.Out[q.leaf(X[i])])
+		}
+	})
+}
+
+// PredictBatch evaluates the quantized tree over a batch of inputs, fanning
+// the work out over at most workers goroutines (0 = GOMAXPROCS, 1 = serial).
+// Output slot i holds the decision for X[i] regardless of worker count.
+func (q *Quantized) PredictBatch(X [][]float64, workers int) []int {
+	out := make([]int, len(X))
+	q.PredictBatchInto(X, out, workers)
+	return out
+}
+
+// PredictRegBatchInto evaluates a quantized regression tree over a batch
+// into caller-owned storage. The written rows alias the tree's value array;
+// callers must not modify them. out must have len(X) entries.
+func (q *Quantized) PredictRegBatchInto(X [][]float64, out [][]float64, workers int) {
+	if len(out) != len(X) {
+		panic(fmt.Sprintf("dtree: PredictRegBatchInto: %d outputs for %d inputs", len(out), len(X)))
+	}
+	if parallel.Workers(workers) == 1 || len(X) <= batchChunk {
+		for i := range X {
+			out[i] = q.PredictReg(X[i])
+		}
+		return
+	}
+	forEachChunk(workers, len(X), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = q.PredictReg(X[i])
+		}
+	})
+}
+
+// PredictRegBatch evaluates a quantized regression tree over a batch. The
+// returned rows alias the tree's value array; callers must not modify them.
+func (q *Quantized) PredictRegBatch(X [][]float64, workers int) [][]float64 {
+	out := make([][]float64, len(X))
+	q.PredictRegBatchInto(X, out, workers)
+	return out
+}
+
+// cursorPool recycles the per-chunk row cursors of PredictBinnedInto, so
+// steady-state binned traversal allocates nothing.
+var cursorPool = sync.Pool{New: func() any {
+	s := make([]int32, batchChunk)
+	return &s
+}}
+
+// PredictBinnedInto evaluates the quantized classification tree directly on
+// the packed bin columns of b — no float comparison, no row gather: sample
+// r's decision is computed entirely from uint8/uint16 loads and integer
+// compares. b must have been binned with the same quantization map the tree
+// was quantized against (QuantizeBinned over b.Binner(), or a histogram fit
+// on b), which the per-feature bin counts cross-check.
+//
+// Traversal is blocked: each chunk of rows descends the breadth-first node
+// levels in lockstep, so one level's node data is hot in cache while every
+// row of the chunk steps through it.
+func (q *Quantized) PredictBinnedInto(b *dataset.Binned, out []int, workers int) error {
+	if q.IsRegression() {
+		return fmt.Errorf("dtree: PredictBinnedInto supports classification trees only")
+	}
+	t := b.Table()
+	if t.NumFeatures() != q.NumFeatures {
+		return fmt.Errorf("dtree: binned table has %d features, tree declares %d", t.NumFeatures(), q.NumFeatures)
+	}
+	for f := 0; f < q.NumFeatures; f++ {
+		if want := len(q.Edges[f]) + 1; len(q.Edges[f]) > 0 && b.NumBins(f) != want {
+			return fmt.Errorf("dtree: feature %d is binned into %d bins, tree quantized against %d — rebin with the tree's binner", f, b.NumBins(f), want)
+		}
+	}
+	if len(out) != t.Len() {
+		return fmt.Errorf("dtree: PredictBinnedInto: %d outputs for %d samples", len(out), t.Len())
+	}
+	forEachChunk(workers, t.Len(), func(lo, hi int) {
+		cp := cursorPool.Get().(*[]int32)
+		cur := *cp
+		if cap(cur) < hi-lo {
+			cur = make([]int32, hi-lo)
+		}
+		cur = cur[:hi-lo]
+		for r := range cur {
+			cur[r] = 0
+		}
+		// Lockstep descent: every pass advances each unfinished row one
+		// level; the pass order matches the breadth-first array order, so
+		// the node data of a level is read once per chunk, not once per row.
+		for stepped := true; stepped; {
+			stepped = false
+			for r := range cur {
+				i := cur[r]
+				f := q.Feature[i]
+				if f < 0 {
+					continue
+				}
+				var bin uint16
+				if col := b.Bins8(int(f)); col != nil {
+					bin = uint16(col[lo+r])
+				} else {
+					bin = b.Bins16(int(f))[lo+r]
+				}
+				if bin < q.BinThreshold[i] {
+					cur[r] = q.Left[i]
+				} else {
+					cur[r] = q.Right[i]
+				}
+				stepped = true
+			}
+		}
+		for r, i := range cur {
+			out[lo+r] = int(q.Out[i])
+		}
+		*cp = cur
+		cursorPool.Put(cp)
+	})
+	return nil
+}
+
+// Validate checks the structural invariants evaluation relies on: parallel
+// arrays of equal length, ascending NaN-free edge lists, feature and child
+// indices in range, bin thresholds pointing at a real edge, and children at
+// strictly higher indices than their parent (the breadth-first layout, which
+// guarantees every walk terminates). Deserialized quantized trees must be
+// validated before serving — a checksum protects bytes, not invariants.
+func (q *Quantized) Validate() error {
+	n := len(q.Feature)
+	if n == 0 {
+		return fmt.Errorf("dtree: quantized tree has no nodes")
+	}
+	if len(q.BinThreshold) != n || len(q.Left) != n || len(q.Right) != n || len(q.Out) != n {
+		return fmt.Errorf("dtree: quantized tree arrays disagree: feature=%d binthreshold=%d left=%d right=%d out=%d",
+			n, len(q.BinThreshold), len(q.Left), len(q.Right), len(q.Out))
+	}
+	if q.OutDim < 0 || q.NumFeatures < 0 {
+		return fmt.Errorf("dtree: negative OutDim or NumFeatures")
+	}
+	if q.OutDim > 0 && len(q.Value) != n*q.OutDim {
+		return fmt.Errorf("dtree: value array has %d entries, want %d nodes × %d outputs", len(q.Value), n, q.OutDim)
+	}
+	if len(q.Edges) != q.NumFeatures {
+		return fmt.Errorf("dtree: %d edge lists for %d features", len(q.Edges), q.NumFeatures)
+	}
+	for f, e := range q.Edges {
+		for i, v := range e {
+			if math.IsNaN(v) {
+				return fmt.Errorf("dtree: feature %d has a NaN edge", f)
+			}
+			if i > 0 && e[i-1] >= v {
+				return fmt.Errorf("dtree: feature %d edges are not strictly ascending at %d", f, i)
+			}
+		}
+	}
+	if q.OutDim == 0 && q.NumClasses > 0 {
+		for i, out := range q.Out {
+			if out < 0 || int(out) >= q.NumClasses {
+				return fmt.Errorf("dtree: node %d decides class %d, tree declares %d classes", i, out, q.NumClasses)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		f := q.Feature[i]
+		if f < 0 {
+			continue // leaf
+		}
+		if int(f) >= q.NumFeatures {
+			return fmt.Errorf("dtree: node %d tests feature %d, tree declares %d features", i, f, q.NumFeatures)
+		}
+		if bt := q.BinThreshold[i]; bt < 1 || int(bt) > len(q.Edges[f]) {
+			return fmt.Errorf("dtree: node %d has bin threshold %d, feature %d has %d edges", i, bt, f, len(q.Edges[f]))
+		}
+		l, r := q.Left[i], q.Right[i]
+		if l <= int32(i) || int(l) >= n || r <= int32(i) || int(r) >= n {
+			return fmt.Errorf("dtree: node %d has out-of-order children %d/%d (want in (%d, %d))", i, l, r, i, n)
+		}
+	}
+	return nil
+}
+
+// quantizedWire is the gob wire format (a distinct type keeps gob from
+// re-entering MarshalBinary through its BinaryMarshaler support).
+type quantizedWire struct {
+	Feature      []int32
+	BinThreshold []uint16
+	Left, Right  []int32
+	Out          []int32
+	Value        []float64
+	OutDim       int
+	NumFeatures  int
+	NumClasses   int
+	Edges        [][]float64
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler via gob.
+func (q *Quantized) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	w := quantizedWire(*q)
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("dtree: encode quantized tree: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. The decoded tree is
+// validated before the receiver is touched, so no deserialization path can
+// yield a quantized tree whose evaluation would panic or loop.
+func (q *Quantized) UnmarshalBinary(data []byte) error {
+	var w quantizedWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("dtree: decode quantized tree: %w", err)
+	}
+	loaded := Quantized(w)
+	// gob collapses empty slices to nil; restore the edges-per-feature
+	// invariant for trees that never split (a single-leaf tree has
+	// NumFeatures edge lists, all empty).
+	if loaded.Edges == nil && loaded.NumFeatures > 0 {
+		loaded.Edges = make([][]float64, loaded.NumFeatures)
+	}
+	if err := loaded.Validate(); err != nil {
+		return fmt.Errorf("dtree: decode quantized tree: %w", err)
+	}
+	*q = loaded
+	return nil
+}

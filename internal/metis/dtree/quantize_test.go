@@ -1,0 +1,364 @@
+package dtree
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// quantizedFixture compiles and quantizes the shared classification fixture.
+func quantizedFixture(t testing.TB) (*Compiled, *Quantized) {
+	t.Helper()
+	_, c := compiledFixture(t)
+	q, err := c.Quantize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c, q
+}
+
+// adversarialInputs builds probe rows exercising every routing edge case:
+// values exactly on thresholds, one ulp around them, infinities, and NaN in
+// every position.
+func adversarialInputs(c *Compiled, features int) [][]float64 {
+	var rows [][]float64
+	add := func(v float64) {
+		for f := 0; f < features; f++ {
+			x := make([]float64, features)
+			for k := range x {
+				x[k] = 0.5
+			}
+			x[f] = v
+			rows = append(rows, x)
+		}
+	}
+	for i, f := range c.Feature {
+		if f < 0 {
+			continue
+		}
+		th := c.Threshold[i]
+		add(th)
+		add(math.Nextafter(th, math.Inf(-1)))
+		add(math.Nextafter(th, math.Inf(1)))
+	}
+	add(math.NaN())
+	add(math.Inf(1))
+	add(math.Inf(-1))
+	all := make([]float64, features)
+	for k := range all {
+		all[k] = math.NaN()
+	}
+	rows = append(rows, all)
+	return rows
+}
+
+func TestQuantizedMatchesCompiled(t *testing.T) {
+	c, q := quantizedFixture(t)
+	rng := rand.New(rand.NewSource(41))
+	X := adversarialInputs(c, c.NumFeatures)
+	for i := 0; i < 2000; i++ {
+		X = append(X, []float64{rng.Float64() * 2, rng.Float64() * 2})
+	}
+	for _, x := range X {
+		if got, want := q.Predict(x), c.Predict(x); got != want {
+			t.Fatalf("Predict(%v) = %d, compiled says %d", x, got, want)
+		}
+	}
+}
+
+func TestQuantizedBatchWorkerInvariant(t *testing.T) {
+	c, q := quantizedFixture(t)
+	rng := rand.New(rand.NewSource(43))
+	X := adversarialInputs(c, c.NumFeatures)
+	for i := 0; i < 3000; i++ {
+		X = append(X, []float64{rng.Float64() * 2, rng.Float64() * 2})
+	}
+	want := c.PredictBatch(X, 1)
+	for _, workers := range []int{1, 2, 3, 7, 0} {
+		got := q.PredictBatch(X, workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: row %d = %d, compiled says %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestQuantizedRegressionMatchesCompiled(t *testing.T) {
+	_, c := regressionFixture(t)
+	q, err := c.Quantize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(47))
+	X := adversarialInputs(c, c.NumFeatures)
+	for i := 0; i < 1000; i++ {
+		X = append(X, []float64{rng.Float64(), rng.Float64(), rng.Float64()})
+	}
+	want := c.PredictRegBatch(X, 1)
+	got := q.PredictRegBatch(X, 3)
+	for i := range want {
+		for k := range want[i] {
+			if got[i][k] != want[i][k] {
+				t.Fatalf("row %d: %v, compiled says %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPredictBatchIntoIsZeroAlloc(t *testing.T) {
+	_, q := quantizedFixture(t)
+	X := make([][]float64, 256)
+	rng := rand.New(rand.NewSource(53))
+	for i := range X {
+		X[i] = []float64{rng.Float64() * 2, rng.Float64() * 2}
+	}
+	out := make([]int, len(X))
+	allocs := testing.AllocsPerRun(50, func() {
+		q.PredictBatchInto(X, out, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("PredictBatchInto allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestQuantizeBinnedHistogramFit checks the shared-layout contract: a
+// histogram-fit tree quantized against the training table's own binner
+// predicts bit-identically to its compiled form, and the binned-column
+// traversal reproduces the same decisions without touching a float.
+func TestQuantizeBinnedHistogramFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	tbl := dataset.New(3)
+	for i := 0; i < 800; i++ {
+		x := []float64{rng.NormFloat64(), rng.Float64() * 10, float64(rng.Intn(4))}
+		label := 0
+		if x[0]+x[1]/5 > 1 {
+			label = 1
+		}
+		tbl.AppendRow(x, label, 1)
+	}
+	tree, err := BuildTable(tbl, BuildOptions{MaxLeaves: 30, Histogram: true, MaxBins: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tree.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := tbl.Bin(64, 1)
+	q, err := QuantizeBinned(c, b.Binner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	rows := tbl.Rows()
+	want := c.PredictBatch(rows, 1)
+	if got := q.PredictBatch(rows, 1); !equalInts(got, want) {
+		t.Fatal("quantized float path disagrees with compiled on the training corpus")
+	}
+	binned := make([]int, tbl.Len())
+	for _, workers := range []int{1, 3, 0} {
+		if err := q.PredictBinnedInto(b, binned, workers); err != nil {
+			t.Fatal(err)
+		}
+		if !equalInts(binned, want) {
+			t.Fatalf("binned traversal (workers=%d) disagrees with compiled", workers)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuantizeBinnedRejectsForeignThreshold pins the exactness guard: a tree
+// whose threshold is not an edge of the supplied binner must be rejected, not
+// silently snapped to a nearby bin.
+func TestQuantizeBinnedRejectsForeignThreshold(t *testing.T) {
+	c := &Compiled{
+		Feature:     []int32{0, -1, -1},
+		Threshold:   []float64{0.35, 0, 0},
+		Left:        []int32{1, -1, -1},
+		Right:       []int32{2, -1, -1},
+		Out:         []int32{0, 0, 1},
+		NumFeatures: 1,
+		NumClasses:  2,
+	}
+	binner := dataset.NewBinner([][]float64{{0.25, 0.5}})
+	if _, err := QuantizeBinned(c, binner); err == nil {
+		t.Fatal("quantizing a threshold absent from the binning should fail")
+	}
+	if _, err := QuantizeBinned(c, dataset.NewBinner([][]float64{{0.25, 0.35, 0.5}})); err != nil {
+		t.Fatalf("threshold present in the binning should quantize: %v", err)
+	}
+}
+
+func TestQuantizedRoundTrip(t *testing.T) {
+	_, q := quantizedFixture(t)
+	raw, err := q.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Quantized
+	if err := back.UnmarshalBinary(raw); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(67))
+	for i := 0; i < 500; i++ {
+		x := []float64{rng.Float64() * 2, rng.Float64() * 2}
+		if back.Predict(x) != q.Predict(x) {
+			t.Fatalf("round-tripped tree disagrees on %v", x)
+		}
+	}
+}
+
+func TestQuantizedValidateRejectsCorruption(t *testing.T) {
+	corrupt := []struct {
+		name string
+		mut  func(q *Quantized)
+	}{
+		{"no nodes", func(q *Quantized) { q.Feature = nil; q.BinThreshold = nil; q.Left = nil; q.Right = nil; q.Out = nil }},
+		{"array mismatch", func(q *Quantized) { q.Left = q.Left[:1] }},
+		{"feature out of range", func(q *Quantized) { q.Feature[0] = int32(q.NumFeatures) }},
+		{"bin threshold zero", func(q *Quantized) {
+			for i, f := range q.Feature {
+				if f >= 0 {
+					q.BinThreshold[i] = 0
+					break
+				}
+			}
+		}},
+		{"bin threshold past edges", func(q *Quantized) {
+			for i, f := range q.Feature {
+				if f >= 0 {
+					q.BinThreshold[i] = uint16(len(q.Edges[f]) + 1)
+					break
+				}
+			}
+		}},
+		{"child cycle", func(q *Quantized) {
+			for i, f := range q.Feature {
+				if f >= 0 {
+					q.Left[i] = int32(i)
+					break
+				}
+			}
+		}},
+		{"NaN edge", func(q *Quantized) { q.Edges[0][0] = math.NaN() }},
+		{"unsorted edges", func(q *Quantized) {
+			for f := range q.Edges {
+				if len(q.Edges[f]) >= 2 {
+					q.Edges[f][0], q.Edges[f][1] = q.Edges[f][1], q.Edges[f][0]
+					return
+				}
+			}
+			panic("fixture has no feature with 2+ edges")
+		}},
+		{"class out of range", func(q *Quantized) { q.Out[len(q.Out)-1] = int32(q.NumClasses) }},
+	}
+	for _, tc := range corrupt {
+		t.Run(tc.name, func(t *testing.T) {
+			_, q := quantizedFixture(t)
+			tc.mut(q)
+			if err := q.Validate(); err == nil {
+				t.Fatal("corruption passed Validate")
+			}
+		})
+	}
+}
+
+// chainTree builds a degenerate left-leaning chain of the given depth: every
+// internal node tests feature 0 against a descending threshold and sends the
+// walk left.
+func chainTree(depth int) *Tree {
+	leaf := &Node{Feature: -1, Class: 1, ClassDist: []float64{0, 1}}
+	root := leaf
+	for d := 0; d < depth; d++ {
+		root = &Node{
+			Feature: 0,
+			// Cycle through 1000 distinct thresholds: deep, but within the
+			// uint16 bin budget a quantized feature can hold.
+			Threshold: float64(d % 1000),
+			Left:      root,
+			Right:     &Node{Feature: -1, Class: 0, ClassDist: []float64{1, 0}},
+		}
+	}
+	return &Tree{Root: root, NumFeatures: 1, NumClasses: 2}
+}
+
+// TestDeepTreeCompile is the recursion regression test: Compile, GenerateC,
+// and Quantize on a chain tree hundreds of thousands of levels deep must run
+// in constant goroutine-stack space (the old recursive walks overflowed on
+// such trees long before the arrays got large).
+func TestDeepTreeCompile(t *testing.T) {
+	const depth = 300_000
+	tree := chainTree(depth)
+	c, err := tree.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumNodes() != 2*depth+1 {
+		t.Fatalf("compiled %d nodes, want %d", c.NumNodes(), 2*depth+1)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The chain sends x = -1 left at every level, down to the depth-most leaf.
+	if got := c.Predict([]float64{-1}); got != 1 {
+		t.Fatalf("deep chain predicted %d, want 1", got)
+	}
+	q, err := c.Quantize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Predict([]float64{-1}); got != 1 {
+		t.Fatalf("deep quantized chain predicted %d, want 1", got)
+	}
+	src, err := c.GenerateC("deep", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(src, "if ("); got != depth {
+		t.Fatalf("emitted %d branches, want %d", got, depth)
+	}
+}
+
+// TestGenerateCDeepIndentCapped pins the linear-output property: the emitted
+// source for a deep chain must not grow quadratically through indentation.
+func TestGenerateCDeepIndentCapped(t *testing.T) {
+	tree := chainTree(5_000)
+	c, err := tree.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := c.GenerateC("deep", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLine := 0
+	for _, line := range strings.Split(src, "\n") {
+		if len(line) > maxLine {
+			maxLine = len(line)
+		}
+	}
+	if maxLine > 4*(maxCIndentDepth+1)+64 {
+		t.Fatalf("longest emitted line is %d bytes; indentation is not capped", maxLine)
+	}
+}

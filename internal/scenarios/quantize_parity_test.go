@@ -1,0 +1,108 @@
+package scenarios
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/metis/dtree"
+	"repro/internal/scenario"
+)
+
+// TestQuantizedParityAcrossScenarios is the serving-form property test: for
+// every registered scenario whose student is a tree, the quantized serving
+// form must predict bit-identically to the compiled form — on random inputs,
+// on every threshold of the tree (and one ulp to either side), and on NaN
+// and infinite inputs. This is the contract that lets the daemon swap
+// representations per artifact without any scenario noticing.
+func TestQuantizedParityAcrossScenarios(t *testing.T) {
+	for _, name := range scenario.Names() {
+		t.Run(name, func(t *testing.T) {
+			sc, _ := scenario.Get(name)
+			cfg := scenario.Config{Scale: scenario.ScaleTiny, Workers: 0}
+			teacher, err := sc.Train(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			student, err := sc.Distill(cfg, teacher)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if student.Kind() != "tree" {
+				t.Skipf("%s distills a %q student; quantization applies to trees", name, student.Kind())
+			}
+			tree, ok := student.Model().(*dtree.Tree)
+			if !ok {
+				t.Fatalf("tree student carries a %T model", student.Model())
+			}
+			c, err := tree.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			q, err := c.Quantize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := q.Validate(); err != nil {
+				t.Fatal(err)
+			}
+
+			X := parityInputs(c)
+			want := c.PredictBatch(X, 1)
+			for _, workers := range []int{1, 3, 0} {
+				got := q.PredictBatch(X, workers)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("workers=%d row %d (%v): quantized %d, compiled %d",
+							workers, i, X[i], got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// parityInputs builds the probe batch: rows pinned to each threshold (exact,
+// ±1 ulp), NaN and ±Inf in every feature position, and a few hundred random
+// rows spanning the thresholds' range.
+func parityInputs(c *dtree.Compiled) [][]float64 {
+	nf := c.NumFeatures
+	lo, hi := math.Inf(1), math.Inf(-1)
+	var X [][]float64
+	probe := func(f int, v float64) {
+		x := make([]float64, nf)
+		for k := range x {
+			x[k] = 0.5
+		}
+		x[f] = v
+		X = append(X, x)
+	}
+	for i, f := range c.Feature {
+		if f < 0 {
+			continue
+		}
+		th := c.Threshold[i]
+		lo, hi = math.Min(lo, th), math.Max(hi, th)
+		probe(int(f), th)
+		probe(int(f), math.Nextafter(th, math.Inf(-1)))
+		probe(int(f), math.Nextafter(th, math.Inf(1)))
+	}
+	for f := 0; f < nf; f++ {
+		probe(f, math.NaN())
+		probe(f, math.Inf(1))
+		probe(f, math.Inf(-1))
+	}
+	if math.IsInf(lo, 1) { // single-leaf tree: no thresholds
+		lo, hi = 0, 1
+	}
+	span := hi - lo
+	rng := rand.New(rand.NewSource(71))
+	for i := 0; i < 400; i++ {
+		x := make([]float64, nf)
+		for k := range x {
+			x[k] = lo - 0.1*span + rng.Float64()*1.2*(span+1)
+		}
+		X = append(X, x)
+	}
+	return X
+}

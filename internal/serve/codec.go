@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"sync"
 )
 
 // Content types negotiated by the HTTP layer.
@@ -128,41 +129,126 @@ func DecodeBatchRequest(r io.Reader, maxRows int) (model string, rows [][]float6
 	return string(nameBuf), rows, nil
 }
 
-// EncodeBatchResponse writes a prediction in the binary batch format.
-func EncodeBatchResponse(w io.Writer, p *Prediction) error {
-	var buf []byte
+// batchScratch is the reusable per-call state of one binary predict: the
+// request read buffers, the decoded matrix, the prediction outputs, and the
+// response encode buffer. Serving loops borrow one from batchScratchPool so
+// the steady-state binary path allocates only when a batch outgrows every
+// buffer seen before.
+type batchScratch struct {
+	nameBuf []byte
+	payload []byte
+	flat    []float64
+	rows    [][]float64
+	pred    Prediction
+	resp    []byte
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// growBytes resizes b to n bytes, reusing its backing array when it fits.
+func growBytes(b []byte, n int) []byte {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]byte, n)
+}
+
+// decodeRequest is DecodeBatchRequest reading into the scratch's buffers.
+// The returned rows alias s.flat and are valid until the next decodeRequest
+// on s.
+func (s *batchScratch) decodeRequest(r io.Reader, maxRows int) (model string, rows [][]float64, err error) {
+	var head [14]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return "", nil, fmt.Errorf("%w: short header: %v", ErrBadBatchEncoding, err)
+	}
+	if string(head[:4]) != batchMagic {
+		return "", nil, fmt.Errorf("%w: bad magic %q", ErrBadBatchEncoding, head[:4])
+	}
+	nameLen := int(binary.LittleEndian.Uint16(head[4:6]))
+	rows64 := int64(binary.LittleEndian.Uint32(head[6:10]))
+	features64 := int64(binary.LittleEndian.Uint32(head[10:14]))
+	if rows64 > int64(maxRows) {
+		return "", nil, &BatchSizeError{Rows: int(min(rows64, 1<<31-1)), Max: maxRows}
+	}
+	if features64 > maxBinaryFeatures {
+		return "", nil, fmt.Errorf("%w: %d features per row exceeds the %d limit", ErrBadBatchEncoding, features64, maxBinaryFeatures)
+	}
+	if rows64*features64 > maxBinaryElems {
+		return "", nil, fmt.Errorf("%w: %d×%d matrix exceeds the %d-element limit", ErrBadBatchEncoding, rows64, features64, maxBinaryElems)
+	}
+	nRows, features := int(rows64), int(features64)
+	s.nameBuf = growBytes(s.nameBuf, nameLen)
+	if _, err := io.ReadFull(r, s.nameBuf); err != nil {
+		return "", nil, fmt.Errorf("%w: short model name: %v", ErrBadBatchEncoding, err)
+	}
+	s.payload = growBytes(s.payload, nRows*features*8)
+	if _, err := io.ReadFull(r, s.payload); err != nil {
+		return "", nil, fmt.Errorf("%w: short payload: %v", ErrBadBatchEncoding, err)
+	}
+	if cap(s.flat) >= nRows*features {
+		s.flat = s.flat[:nRows*features]
+	} else {
+		s.flat = make([]float64, nRows*features)
+	}
+	for i := range s.flat {
+		s.flat[i] = math.Float64frombits(binary.LittleEndian.Uint64(s.payload[i*8:]))
+	}
+	if cap(s.rows) >= nRows {
+		s.rows = s.rows[:nRows]
+	} else {
+		s.rows = make([][]float64, nRows)
+	}
+	for i := range s.rows {
+		s.rows[i] = s.flat[i*features : (i+1)*features : (i+1)*features]
+	}
+	return string(s.nameBuf), s.rows, nil
+}
+
+// appendBatchResponse encodes a prediction in the binary batch format into
+// dst (overwriting it from the start, growing only when needed) and returns
+// the encoded slice.
+func appendBatchResponse(dst []byte, p *Prediction) ([]byte, error) {
 	if p.Values != nil {
 		dim := 0
 		if len(p.Values) > 0 {
 			dim = len(p.Values[0])
 		}
-		buf = make([]byte, 13+len(p.Values)*dim*8)
-		buf[4] = batchKindValues
-		binary.LittleEndian.PutUint32(buf[5:9], uint32(len(p.Values)))
-		binary.LittleEndian.PutUint32(buf[9:13], uint32(dim))
+		dst = growBytes(dst, 13+len(p.Values)*dim*8)
+		dst[4] = batchKindValues
+		binary.LittleEndian.PutUint32(dst[5:9], uint32(len(p.Values)))
+		binary.LittleEndian.PutUint32(dst[9:13], uint32(dim))
 		off := 13
 		for i, row := range p.Values {
 			if len(row) != dim {
-				return fmt.Errorf("%w: value row %d has dim %d, row 0 has %d", ErrBadBatchEncoding, i, len(row), dim)
+				return nil, fmt.Errorf("%w: value row %d has dim %d, row 0 has %d", ErrBadBatchEncoding, i, len(row), dim)
 			}
 			for _, v := range row {
-				binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+				binary.LittleEndian.PutUint64(dst[off:], math.Float64bits(v))
 				off += 8
 			}
 		}
 	} else {
-		buf = make([]byte, 13+len(p.Actions)*4)
-		buf[4] = batchKindActions
-		binary.LittleEndian.PutUint32(buf[5:9], uint32(len(p.Actions)))
-		binary.LittleEndian.PutUint32(buf[9:13], 1)
+		dst = growBytes(dst, 13+len(p.Actions)*4)
+		dst[4] = batchKindActions
+		binary.LittleEndian.PutUint32(dst[5:9], uint32(len(p.Actions)))
+		binary.LittleEndian.PutUint32(dst[9:13], 1)
 		off := 13
 		for _, a := range p.Actions {
-			binary.LittleEndian.PutUint32(buf[off:], uint32(int32(a)))
+			binary.LittleEndian.PutUint32(dst[off:], uint32(int32(a)))
 			off += 4
 		}
 	}
-	copy(buf, batchMagic)
-	_, err := w.Write(buf)
+	copy(dst, batchMagic)
+	return dst, nil
+}
+
+// EncodeBatchResponse writes a prediction in the binary batch format.
+func EncodeBatchResponse(w io.Writer, p *Prediction) error {
+	buf, err := appendBatchResponse(nil, p)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
 	return err
 }
 

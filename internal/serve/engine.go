@@ -7,17 +7,21 @@
 //     HTTP.
 //   - codec.go: the wire codecs — JSON helpers and the binary row-major
 //     float64 batch format (application/x-metis-batch) for high-throughput
-//     clients.
+//     clients, with a pooled scratch path for allocation-free serving loops.
 //   - http.go: the HTTP layer — the v2 route surface, the v1 shim, and the
 //     Prometheus /metrics rendering.
+//   - uds.go: the framed unix-domain-socket transport — the same binary
+//     batch payloads without the HTTP machinery, for co-located clients
+//     that need the full in-process rate.
 //
-// Serving rides the compiled-tree representation (dtree.Compiled)
-// exclusively — evaluation walks immutable flat arrays, so the hot path
-// takes no locks and any number of request goroutines predict concurrently;
-// the only shared writes are atomic stat counters, and a hot reload swaps
-// the whole registry through one atomic pointer store. This is the §6.4
-// deployment story of the paper as a daemon: the distilled controller is
-// small and cheap enough to answer per-decision queries at data-plane rates.
+// Serving rides the flat-array tree representations (dtree.Compiled, and
+// dtree.Quantized when the artifact carries one) — evaluation walks
+// immutable arrays, so the hot path takes no locks and any number of
+// request goroutines predict concurrently; the only shared writes are
+// atomic stat counters, and a hot reload swaps the whole registry through
+// one atomic pointer store. This is the §6.4 deployment story of the paper
+// as a daemon: the distilled controller is small and cheap enough to answer
+// per-decision queries at data-plane rates.
 package serve
 
 import (
@@ -79,20 +83,69 @@ func (e *DimensionError) Error() string {
 	return fmt.Sprintf("serve: input %d has %d features, model %q wants %d", e.Row, e.Got, e.Model, e.Want)
 }
 
-// Model is one servable entry in the registry: a compiled tree plus the
-// artifact metadata it was loaded with.
+// Model is one servable entry in the registry: a tree in one of the two
+// serving representations plus the artifact metadata it was loaded with.
 type Model struct {
 	Name string
 	// Kind is the artifact kind the model was loaded from (a raw dtree/tree
 	// is compiled at load time).
 	Kind string
 	Meta map[string]string
-	// Compiled is the serving representation (NumClasses/OutDim/NumFeatures
-	// describe the model's shape).
+	// Compiled is the pointer-chasing float-threshold representation; set
+	// for dtree/tree and dtree/compiled artifacts.
 	Compiled *dtree.Compiled
+	// Quantized is the flat breadth-first bin-threshold representation; set
+	// for dtree/quantized artifacts, and preferred by the predict path when
+	// present (same decisions bit for bit, better layout).
+	Quantized *dtree.Quantized
 
 	requests    atomic.Int64
 	predictions atomic.Int64
+}
+
+// The shape accessors dispatch over whichever serving representation the
+// model carries, so transports and tooling never reach through Compiled or
+// Quantized directly.
+
+// NumFeatures returns the input width the model expects.
+func (m *Model) NumFeatures() int {
+	if m.Quantized != nil {
+		return m.Quantized.NumFeatures
+	}
+	return m.Compiled.NumFeatures
+}
+
+// NumNodes returns the model's flattened node count.
+func (m *Model) NumNodes() int {
+	if m.Quantized != nil {
+		return m.Quantized.NumNodes()
+	}
+	return m.Compiled.NumNodes()
+}
+
+// NumClasses returns the class count (0 for regression models).
+func (m *Model) NumClasses() int {
+	if m.Quantized != nil {
+		return m.Quantized.NumClasses
+	}
+	return m.Compiled.NumClasses
+}
+
+// OutDim returns the regression output width (0 for classifiers).
+func (m *Model) OutDim() int {
+	if m.Quantized != nil {
+		return m.Quantized.OutDim
+	}
+	return m.Compiled.OutDim
+}
+
+// IsRegression reports whether the model predicts vectors rather than
+// classes.
+func (m *Model) IsRegression() bool {
+	if m.Quantized != nil {
+		return m.Quantized.IsRegression()
+	}
+	return m.Compiled.IsRegression()
 }
 
 // registry is one immutable generation of the model set. The engine swaps
@@ -192,7 +245,9 @@ func loadRegistry(dir string) (*registry, error) {
 		if err != nil {
 			return nil, err
 		}
-		if a.Kind != artifact.KindTree && a.Kind != artifact.KindCompiledTree {
+		servable := a.Kind == artifact.KindTree || a.Kind == artifact.KindCompiledTree ||
+			a.Kind == artifact.KindQuantizedTree
+		if !servable {
 			reg.skipped = append(reg.skipped, fmt.Sprintf("%s (kind %s)", filepath.Base(path), a.Kind))
 			continue
 		}
@@ -204,24 +259,30 @@ func loadRegistry(dir string) (*registry, error) {
 		if name == "" {
 			name = strings.TrimSuffix(filepath.Base(path), Ext)
 		}
-		var c *dtree.Compiled
+		entry := &Model{Name: name, Kind: a.Kind, Meta: a.Meta}
+		// The checksum protects bytes, not invariants: a malformed tree could
+		// panic or loop the predict handler, so every representation is
+		// validated before it enters the registry.
 		switch m := model.(type) {
 		case *dtree.Tree:
-			if c, err = m.Compile(); err != nil {
+			if entry.Compiled, err = m.Compile(); err != nil {
 				return nil, fmt.Errorf("serve: compile %s: %w", path, err)
 			}
+			err = entry.Compiled.Validate()
 		case *dtree.Compiled:
-			c = m
+			entry.Compiled = m
+			err = m.Validate()
+		case *dtree.Quantized:
+			entry.Quantized = m
+			err = m.Validate()
 		}
-		// The checksum protects bytes, not invariants: a malformed compiled
-		// tree could panic or loop the predict handler, so reject it here.
-		if err := c.Validate(); err != nil {
+		if err != nil {
 			return nil, fmt.Errorf("serve: %s: %w", path, err)
 		}
 		if _, dup := reg.models[name]; dup {
 			return nil, fmt.Errorf("serve: duplicate model name %q (set distinct \"name\" metadata)", name)
 		}
-		reg.models[name] = &Model{Name: name, Kind: a.Kind, Meta: a.Meta, Compiled: c}
+		reg.models[name] = entry
 	}
 	if len(reg.models) == 0 {
 		return nil, fmt.Errorf("serve: no servable artifacts in %s (skipped: %s)", dir, strings.Join(reg.skipped, ", "))
@@ -313,54 +374,100 @@ type Prediction struct {
 // It validates admission (ErrBusy), the model name (*UnknownModelError),
 // the batch size (ErrEmptyBatch, *BatchSizeError), and every row's width
 // (*DimensionError) before touching the model. Failed calls are not
-// accounted in the error counter here — the HTTP layer's fail() is the
-// single error-accounting point.
+// accounted in the error counter here — each transport's error path is its
+// single accounting point.
 func (e *Engine) Predict(name string, rows [][]float64) (*Prediction, error) {
+	p := &Prediction{}
+	if err := e.PredictInto(name, rows, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// PredictInto is Predict writing into a caller-owned Prediction: when
+// p.Actions or p.Values has capacity from an earlier call it is reused, so a
+// serving loop (the binary codec path, the unix-socket transport) runs
+// steady-state predictions without growing the heap. On error p is left
+// unmodified.
+func (e *Engine) PredictInto(name string, rows [][]float64, p *Prediction) error {
 	e.requests.Add(1)
 	if e.inflight != nil {
 		select {
 		case e.inflight <- struct{}{}:
 			defer func() { <-e.inflight }()
 		default:
-			return nil, ErrBusy
+			return ErrBusy
 		}
 	}
 	m, ok := e.reg.Load().models[name]
 	if !ok {
-		return nil, &UnknownModelError{Name: name}
+		return &UnknownModelError{Name: name}
 	}
 	if len(rows) == 0 {
-		return nil, ErrEmptyBatch
+		return ErrEmptyBatch
 	}
 	if max := e.maxBatch(); len(rows) > max {
-		return nil, &BatchSizeError{Rows: len(rows), Max: max}
+		return &BatchSizeError{Rows: len(rows), Max: max}
 	}
+	features := m.NumFeatures()
 	for i, row := range rows {
-		if len(row) != m.Compiled.NumFeatures {
-			return nil, &DimensionError{Model: m.Name, Row: i, Got: len(row), Want: m.Compiled.NumFeatures}
+		if len(row) != features {
+			return &DimensionError{Model: m.Name, Row: i, Got: len(row), Want: features}
 		}
 	}
 	m.requests.Add(1)
 	m.predictions.Add(int64(len(rows)))
-	p := &Prediction{Model: m.Name}
-	if m.Compiled.IsRegression() {
-		out := make([][]float64, len(rows))
-		e.forEachChunk(len(rows), func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				out[i] = m.Compiled.PredictReg(rows[i])
-			}
-		})
-		p.Values = out
+	p.Model = m.Name
+	if m.IsRegression() {
+		out := growRows(p.Values, len(rows))
+		if q := m.Quantized; q != nil {
+			e.forEachChunk(len(rows), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out[i] = q.PredictReg(rows[i])
+				}
+			})
+		} else {
+			e.forEachChunk(len(rows), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out[i] = m.Compiled.PredictReg(rows[i])
+				}
+			})
+		}
+		p.Actions, p.Values = nil, out
 	} else {
-		out := make([]int, len(rows))
-		e.forEachChunk(len(rows), func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				out[i] = m.Compiled.Predict(rows[i])
-			}
-		})
-		p.Actions = out
+		out := growInts(p.Actions, len(rows))
+		if q := m.Quantized; q != nil {
+			e.forEachChunk(len(rows), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out[i] = q.Predict(rows[i])
+				}
+			})
+		} else {
+			e.forEachChunk(len(rows), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out[i] = m.Compiled.Predict(rows[i])
+				}
+			})
+		}
+		p.Actions, p.Values = out, nil
 	}
-	return p, nil
+	return nil
+}
+
+// growInts resizes s to n entries, reusing its backing array when it fits.
+func growInts(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int, n)
+}
+
+// growRows resizes s to n row slots, reusing its backing array when it fits.
+func growRows(s [][]float64, n int) [][]float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([][]float64, n)
 }
 
 // predictChunk is the per-task granularity of the shared pool: single tree

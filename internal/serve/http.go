@@ -71,9 +71,9 @@ type modelInfo struct {
 func (m *Model) info() modelInfo {
 	return modelInfo{
 		Name: m.Name, Kind: m.Kind, Scenario: m.Meta["scenario"],
-		Nodes: m.Compiled.NumNodes(), Features: m.Compiled.NumFeatures,
-		Classes: m.Compiled.NumClasses, OutDim: m.Compiled.OutDim,
-		Regression: m.Compiled.IsRegression(), Meta: m.Meta,
+		Nodes: m.NumNodes(), Features: m.NumFeatures(),
+		Classes: m.NumClasses(), OutDim: m.OutDim(),
+		Regression: m.IsRegression(), Meta: m.Meta,
 	}
 }
 
@@ -147,9 +147,13 @@ func contentType(r *http.Request) string {
 }
 
 // predictBinary is the high-throughput path: binary request in, binary
-// response out.
+// response out. All per-call buffers — decode, outputs, encode — come from
+// the shared scratch pool, so steady-state binary serving reuses the same
+// few allocations across requests.
 func (e *Engine) predictBinary(w http.ResponseWriter, r *http.Request, name string) {
-	bodyModel, rows, err := DecodeBatchRequest(r.Body, e.maxBatch())
+	s := batchScratchPool.Get().(*batchScratch)
+	defer batchScratchPool.Put(s)
+	bodyModel, rows, err := s.decodeRequest(r.Body, e.maxBatch())
 	if err != nil {
 		e.failErr(w, err)
 		return
@@ -159,13 +163,16 @@ func (e *Engine) predictBinary(w http.ResponseWriter, r *http.Request, name stri
 			fmt.Sprintf("body names model %q but the URL names %q", bodyModel, name))
 		return
 	}
-	p, err := e.Predict(name, rows)
-	if err != nil {
+	if err := e.PredictInto(name, rows, &s.pred); err != nil {
+		e.failErr(w, err)
+		return
+	}
+	if s.resp, err = appendBatchResponse(s.resp, &s.pred); err != nil {
 		e.failErr(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", ContentTypeBinary)
-	EncodeBatchResponse(w, p)
+	w.Write(s.resp)
 }
 
 // predictRequest is the JSON predict body: exactly one of X (single) or Xs
@@ -266,11 +273,17 @@ func (e *Engine) handleStatsV1(w http.ResponseWriter, r *http.Request) {
 }
 
 func (e *Engine) handleStatsV2(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, e.statsBody())
+}
+
+// statsBody builds the v2 stats document (shared by the HTTP route and the
+// socket transport's "stats" control op).
+func (e *Engine) statsBody() map[string]any {
 	per := map[string]modelStats{}
 	for _, m := range e.Models() {
 		per[m.Name] = modelStats{Requests: m.requests.Load(), Predictions: m.predictions.Load()}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	return map[string]any{
 		"uptime_s":  time.Since(e.start).Seconds(),
 		"requests":  e.requests.Load(),
 		"errors":    e.errors.Load(),
@@ -278,7 +291,7 @@ func (e *Engine) handleStatsV2(w http.ResponseWriter, r *http.Request) {
 		"dir":       e.Dir(),
 		"loaded_at": e.LoadedAt().UTC().Format(time.RFC3339),
 		"models":    per,
-	})
+	}
 }
 
 // reloadRequest is the optional /v2/admin/reload body.

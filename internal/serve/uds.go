@@ -1,0 +1,313 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+// The unix-domain-socket transport: the binary batch codec without the HTTP
+// machinery. A connection carries a sequence of length-prefixed frames, each
+// answered in order with exactly one response frame:
+//
+//	frame:   length uint32 LE | payload [length]byte
+//
+// The first four payload bytes tag the frame kind:
+//
+//	"MTB1"  predict — the payload is exactly one binary batch request
+//	        (the application/x-metis-batch body); the response frame is a
+//	        binary batch response under the same magic.
+//	"MTQ1"  control — the magic is followed by a JSON request
+//	        {"op": "models"|"model"|"stats"|"reload", "name": …, "dir": …};
+//	        the response frame is "MTJ1" followed by the same JSON body the
+//	        corresponding HTTP route renders.
+//	"MTE1"  error (response only) — status uint16 LE (the HTTP status the
+//	        error maps to) followed by the message bytes.
+//
+// Framing is the only thing this layer adds: predict payloads are byte-for-
+// byte the HTTP binary bodies, so the two transports share one codec, one
+// engine, one admission-control path, and one stats surface. What the socket
+// removes is everything HTTP spends per request — header parsing, routing,
+// header rendering, chunked encoding — which is most of the per-call cost
+// once the codec is binary.
+const (
+	controlMagic = "MTQ1"
+	jsonMagic    = "MTJ1"
+	errMagic     = "MTE1"
+)
+
+// maxFramePayload bounds one frame. The largest legitimate payload is a
+// maxBinaryElems float64 matrix (1 GiB) plus the batch header; anything
+// claiming more is a corrupt or hostile peer and kills the connection.
+const maxFramePayload = maxBinaryElems*8 + 1<<16
+
+// ErrBadFrame reports a malformed unix-socket frame.
+var ErrBadFrame = errors.New("serve: malformed socket frame")
+
+// WriteFrame writes payload as one length-prefixed frame. The two byte
+// ranges go out in a single writev, so no copy into a joined buffer happens
+// on either side of the socket.
+func WriteFrame(w io.Writer, payload []byte) error {
+	var head [4]byte
+	binary.LittleEndian.PutUint32(head[:], uint32(len(payload)))
+	if len(payload) > maxFramePayload {
+		return fmt.Errorf("%w: %d-byte payload exceeds the %d limit", ErrBadFrame, len(payload), maxFramePayload)
+	}
+	bufs := net.Buffers{head[:], payload}
+	_, err := bufs.WriteTo(w)
+	return err
+}
+
+// ReadFrame reads one frame into buf (reused when it fits, grown otherwise)
+// and returns the payload. io.EOF is returned untouched when the peer closed
+// between frames, so callers can distinguish a clean close from truncation.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var head [4]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: short length prefix: %v", ErrBadFrame, err)
+	}
+	n := int64(binary.LittleEndian.Uint32(head[:]))
+	if n > maxFramePayload {
+		return nil, fmt.Errorf("%w: %d-byte payload exceeds the %d limit", ErrBadFrame, n, maxFramePayload)
+	}
+	buf = growBytes(buf, int(n))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("%w: short payload: %v", ErrBadFrame, err)
+	}
+	return buf, nil
+}
+
+// ControlRequest builds an "MTQ1" control payload. Fields irrelevant to the
+// op are left empty.
+func ControlRequest(op, name, dir string) ([]byte, error) {
+	body, err := json.Marshal(controlReq{Op: op, Name: name, Dir: dir})
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(controlMagic), body...), nil
+}
+
+// controlReq is the JSON body of an "MTQ1" frame.
+type controlReq struct {
+	Op   string `json:"op"`
+	Name string `json:"name,omitempty"`
+	Dir  string `json:"dir,omitempty"`
+}
+
+// DecodeErrorPayload parses an "MTE1" payload (sans magic check — callers
+// dispatch on the magic) into the HTTP-equivalent status and message.
+func DecodeErrorPayload(payload []byte) (status int, msg string, err error) {
+	if len(payload) < 6 {
+		return 0, "", fmt.Errorf("%w: %d-byte error payload", ErrBadFrame, len(payload))
+	}
+	return int(binary.LittleEndian.Uint16(payload[4:6])), string(payload[6:]), nil
+}
+
+// FrameKind returns the 4-byte magic of a response payload ("MTB1", "MTJ1",
+// or "MTE1").
+func FrameKind(payload []byte) string {
+	if len(payload) < 4 {
+		return ""
+	}
+	return string(payload[:4])
+}
+
+// FrameBody returns a response payload without its magic.
+func FrameBody(payload []byte) []byte { return payload[4:] }
+
+// ListenUDS listens on a unix-domain socket at path, clearing a stale socket
+// file left by a crashed predecessor (a leftover file that no process
+// accepts on) while refusing to steal a live one.
+func ListenUDS(path string) (net.Listener, error) {
+	l, err := net.Listen("unix", path)
+	if err == nil {
+		return l, nil
+	}
+	if _, statErr := os.Stat(path); statErr != nil {
+		return nil, err
+	}
+	// The file exists: probe it. A live daemon accepts; a stale socket
+	// refuses, and is safe to replace.
+	if c, dialErr := net.DialTimeout("unix", path, 250*time.Millisecond); dialErr == nil {
+		c.Close()
+		return nil, fmt.Errorf("serve: %s is in use by a live listener", path)
+	}
+	if rmErr := os.Remove(path); rmErr != nil {
+		return nil, fmt.Errorf("serve: clear stale socket %s: %w", path, rmErr)
+	}
+	return net.Listen("unix", path)
+}
+
+// ServeUDS accepts framed connections on l until the listener closes,
+// answering every frame off the same engine the HTTP layer serves: one
+// registry, one admission-control gate, one stats surface — a SIGHUP reload
+// is visible on the socket and over HTTP in the same instant. It returns nil
+// on a clean listener close.
+func (e *Engine) ServeUDS(l net.Listener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.serveUDSConn(conn)
+		}()
+	}
+}
+
+// serveUDSConn answers one connection's frames in order. All per-connection
+// state — the frame buffer, the decode/predict/encode scratch, the response
+// buffer — is allocated once and reused for every frame, so a pinned
+// connection serves at a steady-state allocation rate of zero.
+func (e *Engine) serveUDSConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	s := batchScratchPool.Get().(*batchScratch)
+	defer batchScratchPool.Put(s)
+	var (
+		frame []byte
+		body  bytes.Reader
+		out   []byte
+	)
+	for {
+		var err error
+		if frame, err = ReadFrame(br, frame); err != nil {
+			// Clean close, peer crash, or framing violation: nothing can be
+			// answered on a stream that lost sync, so the connection ends
+			// either way.
+			return
+		}
+		switch FrameKind(frame) {
+		case batchMagic:
+			body.Reset(frame)
+			out = e.udsPredict(&body, s, out[:0])
+		case controlMagic:
+			out = e.udsControl(frame[4:], out[:0])
+		default:
+			out = appendErrorPayload(out[:0], http.StatusBadRequest,
+				fmt.Sprintf("unknown frame magic %q", FrameKind(frame)))
+			e.errors.Add(1)
+		}
+		if err := WriteFrame(conn, out); err != nil {
+			return
+		}
+	}
+}
+
+// udsPredict answers one predict frame, encoding the response (or the error
+// frame) into out.
+func (e *Engine) udsPredict(body io.Reader, s *batchScratch, out []byte) []byte {
+	model, rows, err := s.decodeRequest(body, e.maxBatch())
+	if err != nil {
+		return e.udsError(out, err)
+	}
+	if model == "" {
+		return e.udsError(out, fmt.Errorf("%w: empty model name", ErrBadBatchEncoding))
+	}
+	if err := e.PredictInto(model, rows, &s.pred); err != nil {
+		return e.udsError(out, err)
+	}
+	resp, err := appendBatchResponse(out, &s.pred)
+	if err != nil {
+		return e.udsError(out, err)
+	}
+	return resp
+}
+
+// udsControl answers one control frame with the same JSON bodies the HTTP
+// routes render.
+func (e *Engine) udsControl(body []byte, out []byte) []byte {
+	var req controlReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		e.errors.Add(1)
+		return appendErrorPayload(out, http.StatusBadRequest, "bad control body: "+err.Error())
+	}
+	var resp any
+	switch req.Op {
+	case "models":
+		infos := []modelInfo{}
+		for _, m := range e.Models() {
+			infos = append(infos, m.info())
+		}
+		resp = map[string]any{"models": infos}
+	case "model":
+		m, ok := e.Model(req.Name)
+		if !ok {
+			e.errors.Add(1)
+			return appendErrorPayload(out, http.StatusNotFound, fmt.Sprintf("unknown model %q", req.Name))
+		}
+		resp = modelDetail{
+			modelInfo: m.info(),
+			Stats:     modelStats{Requests: m.requests.Load(), Predictions: m.predictions.Load()},
+		}
+	case "stats":
+		resp = e.statsBody()
+	case "reload":
+		if err := e.Reload(req.Dir); err != nil {
+			e.errors.Add(1)
+			return appendErrorPayload(out, http.StatusConflict, err.Error())
+		}
+		names := make([]string, 0)
+		for _, m := range e.Models() {
+			names = append(names, m.Name)
+		}
+		resp = map[string]any{"reloaded": true, "dir": e.Dir(), "models": names, "skipped": len(e.Skipped())}
+	default:
+		e.errors.Add(1)
+		return appendErrorPayload(out, http.StatusNotFound,
+			fmt.Sprintf("unknown control op %q (supported: models, model, stats, reload)", req.Op))
+	}
+	enc, err := json.Marshal(resp)
+	if err != nil {
+		e.errors.Add(1)
+		return appendErrorPayload(out, http.StatusInternalServerError, err.Error())
+	}
+	return append(append(out, jsonMagic...), enc...)
+}
+
+// udsError renders err as an "MTE1" payload with the same status mapping as
+// the HTTP layer, and accounts it in the engine error counter — the socket
+// transport's single error-accounting point.
+func (e *Engine) udsError(out []byte, err error) []byte {
+	e.errors.Add(1)
+	var (
+		unknown *UnknownModelError
+		size    *BatchSizeError
+	)
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrBusy):
+		code = http.StatusServiceUnavailable
+	case errors.As(err, &unknown):
+		code = http.StatusNotFound
+	case errors.As(err, &size):
+		code = http.StatusRequestEntityTooLarge
+	}
+	return appendErrorPayload(out, code, err.Error())
+}
+
+// appendErrorPayload encodes an "MTE1" payload into out.
+func appendErrorPayload(out []byte, status int, msg string) []byte {
+	out = append(out, errMagic...)
+	out = binary.LittleEndian.AppendUint16(out, uint16(status))
+	return append(out, msg...)
+}

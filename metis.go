@@ -166,11 +166,35 @@ type CompiledTree = dtree.Compiled
 // serving representation.
 func Compile(t *Tree) (*CompiledTree, error) { return t.Compile() }
 
+// QuantizedTree is the bin-quantized serving form of a compiled tree: node
+// thresholds are replaced at quantization time by per-feature bin indices
+// over flat breadth-first struct-of-arrays storage, so batch traversal is
+// branch-light, cache-friendly, and allocation-free — while staying
+// bit-identical to the CompiledTree it came from (every original threshold
+// becomes a bin edge, so no row can route differently). It is the fastest
+// representation metis-serve deploys (kind "dtree/quantized").
+type QuantizedTree = dtree.Quantized
+
+// Quantize converts a compiled tree into its quantized serving form. Use
+// SaveModel-style persistence via SaveQuantized to serve it.
+func Quantize(c *CompiledTree) (*QuantizedTree, error) { return c.Quantize() }
+
 // SaveTree writes a distilled tree to path as a versioned, checksummed
 // artifact readable by LoadTree and servable by metis-serve. meta is
 // free-form; a "name" key names the model in the serving registry.
 func SaveTree(path string, t *Tree, meta map[string]string) error {
 	return artifact.SaveModel(path, t, meta)
+}
+
+// SaveQuantized writes a quantized tree to path as a versioned, checksummed
+// artifact servable by metis-serve (kind "dtree/quantized").
+func SaveQuantized(path string, q *QuantizedTree, meta map[string]string) error {
+	return artifact.SaveModel(path, q, meta)
+}
+
+// LoadQuantized restores a quantized-tree artifact written by SaveQuantized.
+func LoadQuantized(path string) (*QuantizedTree, error) {
+	return artifact.LoadQuantized(path)
 }
 
 // LoadTree restores a tree artifact written by SaveTree (or any binary's

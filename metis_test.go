@@ -185,6 +185,58 @@ func TestPublicSaveServe(t *testing.T) {
 	}
 }
 
+// TestPublicQuantize covers the quantized-serving facade: Compile →
+// Quantize → SaveQuantized round-trips through LoadQuantized, the artifact
+// is directly servable, and predictions match the source tree.
+func TestPublicQuantize(t *testing.T) {
+	res, err := Distill(&scanEnv{}, stairPolicy{}, DistillConfig{
+		MaxLeaves: 8, Iterations: 2, EpisodesPerIter: 15, MaxSteps: 25,
+		FeatureNames: []string{"x"}, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := Compile(res.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Quantize(compiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "stair-q.metis")
+	if err := SaveQuantized(path, q, map[string]string{"name": "stair-q"}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadQuantized(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0.0; x < 1; x += 0.01 {
+		if back.Predict([]float64{x}) != res.Tree.Predict([]float64{x}) {
+			t.Fatalf("quantized/loaded drift at x=%v", x)
+		}
+	}
+
+	srv, err := NewServer(dir, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	pred, err := NewClient(ts.URL).PredictBatch(context.Background(), "stair-q", [][]float64{{0.1}, {0.5}, {0.9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range []float64{0.1, 0.5, 0.9} {
+		if pred.Actions[i] != res.Tree.Predict([]float64{x}) {
+			t.Fatalf("served action[%d] = %d, tree says %d", i, pred.Actions[i], res.Tree.Predict([]float64{x}))
+		}
+	}
+}
+
 // TestPipelineServeReload is the pipeline→deployment e2e: artifacts written
 // by the scenario engine's OutDir are directly servable, and a running
 // server picks newly produced students up through hot reload without a

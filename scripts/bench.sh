@@ -12,38 +12,50 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${1:-3x}"
 [ $# -gt 0 ] && shift
 
-BENCHES='BenchmarkFig07DecisionTree|BenchmarkMaskSearch$|BenchmarkMaskSearchSerial|BenchmarkCARTBuild|BenchmarkExtractionOverhead|BenchmarkFig27InterpBaselines|BenchmarkTreeDecision|BenchmarkDNNDecision|BenchmarkCompiledPredictBatch|BenchmarkServePredictBatch$|BenchmarkServePredictBatchBinary|BenchmarkScenarioPipeline$|BenchmarkScenarioPipelineAll'
+BENCHES='BenchmarkFig07DecisionTree|BenchmarkMaskSearch$|BenchmarkMaskSearchSerial|BenchmarkCARTBuild|BenchmarkExtractionOverhead|BenchmarkFig27InterpBaselines|BenchmarkTreeDecision|BenchmarkDNNDecision|BenchmarkCompiledPredictBatch|BenchmarkQuantizedPredictBatch|BenchmarkServePredictBatch$|BenchmarkServePredictBatchBinary|BenchmarkServePredictBatchUDS|BenchmarkScenarioPipeline$|BenchmarkScenarioPipelineAll'
+# The serving subset gets its own trajectory file (BENCH_SERVE_*.json) so the
+# transport story — compiled vs quantized in-process, HTTP JSON vs HTTP
+# binary vs UDS framed through the daemon — can be tracked without wading
+# through the training/figure benches.
+SERVE_BENCHES='BenchmarkCompiledPredictBatch|BenchmarkQuantizedPredictBatch|BenchmarkServePredictBatch'
 DATE="$(date +%Y-%m-%d)"
 # One timestamped record per run — a same-day before/after pair never
 # collides and never produces two differently named files for one run.
-OUT="BENCH_${DATE}_$(date +%H%M%S).json"
+STAMP="${DATE}_$(date +%H%M%S)"
+OUT="BENCH_${STAMP}.json"
+SERVE_OUT="BENCH_SERVE_${STAMP}.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 echo "running benchmarks (benchtime=${BENCHTIME})…" >&2
 # -benchmem lands B/op and allocs/op in the record, so allocation
-# regressions (and the dataset layer's allocation wins) are tracked in the
-# trajectory alongside wall clock.
+# regressions (and the serving path's zero-alloc contract) are tracked in
+# the trajectory alongside wall clock.
 go test -run '^$' -bench "$BENCHES" -benchtime "$BENCHTIME" -benchmem -timeout 3600s "$@" . | tee "$RAW" >&2
 
 # Convert `BenchmarkName  N  T ns/op  [extra metrics]` lines to JSON.
-{
-  printf '{\n  "date": "%s",\n  "go": "%s",\n  "benchtime": "%s",\n  "results": [\n' \
-    "$DATE" "$(go env GOVERSION)" "$BENCHTIME"
-  awk '
-    /^Benchmark/ {
-      name=$1; iters=$2; ns=$3
-      extras=""
-      for (i = 5; i + 1 <= NF; i += 2) {
-        gsub(/"/, "", $(i+1))
-        extras = extras sprintf(", \"%s\": %s", $(i+1), $i)
+# $1: raw bench output  $2: output json  $3: bench-name filter regex
+emit_json() {
+  {
+    printf '{\n  "date": "%s",\n  "go": "%s",\n  "benchtime": "%s",\n  "results": [\n' \
+      "$DATE" "$(go env GOVERSION)" "$BENCHTIME"
+    awk -v filter="$3" '
+      /^Benchmark/ && $1 ~ filter {
+        name=$1; iters=$2; ns=$3
+        extras=""
+        for (i = 5; i + 1 <= NF; i += 2) {
+          gsub(/"/, "", $(i+1))
+          extras = extras sprintf(", \"%s\": %s", $(i+1), $i)
+        }
+        if (count++) printf ",\n"
+        printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s%s}", name, iters, ns, extras
       }
-      if (count++) printf ",\n"
-      printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s%s}", name, iters, ns, extras
-    }
-    END { printf "\n" }
-  ' "$RAW"
-  printf '  ]\n}\n'
-} > "$OUT"
+      END { printf "\n" }
+    ' "$1"
+    printf '  ]\n}\n'
+  } > "$2"
+  echo "wrote $2" >&2
+}
 
-echo "wrote $OUT" >&2
+emit_json "$RAW" "$OUT" '.'
+emit_json "$RAW" "$SERVE_OUT" "$SERVE_BENCHES"
