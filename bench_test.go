@@ -490,6 +490,81 @@ func BenchmarkServePredictBatchUDS(b *testing.B) {
 	b.ReportMetric(float64(serveBenchBatch)*float64(b.N)/b.Elapsed().Seconds(), "preds/s")
 }
 
+// BenchmarkServePredictBatchUDSPipelined is the v2-framing counterpart of
+// BenchmarkServePredictBatchUDS: same engine, model, batch size, and
+// payloads, but after the hello handshake the client keeps a window of
+// frames in flight through a buffered writer while a second goroutine pumps,
+// and the server coalesces completed responses into vectored writes. The
+// preds/s gap against the strict request/response bench is what the per-
+// frame round-trip of dead air and the per-frame syscalls cost.
+func BenchmarkServePredictBatchUDSPipelined(b *testing.B) {
+	_, _, tree, _ := fixture().AuTo()
+	dir := b.TempDir()
+	if err := artifact.SaveModel(filepath.Join(dir, "dcn.metis"), tree, map[string]string{"name": "dcn"}); err != nil {
+		b.Fatal(err)
+	}
+	e, err := serve.LoadDir(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sock := filepath.Join(dir, "metis.sock")
+	l, err := serve.ListenUDS(sock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	go e.ServeUDS(l)
+	b.Cleanup(func() { l.Close() })
+
+	conn, err := net.Dial("unix", sock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { conn.Close() })
+	br := bufio.NewReaderSize(conn, 256<<10)
+	if err := serve.WriteFrame(conn, []byte(serve.HelloMagic)); err != nil {
+		b.Fatal(err)
+	}
+	if ack, err := serve.ReadFrame(br, nil); err != nil || !bytes.HasPrefix(ack, []byte(serve.HelloMagic)) {
+		b.Fatalf("v2 handshake refused (ack %q, err %v)", ack, err)
+	}
+	var payload bytes.Buffer
+	if err := serve.EncodeBatchRequest(&payload, "dcn", lrlaBatch(serveBenchBatch)); err != nil {
+		b.Fatal(err)
+	}
+	raw := payload.Bytes()
+
+	b.ResetTimer()
+	writeErr := make(chan error, 1)
+	go func() {
+		// The pump: all b.N frames through one buffered writer, so adjacent
+		// frames share syscalls. The server's dispatch queue provides the
+		// window: the socket write blocks once server-side buffering is full.
+		bw := bufio.NewWriterSize(conn, 256<<10)
+		for i := 0; i < b.N; i++ {
+			if err := serve.WriteFrameID(bw, uint32(i), raw); err != nil {
+				writeErr <- err
+				return
+			}
+		}
+		writeErr <- bw.Flush()
+	}()
+	var frame []byte
+	for i := 0; i < b.N; i++ {
+		_, resp, err := serve.ReadFrameID(br, frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frame = resp[:0]
+		if serve.FrameKind(resp) != "MTB1" {
+			b.Fatalf("frame kind %q", serve.FrameKind(resp))
+		}
+	}
+	if err := <-writeErr; err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(serveBenchBatch)*float64(b.N)/b.Elapsed().Seconds(), "preds/s")
+}
+
 // BenchmarkModelFootprint reports serialized sizes (Fig. 17b).
 func BenchmarkModelFootprint(b *testing.B) {
 	f := fixture()

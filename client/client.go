@@ -62,6 +62,27 @@ func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
 // 50ms).
 func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
 
+// WithConns sets how many multiplexed unix-socket connections predict calls
+// are fanned over (default 2). No effect on HTTP endpoints or v1 servers.
+func WithConns(n int) Option {
+	return func(c *Client) {
+		if c.uds != nil && n > 0 {
+			c.uds.conns = n
+		}
+	}
+}
+
+// WithInflight caps the number of in-flight predict frames per multiplexed
+// connection (default 128); callers beyond the cap queue client-side. No
+// effect on HTTP endpoints or v1 servers.
+func WithInflight(n int) Option {
+	return func(c *Client) {
+		if c.uds != nil && n > 0 {
+			c.uds.inflight = n
+		}
+	}
+}
+
 // New returns a client for the serving daemon at baseURL: either an HTTP
 // base (scheme://host[:port], with or without a trailing slash) or a framed
 // unix-domain socket ("unix:///var/run/metis.sock" — the path after the

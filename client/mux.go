@@ -1,0 +1,295 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Multiplexer defaults. Two connections are enough to keep a local daemon
+// busy — the point of pipelining is frames in flight per connection, not
+// connection count — and 128 in-flight frames per connection comfortably
+// covers the server's dispatch queue without letting one caller swamp it.
+const (
+	defaultMuxConns    = 2
+	defaultMuxInflight = 128
+)
+
+// errLegacyServer reports that the server answered the v2 hello with an
+// error frame: it speaks v1 framing only. The transport latches t.legacy and
+// predict calls fall back to the one-at-a-time pooled path.
+var errLegacyServer = errors.New("client: server speaks v1 framing only")
+
+// muxResult is what the read loop delivers to a waiting call: a pooled copy
+// of the response payload, or the connection's fatal error.
+type muxResult struct {
+	buf *[]byte
+	err error
+}
+
+// muxConn is one pipelined v2 connection. Calls from any number of
+// goroutines register a correlation ID in pending, write their frame (writes
+// serialized by wmu, IDs and registration by mu), and block on a per-call
+// channel; a single read loop matches response frames back to callers by ID,
+// in whatever order the server completed them. tokens bounds in-flight
+// frames so a burst of callers queues here rather than ballooning the
+// pending map and the server's queue. A connection that fails is failed
+// sticky: every pending and future call gets the same error, and the
+// transport replaces the connection on the next call.
+type muxConn struct {
+	t      *udsTransport
+	c      net.Conn
+	br     *bufio.Reader
+	tokens chan struct{}
+
+	// wmu serializes frame writes; each frame is written with one writev, so
+	// holding a plain mutex across the syscall is the whole write path.
+	wmu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint32]chan muxResult
+	nextID  uint32
+	err     error // sticky fatal error; nil while healthy
+}
+
+// fail closes the connection and delivers err to every pending call, once;
+// later failures keep the first error.
+func (mc *muxConn) fail(err error) {
+	mc.mu.Lock()
+	if mc.err != nil {
+		mc.mu.Unlock()
+		return
+	}
+	mc.err = err
+	pending := mc.pending
+	mc.pending = nil
+	mc.mu.Unlock()
+	mc.c.Close()
+	for _, ch := range pending {
+		ch <- muxResult{err: err}
+	}
+}
+
+// readLoop is the connection's only reader: it matches each response frame
+// to its waiting call by correlation ID and hands over a pooled copy of the
+// payload, so the read buffer is immediately reusable for the next frame.
+// Unmatched IDs belong to calls that gave up (context cancellation); their
+// responses are dropped.
+func (mc *muxConn) readLoop() {
+	var scratch []byte
+	for {
+		id, payload, err := serve.ReadFrameID(mc.br, scratch)
+		if err != nil {
+			mc.fail(fmt.Errorf("client: %s: %w", mc.t.path, err))
+			return
+		}
+		scratch = payload[:0]
+		mc.mu.Lock()
+		ch, ok := mc.pending[id]
+		if ok {
+			delete(mc.pending, id)
+		}
+		mc.mu.Unlock()
+		if !ok {
+			continue
+		}
+		bp := mc.t.respPool.Get().(*[]byte)
+		*bp = append((*bp)[:0], payload...)
+		ch <- muxResult{buf: bp}
+	}
+}
+
+// call sends one frame and waits for its matched response. The returned
+// buffer comes from the transport's respPool; the caller must return it
+// after decoding. Cancellation deregisters the ID and walks away — the
+// response, if it still arrives, is dropped by the read loop.
+func (mc *muxConn) call(ctx context.Context, payload []byte) (*[]byte, error) {
+	select {
+	case mc.tokens <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-mc.tokens }()
+
+	mc.mu.Lock()
+	if mc.err != nil {
+		err := mc.err
+		mc.mu.Unlock()
+		return nil, err
+	}
+	id := mc.nextID
+	mc.nextID++
+	ch := make(chan muxResult, 1)
+	mc.pending[id] = ch
+	mc.mu.Unlock()
+
+	mc.wmu.Lock()
+	err := serve.WriteFrameID(mc.c, id, payload)
+	mc.wmu.Unlock()
+	if err != nil {
+		mc.fail(fmt.Errorf("client: %s: %w", mc.t.path, err))
+		return nil, err
+	}
+
+	select {
+	case res := <-ch:
+		return res.buf, res.err
+	case <-ctx.Done():
+		mc.mu.Lock()
+		delete(mc.pending, id)
+		mc.mu.Unlock()
+		select {
+		case res := <-ch:
+			// The response (or a connection failure) raced the
+			// cancellation; recycle the buffer and still honor the context.
+			if res.buf != nil {
+				mc.t.respPool.Put(res.buf)
+			}
+		default:
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// muxConnAt returns the multiplexed connection for slot i, dialing and
+// handshaking a fresh one if the slot is empty. preexisting reports whether
+// the connection was already established — an I/O failure on such a
+// connection may just mean the server restarted since, which is worth one
+// retry on a fresh dial. A v1 server refuses the hello with an error frame;
+// the connection stays healthy in v1 framing, so it is recycled into the
+// one-at-a-time pool and errLegacyServer tells the caller to fall back.
+func (t *udsTransport) muxConnAt(i int) (mc *muxConn, preexisting bool, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.mux == nil {
+		t.mux = make([]*muxConn, t.conns)
+	}
+	if mc := t.mux[i]; mc != nil {
+		return mc, true, nil
+	}
+	c, err := net.Dial("unix", t.path)
+	if err != nil {
+		return nil, false, fmt.Errorf("client: dial %s: %w", t.path, err)
+	}
+	br := bufio.NewReaderSize(c, 64<<10)
+	if err := serve.WriteFrame(c, []byte(serve.HelloMagic)); err != nil {
+		c.Close()
+		return nil, false, fmt.Errorf("client: %s: %w", t.path, err)
+	}
+	resp, err := serve.ReadFrame(br, nil)
+	if err != nil {
+		c.Close()
+		return nil, false, fmt.Errorf("client: %s: %w", t.path, err)
+	}
+	if !bytes.HasPrefix(resp, []byte(serve.HelloMagic)) {
+		t.legacy.Store(true)
+		if len(t.idle) < t.poolCap {
+			t.idle = append(t.idle, &udsConn{c: c, br: br, idleSince: time.Now()})
+		} else {
+			c.Close()
+		}
+		return nil, false, errLegacyServer
+	}
+	mc = &muxConn{
+		t:       t,
+		c:       c,
+		br:      br,
+		tokens:  make(chan struct{}, t.inflight),
+		pending: make(map[uint32]chan muxResult),
+	}
+	t.mux[i] = mc
+	go mc.readLoop()
+	return mc, false, nil
+}
+
+// dropMux clears slot i if it still holds mc, so the next call redials.
+func (t *udsTransport) dropMux(i int, mc *muxConn) {
+	t.mu.Lock()
+	if t.mux != nil && i < len(t.mux) && t.mux[i] == mc {
+		t.mux[i] = nil
+	}
+	t.mu.Unlock()
+}
+
+// muxCall round-robins one framed call over the multiplexed connections.
+// The returned buffer comes from respPool and must be returned by the
+// caller. Mirroring roundTrip's stale-connection semantics: an I/O failure
+// on a preexisting connection gets one retry on a fresh dial, a failure on a
+// fresh one is final. Context errors are the caller's own deadline, not a
+// connection problem, and are returned without dropping the connection.
+func (t *udsTransport) muxCall(ctx context.Context, payload []byte) (*[]byte, error) {
+	i := int(t.next.Add(1) % uint32(t.conns))
+	for attempt := 0; ; attempt++ {
+		mc, preexisting, err := t.muxConnAt(i)
+		if err != nil {
+			return nil, err
+		}
+		buf, err := mc.call(ctx, payload)
+		if err == nil {
+			return buf, nil
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		t.dropMux(i, mc)
+		if preexisting && attempt == 0 {
+			continue
+		}
+		return nil, err
+	}
+}
+
+// muxPredictBatch runs one encoded predict payload through the multiplexer.
+// fellBack reports that the server turned out to speak v1 only (the
+// transport's legacy latch is set and nothing was sent); the caller then
+// reruns the request on the v1 path. Error handling matches udsCall: 503
+// retried with doubling backoff, other error frames surfaced as *APIError.
+func (c *Client) muxPredictBatch(ctx context.Context, payload []byte) (p *Prediction, fellBack bool, err error) {
+	backoff := c.backoff
+	for attempt := 0; ; attempt++ {
+		buf, err := c.uds.muxCall(ctx, payload)
+		if err != nil {
+			if errors.Is(err, errLegacyServer) {
+				return nil, true, nil
+			}
+			return nil, false, err
+		}
+		resp := *buf
+		switch kind := serve.FrameKind(resp); kind {
+		case "MTB1":
+			sp, derr := serve.DecodeBatchResponse(bytes.NewReader(resp))
+			c.uds.respPool.Put(buf)
+			if derr != nil {
+				return nil, false, fmt.Errorf("client: %w", derr)
+			}
+			return &Prediction{Actions: sp.Actions, Values: sp.Values}, false, nil
+		case "MTE1":
+			status, msg, perr := serve.DecodeErrorPayload(resp)
+			c.uds.respPool.Put(buf)
+			if perr != nil {
+				return nil, false, fmt.Errorf("client: %w", perr)
+			}
+			if status == http.StatusServiceUnavailable && attempt < c.retries {
+				select {
+				case <-time.After(backoff):
+				case <-ctx.Done():
+					return nil, false, ctx.Err()
+				}
+				backoff *= 2
+				continue
+			}
+			return nil, false, &APIError{Status: status, Msg: msg}
+		default:
+			c.uds.respPool.Put(buf)
+			return nil, false, fmt.Errorf("client: predict answered with frame kind %q", kind)
+		}
+	}
+}

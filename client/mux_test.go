@@ -1,0 +1,327 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// errFrame hand-builds an "MTE1" payload, the way a real server renders one.
+func errFrame(status int, msg string) []byte {
+	out := []byte("MTE1")
+	out = binary.LittleEndian.AppendUint16(out, uint16(status))
+	return append(out, msg...)
+}
+
+// v1OnlyServer hand-rolls a pre-v2 framed server from the exported serve
+// primitives: strict one-request-one-response v1 framing, every unknown
+// magic — the v2 hello included — refused with an error frame on a
+// connection that keeps working. This emulates an old daemon for the
+// new-client/old-server half of the handshake matrix.
+func v1OnlyServer(t *testing.T, e *serve.Engine) string {
+	t.Helper()
+	sock := filepath.Join(t.TempDir(), "v1.sock")
+	l, err := serve.ListenUDS(sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				var buf []byte
+				for {
+					frame, err := serve.ReadFrame(br, buf)
+					if err != nil {
+						return
+					}
+					buf = frame
+					var out []byte
+					if serve.FrameKind(frame) == "MTB1" {
+						model, rows, derr := serve.DecodeBatchRequest(bytes.NewReader(frame), 4096)
+						if derr != nil {
+							out = errFrame(400, derr.Error())
+						} else if p, perr := e.Predict(model, rows); perr != nil {
+							out = errFrame(404, perr.Error())
+						} else {
+							var resp bytes.Buffer
+							if eerr := serve.EncodeBatchResponse(&resp, p); eerr != nil {
+								out = errFrame(500, eerr.Error())
+							} else {
+								out = resp.Bytes()
+							}
+						}
+					} else {
+						out = errFrame(400, fmt.Sprintf("unknown frame magic %q", serve.FrameKind(frame)))
+					}
+					if err := serve.WriteFrame(conn, out); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return sock
+}
+
+// TestClientMuxConcurrentDistinct fans goroutines with DISTINCT inputs over
+// the multiplexer: under -race this exercises the pending-map and token
+// paths, and the distinct expected outputs catch any response matched to the
+// wrong call.
+func TestClientMuxConcurrentDistinct(t *testing.T) {
+	sock, e := testUDSServer(t)
+	c := New("unix://" + sock)
+	ctx := context.Background()
+
+	const goroutines, calls = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				rows := [][]float64{
+					{float64(g) / goroutines, float64(i) / calls},
+					{float64(i) / calls, float64(g) / goroutines},
+				}
+				want, err := e.Predict("cls", rows)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := c.PredictBatch(ctx, "cls", rows)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for r := range want.Actions {
+					if got.Actions[r] != want.Actions[r] {
+						errs <- fmt.Errorf("goroutine %d call %d row %d: got %d, want %d (response cross-matched?)",
+							g, i, r, got.Actions[r], want.Actions[r])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if c.uds.legacy.Load() {
+		t.Fatal("client fell back to v1 against a v2 server")
+	}
+}
+
+// TestClientMuxFallbackV1 pins the downgrade: against a v1-only server the
+// first predict reads the refused hello, latches legacy, recycles the
+// handshake connection into the v1 pool, and every call — first included —
+// still succeeds on the one-at-a-time path.
+func TestClientMuxFallbackV1(t *testing.T) {
+	_, _, e := testServer(t)
+	sock := v1OnlyServer(t, e)
+	c := New("unix://" + sock)
+	ctx := context.Background()
+
+	rows := [][]float64{{0.9, 0.1}, {0.1, 0.9}}
+	want, err := e.Predict("cls", rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := c.PredictBatch(ctx, "cls", rows)
+		if err != nil {
+			t.Fatalf("call %d against a v1 server: %v", i, err)
+		}
+		for r := range want.Actions {
+			if got.Actions[r] != want.Actions[r] {
+				t.Fatalf("call %d row %d: got %d, want %d", i, r, got.Actions[r], want.Actions[r])
+			}
+		}
+	}
+	if !c.uds.legacy.Load() {
+		t.Fatal("legacy latch not set after a refused hello")
+	}
+	c.uds.mu.Lock()
+	idle := len(c.uds.idle)
+	for _, mc := range c.uds.mux {
+		if mc != nil {
+			t.Error("a mux connection survived the v1 fallback")
+		}
+	}
+	c.uds.mu.Unlock()
+	if idle != 1 {
+		t.Fatalf("%d idle connections after fallback, want 1 (handshake conn recycled)", idle)
+	}
+}
+
+// TestClientMux503Retry pins admission-control behavior over the
+// multiplexer: a 503 error frame is retried with backoff, any other status
+// surfaces as *APIError.
+func TestClientMux503Retry(t *testing.T) {
+	_, _, e := testServer(t)
+	sock := filepath.Join(t.TempDir(), "flaky.sock")
+	l, err := serve.ListenUDS(sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				if hello, err := serve.ReadFrame(br, nil); err != nil || string(hello) != serve.HelloMagic {
+					return
+				}
+				if err := serve.WriteFrame(conn, []byte(serve.HelloMagic)); err != nil {
+					return
+				}
+				first := true
+				var buf []byte
+				for {
+					id, frame, err := serve.ReadFrameID(br, buf)
+					if err != nil {
+						return
+					}
+					buf = frame
+					var out []byte
+					if first {
+						// Push back once, like admission control under load.
+						first = false
+						out = errFrame(503, "busy")
+					} else {
+						model, rows, derr := serve.DecodeBatchRequest(bytes.NewReader(frame), 4096)
+						if derr != nil {
+							out = errFrame(400, derr.Error())
+						} else if p, perr := e.Predict(model, rows); perr != nil {
+							out = errFrame(404, perr.Error())
+						} else {
+							var resp bytes.Buffer
+							if eerr := serve.EncodeBatchResponse(&resp, p); eerr != nil {
+								out = errFrame(500, eerr.Error())
+							} else {
+								out = resp.Bytes()
+							}
+						}
+					}
+					if err := serve.WriteFrameID(conn, id, out); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	c := New("unix://"+sock, WithConns(1), WithBackoff(time.Millisecond))
+	got, err := c.PredictBatch(context.Background(), "cls", [][]float64{{0.9, 0.1}})
+	if err != nil {
+		t.Fatalf("503 was not retried over the mux: %v", err)
+	}
+	if len(got.Actions) != 1 {
+		t.Fatalf("retried predict returned %+v", got)
+	}
+
+	// A 404 must NOT be retried: it surfaces as a typed APIError.
+	_, err = c.PredictBatch(context.Background(), "missing", [][]float64{{1, 2}})
+	apiErr, ok := err.(*APIError)
+	if !ok || apiErr.Status != 404 {
+		t.Fatalf("err = %v, want *APIError with status 404", err)
+	}
+}
+
+// TestClientUDSPoolCap hammers the v1 pooled path with parallel callers and
+// asserts the idle pool respects its cap — surplus connections are closed on
+// put, not parked forever.
+func TestClientUDSPoolCap(t *testing.T) {
+	sock, _ := testUDSServer(t)
+	c := New("unix://" + sock)
+	c.uds.legacy.Store(true) // force every call onto the v1 pooled path
+	c.uds.poolCap = 2
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, err := c.PredictBatch(ctx, "cls", [][]float64{{0.4, 0.6}}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	c.uds.mu.Lock()
+	idle := len(c.uds.idle)
+	c.uds.mu.Unlock()
+	if idle > 2 {
+		t.Fatalf("%d idle connections parked, want at most the cap of 2", idle)
+	}
+	if _, err := c.PredictBatch(ctx, "cls", [][]float64{{0.4, 0.6}}); err != nil {
+		t.Fatalf("call after pool-cap churn: %v", err)
+	}
+}
+
+// TestClientUDSIdleDeadline pins idle-connection hygiene: a pooled
+// connection past the idle deadline is discarded by get, which then reports
+// a fresh dial.
+func TestClientUDSIdleDeadline(t *testing.T) {
+	sock, _ := testUDSServer(t)
+	c := New("unix://" + sock)
+	c.uds.legacy.Store(true)
+	ctx := context.Background()
+	if _, err := c.PredictBatch(ctx, "cls", [][]float64{{0.5, 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	c.uds.mu.Lock()
+	if len(c.uds.idle) != 1 {
+		c.uds.mu.Unlock()
+		t.Fatal("expected one pooled connection")
+	}
+	c.uds.mu.Unlock()
+
+	// Everything in the pool is now "too old".
+	c.uds.idleTimeout = -time.Nanosecond
+	cn, pooled, err := c.uds.get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cn.c.Close()
+	if pooled {
+		t.Fatal("get handed out a connection past its idle deadline")
+	}
+	c.uds.mu.Lock()
+	left := len(c.uds.idle)
+	c.uds.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("%d expired connections still parked, want 0", left)
+	}
+}

@@ -9,25 +9,56 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/serve"
 )
 
+// Pool-hygiene defaults of the v1 (one-at-a-time) connection pool.
+const (
+	// defaultPoolCap bounds the idle pool: a burst of concurrent v1 callers
+	// leaves at most this many sockets parked, the rest close on put.
+	defaultPoolCap = 8
+	// defaultIdleTimeout is how long a pooled connection may sit unused
+	// before get discards it — the server side has likely reaped or
+	// restarted by then, and redialing a unix socket is cheap.
+	defaultIdleTimeout = time.Minute
+)
+
 // udsTransport is the framed unix-domain-socket backend of the SDK: the same
-// binary batch payloads the HTTP codec carries, minus HTTP. Connections are
-// pooled and each keeps its own frame buffers, so a steady caller reuses one
-// socket and one set of buffers across calls instead of paying connection
-// setup and header machinery per request.
+// binary batch payloads the HTTP codec carries, minus HTTP. Predict traffic
+// prefers the pipelined v2 multiplexer (mux.go); when the server turns out
+// to be v1-only — it answers the upgrade hello with an error frame — the
+// transport falls back permanently to this file's one-at-a-time pooled path,
+// which is also what control ops always use. Connections are pooled and each
+// keeps its own frame buffers, so a steady caller reuses one socket and one
+// set of buffers across calls instead of paying connection setup and header
+// machinery per request.
 type udsTransport struct {
 	path string
+	// conns and inflight are the multiplexer knobs (WithConns/WithInflight).
+	conns    int
+	inflight int
+	// poolCap and idleTimeout are the v1 pool-hygiene bounds (fixed
+	// defaults; fields so tests can tighten them).
+	poolCap     int
+	idleTimeout time.Duration
 
 	mu   sync.Mutex
 	idle []*udsConn
+	mux  []*muxConn
+	// next round-robins predict calls over the mux connections.
+	next atomic.Uint32
+	// legacy latches once a hello is answered with an error frame: the
+	// server speaks v1 only, and every later call skips the multiplexer.
+	legacy atomic.Bool
 
 	// reqPool recycles request-payload build buffers across calls and
-	// goroutines.
-	reqPool sync.Pool
+	// goroutines; respPool recycles the response copies the mux reader hands
+	// to waiting calls.
+	reqPool  sync.Pool
+	respPool sync.Pool
 }
 
 // udsConn is one pooled connection with its reusable read buffer.
@@ -35,24 +66,37 @@ type udsConn struct {
 	c   net.Conn
 	br  *bufio.Reader
 	buf []byte
+	// idleSince is when the connection was last returned to the pool.
+	idleSince time.Time
 }
 
 func newUDSTransport(path string) *udsTransport {
-	t := &udsTransport{path: path}
+	t := &udsTransport{
+		path:        path,
+		conns:       defaultMuxConns,
+		inflight:    defaultMuxInflight,
+		poolCap:     defaultPoolCap,
+		idleTimeout: defaultIdleTimeout,
+	}
 	t.reqPool.New = func() any { return new(bytes.Buffer) }
+	t.respPool.New = func() any { b := make([]byte, 0, 4096); return &b }
 	return t
 }
 
 // get pops an idle connection or dials a fresh one; pooled reports which, so
 // callers know whether an I/O failure may just be a stale socket worth one
-// retry.
+// retry. Connections idle past the deadline are closed, not reused: the
+// cheap redial beats inheriting a socket the server may have half torn down.
 func (t *udsTransport) get() (cn *udsConn, pooled bool, err error) {
 	t.mu.Lock()
-	if n := len(t.idle); n > 0 {
+	for n := len(t.idle); n > 0; n = len(t.idle) {
 		cn = t.idle[n-1]
 		t.idle = t.idle[:n-1]
-		t.mu.Unlock()
-		return cn, true, nil
+		if time.Since(cn.idleSince) <= t.idleTimeout {
+			t.mu.Unlock()
+			return cn, true, nil
+		}
+		cn.c.Close()
 	}
 	t.mu.Unlock()
 	c, err := net.Dial("unix", t.path)
@@ -62,9 +106,16 @@ func (t *udsTransport) get() (cn *udsConn, pooled bool, err error) {
 	return &udsConn{c: c, br: bufio.NewReaderSize(c, 64<<10)}, false, nil
 }
 
-// put returns a healthy connection to the pool.
+// put returns a healthy connection to the pool, closing it instead when the
+// pool is at capacity.
 func (t *udsTransport) put(cn *udsConn) {
+	cn.idleSince = time.Now()
 	t.mu.Lock()
+	if len(t.idle) >= t.poolCap {
+		t.mu.Unlock()
+		cn.c.Close()
+		return
+	}
 	t.idle = append(t.idle, cn)
 	t.mu.Unlock()
 }
@@ -100,7 +151,10 @@ func (t *udsTransport) roundTrip(ctx context.Context, payload []byte) (*udsConn,
 // backoff (mirroring the HTTP path's admission-control behavior) and "MTE1"
 // error mapping to *APIError. On success the handle function decodes the
 // full response payload (magic included) while the connection is still
-// owned; the connection is pooled again afterwards.
+// owned. The connection is pooled again only after a cleanly decoded
+// response (success or well-formed error frame); a payload the client cannot
+// make sense of closes it — a peer that sent one undecodable frame cannot be
+// trusted to stay in sync.
 func (c *Client) udsCall(ctx context.Context, payload []byte, handle func(kind string, resp []byte) error) error {
 	backoff := c.backoff
 	for attempt := 0; ; attempt++ {
@@ -111,10 +165,11 @@ func (c *Client) udsCall(ctx context.Context, payload []byte, handle func(kind s
 		kind := serve.FrameKind(resp)
 		if kind == "MTE1" {
 			status, msg, perr := serve.DecodeErrorPayload(resp)
-			c.uds.put(cn)
 			if perr != nil {
+				cn.c.Close()
 				return fmt.Errorf("client: %w", perr)
 			}
+			c.uds.put(cn)
 			if status == http.StatusServiceUnavailable && attempt < c.retries {
 				select {
 				case <-time.After(backoff):
@@ -126,9 +181,12 @@ func (c *Client) udsCall(ctx context.Context, payload []byte, handle func(kind s
 			}
 			return &APIError{Status: status, Msg: msg}
 		}
-		err = handle(kind, resp)
+		if err = handle(kind, resp); err != nil {
+			cn.c.Close()
+			return err
+		}
 		c.uds.put(cn)
-		return err
+		return nil
 	}
 }
 
@@ -150,16 +208,25 @@ func (c *Client) udsControl(ctx context.Context, op, name, dir string, out any) 
 	})
 }
 
-// udsPredictBatch runs a batch through the socket's predict frames. The
-// request payload is built in a pooled buffer; the response payload is the
-// standard binary batch response, decoded in place off the connection's read
-// buffer.
+// udsPredictBatch runs a batch through the socket's predict frames: over the
+// pipelined multiplexer against a v2 server, or the one-at-a-time pooled
+// path once the server is known to be v1-only. The request payload is built
+// in a pooled buffer; the response payload is the standard binary batch
+// response.
 func (c *Client) udsPredictBatch(ctx context.Context, model string, rows [][]float64) (*Prediction, error) {
 	buf := c.uds.reqPool.Get().(*bytes.Buffer)
 	defer c.uds.reqPool.Put(buf)
 	buf.Reset()
 	if err := serve.EncodeBatchRequest(buf, model, rows); err != nil {
 		return nil, fmt.Errorf("client: %w", err)
+	}
+	if !c.uds.legacy.Load() {
+		p, fellBack, err := c.muxPredictBatch(ctx, buf.Bytes())
+		if !fellBack {
+			return p, err
+		}
+		// The hello was refused: a v1 server. Fall through to the
+		// one-frame-at-a-time path (c.uds.legacy is latched now).
 	}
 	var p *Prediction
 	err := c.udsCall(ctx, buf.Bytes(), func(kind string, resp []byte) error {

@@ -120,11 +120,12 @@ func TestClientUDSControlOps(t *testing.T) {
 	}
 }
 
-// TestClientUDSConnectionReuse pins the pooling behavior: sequential calls
-// ride one connection instead of redialing.
+// TestClientUDSConnectionReuse pins the pooling behavior: sequential predict
+// calls ride one multiplexed connection instead of redialing, and control
+// ops (always v1) keep exactly one pooled connection.
 func TestClientUDSConnectionReuse(t *testing.T) {
 	sock, _ := testUDSServer(t)
-	c := New("unix://" + sock)
+	c := New("unix://"+sock, WithConns(1))
 	ctx := context.Background()
 	for i := 0; i < 5; i++ {
 		if _, err := c.PredictBatch(ctx, "cls", [][]float64{{0.5, 0.5}}); err != nil {
@@ -132,10 +133,31 @@ func TestClientUDSConnectionReuse(t *testing.T) {
 		}
 	}
 	c.uds.mu.Lock()
+	muxLive := 0
+	for _, mc := range c.uds.mux {
+		if mc != nil {
+			muxLive++
+		}
+	}
 	idle := len(c.uds.idle)
 	c.uds.mu.Unlock()
+	if muxLive != 1 {
+		t.Fatalf("%d live mux connections after 5 sequential predicts, want 1", muxLive)
+	}
+	if idle != 0 {
+		t.Fatalf("%d idle v1 connections after predicts on a v2 server, want 0", idle)
+	}
+
+	for i := 0; i < 5; i++ {
+		if _, err := c.Stats(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.uds.mu.Lock()
+	idle = len(c.uds.idle)
+	c.uds.mu.Unlock()
 	if idle != 1 {
-		t.Fatalf("%d idle connections after 5 sequential calls, want 1", idle)
+		t.Fatalf("%d idle connections after 5 sequential control ops, want 1", idle)
 	}
 }
 

@@ -1,0 +1,310 @@
+// Command metis-loadgen drives a metis-serve endpoint with open-loop load
+// and reports the latency distribution. Open-loop means arrivals follow a
+// schedule (Poisson or fixed-rate) that does NOT slow down when the server
+// does — latency is measured from each request's scheduled arrival, so queue
+// wait under overload is part of the number, the way it is for real traffic.
+//
+// Quickstart against a local daemon:
+//
+//	metis-serve -dir models -uds /tmp/metis.sock &
+//	metis-loadgen -addr unix:///tmp/metis.sock -rate 2000 -duration 5s
+//
+// The traffic mix defaults to every served model with equal weight; -models
+// "abr:3,dcn:1" sends abr three times as often as dcn. Requests fan out over
+// -workers goroutines sharing one SDK client (the client multiplexes over
+// -conns pipelined socket connections against a v2 server); every request is
+// a -batch row binary-codec batch of uniform random feature rows.
+//
+// Output is one "key value" pair per line (model_requests and hist_us carry
+// two values), so a script can pick off p99 with awk:
+//
+//	requests_total 9983
+//	throughput_preds_per_s 79432.1
+//	latency_p50_us 412
+//	latency_p99_us 1873
+//	latency_p999_us 3541
+//	hist_us 447 1021        ← count of requests with latency ≤ 447µs bucket
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/client"
+	"repro/internal/histo"
+)
+
+// config is the parsed command line.
+type config struct {
+	addr     string
+	models   string
+	rate     float64
+	arrival  string
+	duration time.Duration
+	batch    int
+	workers  int
+	conns    int
+	seed     int64
+}
+
+// parseFlags parses args (not including the program name) into a config.
+func parseFlags(args []string, stderr io.Writer) (*config, error) {
+	fs := flag.NewFlagSet("metis-loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfg := &config{}
+	fs.StringVar(&cfg.addr, "addr", "unix:///tmp/metis.sock",
+		"endpoint: unix:///path.sock for the framed socket, or an http:// base URL")
+	fs.StringVar(&cfg.models, "models", "",
+		"traffic mix as name[:weight],… (default: every served model, equal weight)")
+	fs.Float64Var(&cfg.rate, "rate", 1000, "offered load in requests per second")
+	fs.StringVar(&cfg.arrival, "arrival", "poisson", "arrival process: poisson or fixed")
+	fs.DurationVar(&cfg.duration, "duration", 5*time.Second, "how long to offer load")
+	fs.IntVar(&cfg.batch, "batch", 16, "rows per predict request")
+	fs.IntVar(&cfg.workers, "workers", 8, "request-issuing goroutines")
+	fs.IntVar(&cfg.conns, "conns", 2, "multiplexed socket connections (unix:// endpoints)")
+	fs.Int64Var(&cfg.seed, "seed", 1, "RNG seed for arrivals, mix, and feature rows")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if cfg.rate <= 0 {
+		return nil, fmt.Errorf("-rate must be positive (got %g)", cfg.rate)
+	}
+	if cfg.arrival != "poisson" && cfg.arrival != "fixed" {
+		return nil, fmt.Errorf("-arrival must be poisson or fixed (got %q)", cfg.arrival)
+	}
+	if cfg.duration <= 0 {
+		return nil, fmt.Errorf("-duration must be positive (got %v)", cfg.duration)
+	}
+	if cfg.batch <= 0 || cfg.workers <= 0 || cfg.conns <= 0 {
+		return nil, fmt.Errorf("-batch, -workers, and -conns must be positive")
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	return cfg, nil
+}
+
+// mixEntry is one model in the traffic mix with its pre-generated request
+// rows (shared read-only across workers) and live request count.
+type mixEntry struct {
+	name   string
+	weight float64
+	rows   [][]float64
+	count  atomic.Int64
+}
+
+// parseMix splits "name[:weight],…" into (name, weight) pairs.
+func parseMix(spec string) ([]mixEntry, error) {
+	var out []mixEntry
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weightStr, hasWeight := strings.Cut(part, ":")
+		weight := 1.0
+		if hasWeight {
+			w, err := strconv.ParseFloat(weightStr, 64)
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("bad weight in mix entry %q", part)
+			}
+			weight = w
+		}
+		out = append(out, mixEntry{name: name, weight: weight})
+	}
+	if len(out) == 0 {
+		return nil, errors.New("empty -models mix")
+	}
+	return out, nil
+}
+
+// buildMix resolves the traffic mix against the server's model list and
+// fills each entry's request rows with uniform random features of the
+// model's width.
+func buildMix(ctx context.Context, c *client.Client, cfg *config, rng *rand.Rand) ([]*mixEntry, error) {
+	served, err := c.Models(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("list models: %w", err)
+	}
+	width := make(map[string]int, len(served))
+	for _, m := range served {
+		width[m.Name] = m.Features
+	}
+	var mix []mixEntry
+	if cfg.models == "" {
+		for _, m := range served {
+			mix = append(mix, mixEntry{name: m.Name, weight: 1})
+		}
+		if len(mix) == 0 {
+			return nil, errors.New("server lists no models")
+		}
+	} else if mix, err = parseMix(cfg.models); err != nil {
+		return nil, err
+	}
+	out := make([]*mixEntry, len(mix))
+	for i := range mix {
+		m := &mix[i]
+		w, ok := width[m.name]
+		if !ok {
+			return nil, fmt.Errorf("model %q is not served", m.name)
+		}
+		m.rows = make([][]float64, cfg.batch)
+		for r := range m.rows {
+			row := make([]float64, w)
+			for f := range row {
+				row[f] = rng.Float64()
+			}
+			m.rows[r] = row
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// pickModel draws one mix entry by weight.
+func pickModel(mix []*mixEntry, total float64, rng *rand.Rand) *mixEntry {
+	x := rng.Float64() * total
+	for _, m := range mix {
+		if x -= m.weight; x < 0 {
+			return m
+		}
+	}
+	return mix[len(mix)-1]
+}
+
+// job is one scheduled arrival. Latency is measured from scheduled, not from
+// when a worker got around to sending — that difference IS the queueing the
+// open-loop model exists to expose.
+type job struct {
+	scheduled time.Time
+	m         *mixEntry
+}
+
+// run offers the configured load and writes the report to out.
+func run(ctx context.Context, cfg *config, out io.Writer) error {
+	c := client.New(cfg.addr, client.WithConns(cfg.conns))
+	rng := rand.New(rand.NewSource(cfg.seed))
+	mix, err := buildMix(ctx, c, cfg, rng)
+	if err != nil {
+		return err
+	}
+	var totalWeight float64
+	for _, m := range mix {
+		totalWeight += m.weight
+	}
+
+	var (
+		dropped atomic.Int64
+		failed  atomic.Int64
+		jobs    = make(chan job, 8192)
+		hists   = make([]*histo.Histogram, cfg.workers)
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < cfg.workers; w++ {
+		h := histo.New()
+		hists[w] = h
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if _, err := c.PredictBatch(ctx, j.m.name, j.m.rows); err != nil {
+					failed.Add(1)
+					continue
+				}
+				h.Record(time.Since(j.scheduled).Nanoseconds())
+				j.m.count.Add(1)
+			}
+		}()
+	}
+
+	// The scheduler: walk the arrival schedule in absolute time. When the
+	// clock is ahead of the schedule (a stall pushed us behind) requests
+	// fire back-to-back until the schedule catches up — open loop, no
+	// coordinated omission. A full queue means the server and workers are
+	// hopelessly behind the offered rate; those arrivals are counted
+	// dropped rather than silently stretching the schedule.
+	start := time.Now()
+	deadline := start.Add(cfg.duration)
+	next := start
+	interval := time.Duration(float64(time.Second) / cfg.rate)
+	total := 0
+	for next.Before(deadline) && ctx.Err() == nil {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		total++
+		j := job{scheduled: next, m: pickModel(mix, totalWeight, rng)}
+		select {
+		case jobs <- j:
+		default:
+			dropped.Add(1)
+		}
+		if cfg.arrival == "poisson" {
+			next = next.Add(time.Duration(rng.ExpFloat64() * float64(interval)))
+		} else {
+			next = next.Add(interval)
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	h := histo.New()
+	for _, wh := range hists {
+		h.Merge(wh)
+	}
+	ok := int64(h.Count())
+	us := func(ns int64) int64 { return ns / 1e3 }
+	fmt.Fprintf(out, "requests_total %d\n", total)
+	fmt.Fprintf(out, "requests_ok %d\n", ok)
+	fmt.Fprintf(out, "requests_failed %d\n", failed.Load())
+	fmt.Fprintf(out, "requests_dropped %d\n", dropped.Load())
+	fmt.Fprintf(out, "elapsed_s %.3f\n", elapsed.Seconds())
+	fmt.Fprintf(out, "throughput_req_per_s %.1f\n", float64(ok)/elapsed.Seconds())
+	fmt.Fprintf(out, "throughput_preds_per_s %.1f\n", float64(ok*int64(cfg.batch))/elapsed.Seconds())
+	fmt.Fprintf(out, "latency_mean_us %.1f\n", h.Mean()/1e3)
+	fmt.Fprintf(out, "latency_p50_us %d\n", us(h.Quantile(0.50)))
+	fmt.Fprintf(out, "latency_p90_us %d\n", us(h.Quantile(0.90)))
+	fmt.Fprintf(out, "latency_p99_us %d\n", us(h.Quantile(0.99)))
+	fmt.Fprintf(out, "latency_p999_us %d\n", us(h.Quantile(0.999)))
+	fmt.Fprintf(out, "latency_max_us %d\n", us(h.Max()))
+	for _, m := range mix {
+		fmt.Fprintf(out, "model_requests %s %d\n", m.name, m.count.Load())
+	}
+	for _, b := range h.Buckets() {
+		fmt.Fprintf(out, "hist_us %d %d\n", us(b.Le), b.Count)
+	}
+	return nil
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

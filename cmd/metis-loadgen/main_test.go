@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"io"
+	"math/rand"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/metis/dtree"
+	"repro/internal/serve"
+)
+
+func TestParseFlags(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"defaults", nil, ""},
+		{"all knobs", []string{"-addr", "unix:///tmp/x.sock", "-models", "a:2,b", "-rate", "500",
+			"-arrival", "fixed", "-duration", "1s", "-batch", "8", "-workers", "2", "-conns", "1", "-seed", "9"}, ""},
+		{"zero rate", []string{"-rate", "0"}, "-rate must be positive"},
+		{"bad arrival", []string{"-arrival", "bursty"}, "-arrival must be poisson or fixed"},
+		{"zero duration", []string{"-duration", "0s"}, "-duration must be positive"},
+		{"zero batch", []string{"-batch", "0"}, "must be positive"},
+		{"stray positional", []string{"stray"}, "unexpected arguments"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseFlags(tc.args, io.Discard)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("parseFlags(%v) = %v", tc.args, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("parseFlags(%v) err = %v, want %q", tc.args, err, tc.wantErr)
+			}
+		})
+	}
+	if _, err := parseFlags([]string{"-h"}, io.Discard); err != flag.ErrHelp {
+		t.Fatalf("-h err = %v, want flag.ErrHelp", err)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("abr:3, dcn ,x:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 3 || mix[0].weight != 3 || mix[1].name != "dcn" || mix[1].weight != 1 || mix[2].weight != 0.5 {
+		t.Fatalf("mix = %+v", mix)
+	}
+	for _, bad := range []string{"", "a:-1", "a:zero"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Fatalf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// reportValue pulls one "key value" line out of a run report.
+func reportValue(t *testing.T, report, key string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(report, "\n") {
+		if rest, ok := strings.CutPrefix(line, key+" "); ok {
+			v, err := strconv.ParseFloat(strings.Fields(rest)[0], 64)
+			if err != nil {
+				t.Fatalf("unparsable %s line %q: %v", key, line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("report has no %q line:\n%s", key, report)
+	return 0
+}
+
+// TestRunAgainstLiveDaemon offers a short burst of open-loop load to a real
+// engine over the framed socket and checks the report: traffic flowed, the
+// quantiles are present and ordered, and the per-model counts add up.
+func TestRunAgainstLiveDaemon(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(3))
+	ds := &dtree.Dataset{}
+	for i := 0; i < 200; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		y := 0
+		if x[0] > x[1] {
+			y = 1
+		}
+		ds.X = append(ds.X, x)
+		ds.Y = append(ds.Y, y)
+	}
+	tree, err := dtree.Build(ds, dtree.BuildOptions{MaxLeaves: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := artifact.SaveModel(filepath.Join(dir, "abr.metis"), tree, map[string]string{"name": "abr"}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := serve.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock := filepath.Join(t.TempDir(), "metis.sock")
+	l, err := serve.ListenUDS(sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go e.ServeUDS(l)
+
+	cfg := &config{
+		addr:     "unix://" + sock,
+		rate:     2000,
+		arrival:  "poisson",
+		duration: 300 * time.Millisecond,
+		batch:    4,
+		workers:  2,
+		conns:    1,
+		seed:     7,
+	}
+	var out bytes.Buffer
+	if err := run(context.Background(), cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+
+	total := reportValue(t, report, "requests_total")
+	ok := reportValue(t, report, "requests_ok")
+	if total < 100 || ok < 100 {
+		t.Fatalf("only %g requests scheduled, %g ok:\n%s", total, ok, report)
+	}
+	if failed := reportValue(t, report, "requests_failed"); failed != 0 {
+		t.Fatalf("%g requests failed:\n%s", failed, report)
+	}
+	if tput := reportValue(t, report, "throughput_preds_per_s"); tput <= 0 {
+		t.Fatalf("throughput_preds_per_s = %g", tput)
+	}
+	p50 := reportValue(t, report, "latency_p50_us")
+	p99 := reportValue(t, report, "latency_p99_us")
+	p999 := reportValue(t, report, "latency_p999_us")
+	max := reportValue(t, report, "latency_max_us")
+	if p50 <= 0 || p50 > p99 || p99 > p999 || p999 > max {
+		t.Fatalf("quantiles out of order: p50=%g p99=%g p999=%g max=%g", p50, p99, p999, max)
+	}
+	if modelReqs := reportValue(t, report, "model_requests abr"); modelReqs != ok {
+		t.Fatalf("model_requests abr = %g, requests_ok = %g", modelReqs, ok)
+	}
+	if !strings.Contains(report, "hist_us ") {
+		t.Fatalf("report has no histogram lines:\n%s", report)
+	}
+
+	// Fixed-rate arrivals against the same daemon, mix given explicitly.
+	cfg.arrival = "fixed"
+	cfg.models = "abr:2"
+	out.Reset()
+	if err := run(context.Background(), cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if ok := reportValue(t, out.String(), "requests_ok"); ok < 100 {
+		t.Fatalf("fixed-rate run completed only %g requests", ok)
+	}
+
+	// A mix naming an unserved model must fail fast.
+	cfg.models = "ghost"
+	if err := run(context.Background(), cfg, io.Discard.(io.Writer)); err == nil {
+		t.Fatal("run accepted a mix naming an unserved model")
+	}
+}

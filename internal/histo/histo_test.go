@@ -1,0 +1,167 @@
+package histo
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestExactSmallValues pins the linear range: values below 1<<subBits are
+// their own bucket, so small-value quantiles are exact.
+func TestExactSmallValues(t *testing.T) {
+	h := New()
+	for v := int64(0); v < subCount; v++ {
+		h.Record(v)
+	}
+	if h.Count() != subCount {
+		t.Fatalf("count = %d, want %d", h.Count(), subCount)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("q0 = %d, want 0", got)
+	}
+	if got := h.Quantile(1); got != subCount-1 {
+		t.Fatalf("q1 = %d, want %d", got, subCount-1)
+	}
+	// The median of 0..31 (rank 16 of 32) lands on value 15.
+	if got := h.Quantile(0.5); got != 15 {
+		t.Fatalf("q0.5 = %d, want 15", got)
+	}
+}
+
+// TestBucketMonotone pins the index/upper mapping: indices are monotone in
+// the value, and every value is ≤ its bucket's upper edge within the
+// relative-error contract.
+func TestBucketMonotone(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 31, 32, 33, 63, 64, 100, 1 << 20, 1<<40 + 12345, 1<<62 + 9} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex(%d) = %d < previous %d", v, idx, prev)
+		}
+		prev = idx
+		up := bucketUpper(idx)
+		if up < v {
+			t.Fatalf("bucketUpper(%d) = %d < value %d", idx, up, v)
+		}
+		if v >= subCount && float64(up-v) > float64(v)/subCount*2+1 {
+			t.Fatalf("value %d: upper %d exceeds the relative error bound", v, up)
+		}
+	}
+	// Indices are contiguous from 0: every bucket's upper is above the
+	// previous bucket's upper.
+	for i := 1; i < numBuckets; i++ {
+		if bucketUpper(i) <= bucketUpper(i-1) {
+			t.Fatalf("bucketUpper not strictly increasing at %d: %d then %d", i, bucketUpper(i-1), bucketUpper(i))
+		}
+	}
+}
+
+// TestQuantileRelativeError compares histogram quantiles against exact
+// sorted-sample quantiles on lognormal-ish data: the histogram answer must
+// sit within the 1/subCount relative error bound (plus the sample's own
+// bucket granularity).
+func TestQuantileRelativeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := New()
+	vals := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		v := int64(1 + rng.ExpFloat64()*50000)
+		vals = append(vals, v)
+		h.Record(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := vals[int(q*float64(len(vals)-1))]
+		got := h.Quantile(q)
+		rel := float64(got-exact) / float64(exact)
+		if rel < -1.0/subCount || rel > 2.0/subCount {
+			t.Fatalf("q%.3f: histogram %d vs exact %d (rel err %.4f)", q, got, exact, rel)
+		}
+	}
+	if h.Max() != vals[len(vals)-1] {
+		t.Fatalf("max = %d, want %d", h.Max(), vals[len(vals)-1])
+	}
+}
+
+// TestMergeMatchesCombinedRecording pins Merge: recording into two
+// histograms and merging equals recording everything into one.
+func TestMergeMatchesCombinedRecording(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a, b, all := New(), New(), New()
+	for i := 0; i < 5000; i++ {
+		v := int64(rng.Intn(1 << 22))
+		all.Record(v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	a.Merge(b)
+	if a.Count() != all.Count() {
+		t.Fatalf("merged count %d, want %d", a.Count(), all.Count())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.99} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Fatalf("q%.2f: merged %d, combined %d", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+	if a.Mean() != all.Mean() || a.Max() != all.Max() {
+		t.Fatalf("merged mean/max %v/%v, want %v/%v", a.Mean(), a.Max(), all.Mean(), all.Max())
+	}
+}
+
+// TestConcurrentRecord exercises Record/Quantile/Merge under the race
+// detector.
+func TestConcurrentRecord(t *testing.T) {
+	h := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 10000; i++ {
+				h.Record(int64(rng.Intn(1 << 30)))
+			}
+		}(int64(g))
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m := New()
+		for i := 0; i < 100; i++ {
+			h.Quantile(0.99)
+			m.Merge(h)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if h.Count() != 80000 {
+		t.Fatalf("count = %d, want 80000", h.Count())
+	}
+}
+
+// TestBuckets pins the render shape: non-empty cells only, ascending, and
+// counts summing to Count.
+func TestBuckets(t *testing.T) {
+	h := New()
+	for _, v := range []int64{3, 3, 100, 100000} {
+		h.Record(v)
+	}
+	bs := h.Buckets()
+	if len(bs) != 3 {
+		t.Fatalf("got %d buckets, want 3: %+v", len(bs), bs)
+	}
+	var sum uint64
+	for i, b := range bs {
+		sum += b.Count
+		if i > 0 && b.Le <= bs[i-1].Le {
+			t.Fatalf("buckets not ascending: %+v", bs)
+		}
+	}
+	if sum != h.Count() {
+		t.Fatalf("bucket counts sum to %d, want %d", sum, h.Count())
+	}
+}

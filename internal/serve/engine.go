@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/artifact"
+	"repro/internal/histo"
 	"repro/internal/metis/dtree"
 	"repro/internal/parallel"
 )
@@ -196,6 +197,9 @@ type Engine struct {
 	requests atomic.Int64
 	errors   atomic.Int64
 	reloads  atomic.Int64
+	// latency records nanoseconds per successful predict call, across all
+	// transports (HTTP and both socket framings share this one histogram).
+	latency *histo.Histogram
 }
 
 // NewEngine loads every servable artifact in dir into a fresh engine.
@@ -204,7 +208,7 @@ func NewEngine(dir string, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{cfg: cfg, start: time.Now()}
+	e := &Engine{cfg: cfg, start: time.Now(), latency: histo.New()}
 	if w := parallel.Workers(cfg.Workers); w > 1 {
 		e.sem = make(chan struct{}, w-1)
 	}
@@ -390,6 +394,7 @@ func (e *Engine) Predict(name string, rows [][]float64) (*Prediction, error) {
 // steady-state predictions without growing the heap. On error p is left
 // unmodified.
 func (e *Engine) PredictInto(name string, rows [][]float64, p *Prediction) error {
+	t0 := time.Now()
 	e.requests.Add(1)
 	if e.inflight != nil {
 		select {
@@ -451,8 +456,14 @@ func (e *Engine) PredictInto(name string, rows [][]float64, p *Prediction) error
 		}
 		p.Actions, p.Values = out, nil
 	}
+	e.latency.Record(time.Since(t0).Nanoseconds())
 	return nil
 }
+
+// Latency returns the engine's predict-latency histogram (nanoseconds per
+// successful call, all transports combined). Callers may read quantiles or
+// merge it; they must not reset it.
+func (e *Engine) Latency() *histo.Histogram { return e.latency }
 
 // growInts resizes s to n entries, reusing its backing array when it fits.
 func growInts(s []int, n int) []int {

@@ -291,6 +291,14 @@ func (e *Engine) statsBody() map[string]any {
 		"dir":       e.Dir(),
 		"loaded_at": e.LoadedAt().UTC().Format(time.RFC3339),
 		"models":    per,
+		"latency": map[string]any{
+			"count":   e.latency.Count(),
+			"mean_us": e.latency.Mean() / 1e3,
+			"p50_us":  float64(e.latency.Quantile(0.50)) / 1e3,
+			"p99_us":  float64(e.latency.Quantile(0.99)) / 1e3,
+			"p999_us": float64(e.latency.Quantile(0.999)) / 1e3,
+			"max_us":  float64(e.latency.Max()) / 1e3,
+		},
 	}
 }
 

@@ -2,7 +2,6 @@ package serve
 
 import (
 	"bufio"
-	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -11,15 +10,17 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 )
 
 // The unix-domain-socket transport: the binary batch codec without the HTTP
-// machinery. A connection carries a sequence of length-prefixed frames, each
-// answered in order with exactly one response frame:
+// machinery. A connection starts in v1 framing — a sequence of
+// length-prefixed frames, each answered in order with exactly one response
+// frame:
 //
-//	frame:   length uint32 LE | payload [length]byte
+//	v1 frame: length uint32 LE | payload [length]byte
 //
 // The first four payload bytes tag the frame kind:
 //
@@ -32,18 +33,44 @@ import (
 //	        corresponding HTTP route renders.
 //	"MTE1"  error (response only) — status uint16 LE (the HTTP status the
 //	        error maps to) followed by the message bytes.
+//	"MTH2"  hello (v2 upgrade) — see below.
+//
+// Version negotiation — pipelined v2 framing. A client that wants multiple
+// outstanding requests per connection sends, as its FIRST frame, a v1 frame
+// whose payload is exactly "MTH2". A v2 server answers with a v1 frame whose
+// payload starts with "MTH2", and both sides switch to v2 framing for the
+// rest of the connection:
+//
+//	v2 frame: length uint32 LE | id uint32 LE | payload [length]byte
+//
+// where id is a correlation ID chosen by the client (length counts the
+// payload only). The server dispatches every v2 request to its inference
+// pool without waiting for earlier responses; responses carry the request's
+// id and may arrive IN ANY ORDER. Payload kinds are unchanged.
+//
+// A v1 server answers the hello like any other unknown magic: an "MTE1"
+// error frame, after which the connection keeps working in v1 — so a v2
+// client downgrades by reading the hello response, and a v1 client (which
+// never sends a hello) is served exactly as before. The handshake costs one
+// round-trip once per connection in either direction.
 //
 // Framing is the only thing this layer adds: predict payloads are byte-for-
 // byte the HTTP binary bodies, so the two transports share one codec, one
 // engine, one admission-control path, and one stats surface. What the socket
 // removes is everything HTTP spends per request — header parsing, routing,
-// header rendering, chunked encoding — which is most of the per-call cost
-// once the codec is binary.
+// header rendering, chunked encoding — and what v2 removes on top is the
+// request/response round-trip of dead air: frames pipeline, and both sides
+// coalesce adjacent frames into vectored writes.
 const (
 	controlMagic = "MTQ1"
 	jsonMagic    = "MTJ1"
 	errMagic     = "MTE1"
 )
+
+// HelloMagic is the payload of the v2 upgrade hello and the prefix of its
+// acknowledgement (future servers may append capability bytes after it;
+// clients must accept any ack payload starting with these four bytes).
+const HelloMagic = "MTH2"
 
 // maxFramePayload bounds one frame. The largest legitimate payload is a
 // maxBinaryElems float64 matrix (1 GiB) plus the batch header; anything
@@ -70,15 +97,18 @@ func WriteFrame(w io.Writer, payload []byte) error {
 // ReadFrame reads one frame into buf (reused when it fits, grown otherwise)
 // and returns the payload. io.EOF is returned untouched when the peer closed
 // between frames, so callers can distinguish a clean close from truncation.
+// The header is staged through buf too — a stack-local header array would
+// escape through the io.Reader interface and cost an allocation per frame,
+// which the serving loops cannot afford.
 func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
-	var head [4]byte
-	if _, err := io.ReadFull(r, head[:]); err != nil {
+	buf = growBytes(buf, 4)
+	if _, err := io.ReadFull(r, buf); err != nil {
 		if err == io.EOF {
 			return nil, io.EOF
 		}
 		return nil, fmt.Errorf("%w: short length prefix: %v", ErrBadFrame, err)
 	}
-	n := int64(binary.LittleEndian.Uint32(head[:]))
+	n := int64(binary.LittleEndian.Uint32(buf))
 	if n > maxFramePayload {
 		return nil, fmt.Errorf("%w: %d-byte payload exceeds the %d limit", ErrBadFrame, n, maxFramePayload)
 	}
@@ -87,6 +117,45 @@ func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w: short payload: %v", ErrBadFrame, err)
 	}
 	return buf, nil
+}
+
+// WriteFrameID writes payload as one v2 frame under the given correlation
+// ID. Like WriteFrame, the header and payload go out as one vectored write.
+func WriteFrameID(w io.Writer, id uint32, payload []byte) error {
+	if len(payload) > maxFramePayload {
+		return fmt.Errorf("%w: %d-byte payload exceeds the %d limit", ErrBadFrame, len(payload), maxFramePayload)
+	}
+	var head [8]byte
+	binary.LittleEndian.PutUint32(head[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(head[4:8], id)
+	bufs := net.Buffers{head[:], payload}
+	_, err := bufs.WriteTo(w)
+	return err
+}
+
+// ReadFrameID reads one v2 frame into buf (reused when it fits, grown
+// otherwise) and returns its correlation ID and payload. io.EOF is returned
+// untouched when the peer closed between frames.
+func ReadFrameID(r io.Reader, buf []byte) (id uint32, payload []byte, err error) {
+	// As in ReadFrame, the header is staged through buf to keep the steady
+	// state allocation-free.
+	buf = growBytes(buf, 8)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: short v2 header: %v", ErrBadFrame, err)
+	}
+	n := int64(binary.LittleEndian.Uint32(buf[0:4]))
+	id = binary.LittleEndian.Uint32(buf[4:8])
+	if n > maxFramePayload {
+		return 0, nil, fmt.Errorf("%w: %d-byte payload exceeds the %d limit", ErrBadFrame, n, maxFramePayload)
+	}
+	buf = growBytes(buf, int(n))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, fmt.Errorf("%w: short payload: %v", ErrBadFrame, err)
+	}
+	return id, buf, nil
 }
 
 // ControlRequest builds an "MTQ1" control payload. Fields irrelevant to the
@@ -166,27 +235,40 @@ func (e *Engine) ServeUDS(l net.Listener) error {
 			}
 			return err
 		}
+		// Large socket buffers keep pipelined peers streaming instead of
+		// blocking every couple of frames on the (small) kernel default —
+		// each block is a park/unpark round through the scheduler and
+		// netpoller, which at frame rates is real syscall time.
+		if uc, ok := conn.(*net.UnixConn); ok {
+			uc.SetReadBuffer(1 << 20)
+			uc.SetWriteBuffer(1 << 20)
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			e.serveUDSConn(conn)
+			e.serveUDSConn(conn, true)
 		}()
 	}
 }
 
-// serveUDSConn answers one connection's frames in order. All per-connection
-// state — the frame buffer, the decode/predict/encode scratch, the response
-// buffer — is allocated once and reused for every frame, so a pinned
-// connection serves at a steady-state allocation rate of zero.
-func (e *Engine) serveUDSConn(conn net.Conn) {
+// serveUDSConn answers one connection's frames in v1 order, upgrading to the
+// pipelined v2 mode when the first frame is a hello (and allowV2 — tests use
+// false to emulate a pre-v2 server). All per-connection v1 state — the frame
+// buffer, the decode/predict/encode scratch, the response buffer — is
+// allocated once and reused for every frame, so a pinned connection serves
+// at a steady-state allocation rate of zero.
+func (e *Engine) serveUDSConn(conn net.Conn, allowV2 bool) {
 	defer conn.Close()
-	br := bufio.NewReaderSize(conn, 64<<10)
+	// 256 KiB: large enough that a full default-max-batch predict frame fits
+	// the pipelined mode's zero-copy peek window, and cheap at the handful of
+	// co-located connections a unix socket serves.
+	br := bufio.NewReaderSize(conn, 256<<10)
 	s := batchScratchPool.Get().(*batchScratch)
 	defer batchScratchPool.Put(s)
 	var (
 		frame []byte
-		body  bytes.Reader
 		out   []byte
+		first = true
 	)
 	for {
 		var err error
@@ -196,37 +278,240 @@ func (e *Engine) serveUDSConn(conn net.Conn) {
 			// either way.
 			return
 		}
-		switch FrameKind(frame) {
-		case batchMagic:
-			body.Reset(frame)
-			out = e.udsPredict(&body, s, out[:0])
-		case controlMagic:
-			out = e.udsControl(frame[4:], out[:0])
-		default:
-			out = appendErrorPayload(out[:0], http.StatusBadRequest,
-				fmt.Sprintf("unknown frame magic %q", FrameKind(frame)))
-			e.errors.Add(1)
+		if first && allowV2 && string(frame) == HelloMagic {
+			if err := WriteFrame(conn, []byte(HelloMagic)); err != nil {
+				return
+			}
+			e.serveUDSPipelined(conn, br)
+			return
 		}
+		first = false
+		out = e.udsDispatch(frame, s, out[:0])
 		if err := WriteFrame(conn, out); err != nil {
 			return
 		}
 	}
 }
 
+// udsDispatch answers one request payload (either framing version) into out.
+func (e *Engine) udsDispatch(frame []byte, s *batchScratch, out []byte) []byte {
+	switch FrameKind(frame) {
+	case batchMagic:
+		return e.udsPredict(frame, s, out)
+	case controlMagic:
+		return e.udsControl(frame[4:], out)
+	default:
+		e.errors.Add(1)
+		return appendErrorPayload(out, http.StatusBadRequest,
+			fmt.Sprintf("unknown frame magic %q", FrameKind(frame)))
+	}
+}
+
+// Pipelined-mode sizing: the per-connection dispatch queue bounds how many
+// frames may be in flight beyond the workers (the reader blocks when it
+// fills — backpressure instead of unbounded buffering), and the writer
+// coalesces up to maxUDSCoalesce completed responses into one vectored
+// write.
+const (
+	udsPipelineQueue = 256
+	maxUDSCoalesce   = 128
+)
+
+// udsBufPool recycles the per-frame request and response buffers of
+// pipelined connections. Pooled as pointers so Put does not allocate a
+// slice-header box.
+var udsBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// udsV2Job is one request handed from the reader to a dispatch worker. The
+// common shape is a pre-decoded predict (s != nil): the reader decoded the
+// feature rows straight out of its buffered peek — zero payload copies — and
+// the worker only runs inference and encodes. Control frames, unknown
+// magics, and frames too large to peek arrive as a raw copied payload in req
+// (owned, from udsBufPool). udsV2Resp is one completed response handed to
+// the writer, owning its buffer until the writer releases it.
+type udsV2Job struct {
+	id uint32
+	// Decoded predict job: rows alias s.flat; derr is the decode error,
+	// rendered by the worker so error frames keep their correlation ID.
+	s     *batchScratch
+	model string
+	rows  [][]float64
+	derr  error
+	// Raw job (s == nil).
+	req *[]byte
+}
+
+type udsV2Resp struct {
+	id  uint32
+	out *[]byte
+}
+
+// serveUDSPipelined serves one connection in v2 framing: the reader hands
+// every frame to a small per-connection worker pool without waiting for
+// earlier responses, and a single writer goroutine matches completed
+// responses (out of order) back onto the wire, coalescing adjacent ones into
+// batched vectored writes. Inference parallelism across requests is still
+// governed by the engine's shared pool and admission control; the workers
+// here only overlap decode/encode and eliminate the per-frame round-trip of
+// dead air.
+func (e *Engine) serveUDSPipelined(conn net.Conn, br *bufio.Reader) {
+	workers := max(2, min(4, runtime.GOMAXPROCS(0)))
+	jobs := make(chan udsV2Job, udsPipelineQueue)
+	resps := make(chan udsV2Resp, udsPipelineQueue+workers)
+	writerDone := make(chan struct{})
+
+	go func() {
+		defer close(writerDone)
+		var (
+			heads [maxUDSCoalesce][8]byte
+			batch []udsV2Resp
+			bufs  net.Buffers
+		)
+		flush := func() bool {
+			bufs = bufs[:0]
+			for i, r := range batch {
+				binary.LittleEndian.PutUint32(heads[i][0:4], uint32(len(*r.out)))
+				binary.LittleEndian.PutUint32(heads[i][4:8], r.id)
+				bufs = append(bufs, heads[i][:], *r.out)
+			}
+			// WriteTo advances bufs destructively; it is rebuilt per flush.
+			_, err := bufs.WriteTo(conn)
+			for _, r := range batch {
+				udsBufPool.Put(r.out)
+			}
+			batch = batch[:0]
+			return err == nil
+		}
+		for {
+			r, ok := <-resps
+			if !ok {
+				return
+			}
+			batch = append(batch, r)
+			closed := false
+		fill:
+			for len(batch) < maxUDSCoalesce {
+				select {
+				case r2, ok := <-resps:
+					if !ok {
+						closed = true
+						break fill
+					}
+					batch = append(batch, r2)
+				default:
+					break fill
+				}
+			}
+			if !flush() {
+				// The peer stopped reading; unblock the reader and drain the
+				// workers so the connection tears down instead of deadlocking.
+				conn.Close()
+				for r := range resps {
+					udsBufPool.Put(r.out)
+				}
+				return
+			}
+			if closed {
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := batchScratchPool.Get().(*batchScratch)
+			defer batchScratchPool.Put(ws)
+			for j := range jobs {
+				outp := udsBufPool.Get().(*[]byte)
+				if j.s != nil {
+					*outp = e.udsPredictDecoded(j.model, j.rows, j.derr, &j.s.pred, (*outp)[:0])
+					batchScratchPool.Put(j.s)
+				} else {
+					*outp = e.udsDispatch(*j.req, ws, (*outp)[:0])
+					udsBufPool.Put(j.req)
+				}
+				resps <- udsV2Resp{id: j.id, out: outp}
+			}
+		}()
+	}
+
+	// The read loop peeks whole frames out of the buffered reader and
+	// decodes predict payloads in place — the bytes go straight from the
+	// read buffer into the job's float rows while they are hot in cache,
+	// and no per-frame payload buffer exists at all. Only frames that do
+	// not fit the read buffer take the copying fallback.
+	for {
+		head, err := br.Peek(8)
+		if err != nil {
+			break
+		}
+		n := int(binary.LittleEndian.Uint32(head[0:4]))
+		id := binary.LittleEndian.Uint32(head[4:8])
+		if n > maxFramePayload {
+			break
+		}
+		if n+8 > br.Size() {
+			// Oversized frame: fall back to a copying read (the 8 header
+			// bytes are still buffered; ReadFrameID re-reads them).
+			reqp := udsBufPool.Get().(*[]byte)
+			rid, frame, rerr := ReadFrameID(br, *reqp)
+			if rerr != nil {
+				udsBufPool.Put(reqp)
+				break
+			}
+			*reqp = frame
+			jobs <- udsV2Job{id: rid, req: reqp}
+			continue
+		}
+		full, err := br.Peek(n + 8)
+		if err != nil {
+			break
+		}
+		frame := full[8:]
+		if FrameKind(frame) == batchMagic {
+			s := batchScratchPool.Get().(*batchScratch)
+			model, rows, derr := s.decodeRequestBytes(frame, e.maxBatch())
+			br.Discard(n + 8)
+			jobs <- udsV2Job{id: id, s: s, model: model, rows: rows, derr: derr}
+		} else {
+			reqp := udsBufPool.Get().(*[]byte)
+			*reqp = append((*reqp)[:0], frame...)
+			br.Discard(n + 8)
+			jobs <- udsV2Job{id: id, req: reqp}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	close(resps)
+	<-writerDone
+}
+
 // udsPredict answers one predict frame, encoding the response (or the error
-// frame) into out.
-func (e *Engine) udsPredict(body io.Reader, s *batchScratch, out []byte) []byte {
-	model, rows, err := s.decodeRequest(body, e.maxBatch())
-	if err != nil {
-		return e.udsError(out, err)
+// frame) into out. The frame is decoded in place — no copy of the feature
+// payload is made.
+func (e *Engine) udsPredict(frame []byte, s *batchScratch, out []byte) []byte {
+	model, rows, err := s.decodeRequestBytes(frame, e.maxBatch())
+	return e.udsPredictDecoded(model, rows, err, &s.pred, out)
+}
+
+// udsPredictDecoded answers an already-decoded predict request, encoding the
+// response (or the error frame) into out. derr is the decode error, if any —
+// rendered here so pipelined decode errors flow through the same response
+// path as everything else.
+func (e *Engine) udsPredictDecoded(model string, rows [][]float64, derr error, pred *Prediction, out []byte) []byte {
+	if derr != nil {
+		return e.udsError(out, derr)
 	}
 	if model == "" {
 		return e.udsError(out, fmt.Errorf("%w: empty model name", ErrBadBatchEncoding))
 	}
-	if err := e.PredictInto(model, rows, &s.pred); err != nil {
+	if err := e.PredictInto(model, rows, pred); err != nil {
 		return e.udsError(out, err)
 	}
-	resp, err := appendBatchResponse(out, &s.pred)
+	resp, err := appendBatchResponse(out, pred)
 	if err != nil {
 		return e.udsError(out, err)
 	}
