@@ -31,6 +31,7 @@ import (
 	"repro/internal/routenet"
 	"repro/internal/routing"
 	"repro/internal/serve"
+	"repro/internal/shmring"
 )
 
 var (
@@ -563,6 +564,128 @@ func BenchmarkServePredictBatchUDSPipelined(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ReportMetric(float64(serveBenchBatch)*float64(b.N)/b.Elapsed().Seconds(), "preds/s")
+}
+
+// BenchmarkServePredictBatchSHM is the shared-memory-ring counterpart of
+// BenchmarkServePredictBatchUDSPipelined: same engine, model, batch size,
+// and binary payloads, but after the MTS1 negotiation every request and
+// response moves through the mmap'd descriptor rings — at steady state the
+// socket is idle and neither side makes a syscall per batch. The preds/s
+// gap against the pipelined bench is what the kernel socket path (copies,
+// wakeups, frame headers) still cost. The reported "wakes" metric is the
+// server's doorbell count across the run: near-zero is the zero-syscall
+// steady state working as designed.
+func BenchmarkServePredictBatchSHM(b *testing.B) {
+	_, _, tree, _ := fixture().AuTo()
+	dir := b.TempDir()
+	if err := artifact.SaveModel(filepath.Join(dir, "dcn.metis"), tree, map[string]string{"name": "dcn"}); err != nil {
+		b.Fatal(err)
+	}
+	e, err := serve.NewEngine(dir, serve.Config{SHMDir: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sock := filepath.Join(dir, "metis.sock")
+	l, err := serve.ListenUDS(sock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	go e.ServeSHM(l)
+	b.Cleanup(func() { l.Close() })
+
+	conn, err := net.Dial("unix", sock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { conn.Close() })
+	br := bufio.NewReaderSize(conn, 64<<10)
+	if err := serve.WriteFrame(conn, []byte(serve.HelloMagic)); err != nil {
+		b.Fatal(err)
+	}
+	if ack, err := serve.ReadFrame(br, nil); err != nil || !bytes.HasPrefix(ack, []byte(serve.HelloMagic)) {
+		b.Fatalf("v2 handshake refused (ack %q, err %v)", ack, err)
+	}
+	if err := serve.WriteFrameID(conn, 1, serve.EncodeSHMOpen(shmring.Geometry{})); err != nil {
+		b.Fatal(err)
+	}
+	_, ackFrame, err := serve.ReadFrameID(br, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if serve.FrameKind(ackFrame) != serve.SHMMagic {
+		b.Fatalf("shm negotiation refused: frame kind %q", serve.FrameKind(ackFrame))
+	}
+	_, segPath, err := serve.DecodeSHMAck(ackFrame)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seg, err := shmring.Open(segPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { seg.Close() })
+	if err := serve.WriteFrameID(conn, 2, serve.EncodeSHMReady()); err != nil {
+		b.Fatal(err)
+	}
+
+	var payload bytes.Buffer
+	if err := serve.EncodeBatchRequest(&payload, "dcn", lrlaBatch(serveBenchBatch)); err != nil {
+		b.Fatal(err)
+	}
+	raw := payload.Bytes()
+	skip := serve.SHMAlignSkip(raw)
+	if skip+len(raw) > seg.Req.SlotSize() {
+		b.Fatalf("bench payload (%d B) exceeds the negotiated slot (%d B)", skip+len(raw), seg.Req.SlotSize())
+	}
+
+	b.ResetTimer()
+	prodErr := make(chan error, 1)
+	go func() {
+		// The producer: publish all b.N requests through the request ring,
+		// yielding when it is full (every slot held by a request the server
+		// has not consumed yet). The doorbell fires only if the server
+		// parked — at steady state it never does.
+		for i := 0; i < b.N; i++ {
+			var slot []byte
+			for {
+				var ok bool
+				if slot, ok = seg.Req.Reserve(); ok {
+					break
+				}
+				runtime.Gosched()
+			}
+			copy(slot[skip:skip+len(raw)], raw)
+			seg.Req.PublishAt(uint32(i), skip, len(raw))
+			if seg.Req.TakeWaiting() {
+				if err := serve.WriteFrame(conn, serve.DoorbellPayload); err != nil {
+					prodErr <- err
+					return
+				}
+			}
+		}
+		prodErr <- nil
+	}()
+	for i := 0; i < b.N; i++ {
+		for {
+			_, resp, ok, err := seg.Resp.Peek()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ok {
+				if serve.FrameKind(resp) != "MTB1" {
+					b.Fatalf("frame kind %q", serve.FrameKind(resp))
+				}
+				seg.Resp.Advance()
+				break
+			}
+			runtime.Gosched()
+		}
+	}
+	if err := <-prodErr; err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(serveBenchBatch)*float64(b.N)/b.Elapsed().Seconds(), "preds/s")
+	b.ReportMetric(float64(e.SHMWakes()), "wakes")
 }
 
 // BenchmarkModelFootprint reports serialized sizes (Fig. 17b).

@@ -83,6 +83,21 @@ func WithInflight(n int) Option {
 	}
 }
 
+// WithSharedMemory asks unix-socket connections to negotiate a per-connection
+// shared-memory ring segment (the MTS1 upgrade): steady-state predict calls
+// then move through mmap'd rings with zero syscalls on either side, the
+// socket serving only as a wake-up channel. Servers without the upgrade, or
+// hosts where the segment cannot be mapped, fall back to the pipelined v2
+// framing transparently; payloads larger than a ring slot take the framed
+// path per call. No effect on HTTP endpoints.
+func WithSharedMemory() Option {
+	return func(c *Client) {
+		if c.uds != nil {
+			c.uds.shm = true
+		}
+	}
+}
+
 // New returns a client for the serving daemon at baseURL: either an HTTP
 // base (scheme://host[:port], with or without a trailing slash) or a framed
 // unix-domain socket ("unix:///var/run/metis.sock" — the path after the

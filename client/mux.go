@@ -35,6 +35,15 @@ type muxResult struct {
 	err error
 }
 
+// framedConn is one pipelined connection the transport can round-robin
+// predict calls over: a multiplexed v2 socket connection (muxConn) or a
+// shared-memory ring pair (shmConn). call blocks until the matched response
+// arrives; the returned buffer comes from respPool and must be returned by
+// the caller.
+type framedConn interface {
+	call(ctx context.Context, payload []byte) (*[]byte, error)
+}
+
 // muxConn is one pipelined v2 connection. Calls from any number of
 // goroutines register a correlation ID in pending, write their frame (writes
 // serialized by wmu, IDs and registration by mu), and block on a per-call
@@ -166,14 +175,14 @@ func (mc *muxConn) call(ctx context.Context, payload []byte) (*[]byte, error) {
 // retry on a fresh dial. A v1 server refuses the hello with an error frame;
 // the connection stays healthy in v1 framing, so it is recycled into the
 // one-at-a-time pool and errLegacyServer tells the caller to fall back.
-func (t *udsTransport) muxConnAt(i int) (mc *muxConn, preexisting bool, err error) {
+func (t *udsTransport) muxConnAt(i int) (fc framedConn, preexisting bool, err error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.mux == nil {
-		t.mux = make([]*muxConn, t.conns)
+		t.mux = make([]framedConn, t.conns)
 	}
-	if mc := t.mux[i]; mc != nil {
-		return mc, true, nil
+	if fc := t.mux[i]; fc != nil {
+		return fc, true, nil
 	}
 	c, err := net.Dial("unix", t.path)
 	if err != nil {
@@ -198,7 +207,20 @@ func (t *udsTransport) muxConnAt(i int) (mc *muxConn, preexisting bool, err erro
 		}
 		return nil, false, errLegacyServer
 	}
-	mc = &muxConn{
+	if t.shm && !t.shmLegacy.Load() {
+		sc, err := t.shmUpgrade(c, br)
+		if err != nil {
+			c.Close()
+			return nil, false, err
+		}
+		if sc != nil {
+			t.mux[i] = sc
+			return sc, false, nil
+		}
+		// The server (or this host) cannot do shared memory; t.shmLegacy is
+		// latched and the upgraded connection proceeds as a plain mux conn.
+	}
+	mc := &muxConn{
 		t:       t,
 		c:       c,
 		br:      br,
@@ -210,10 +232,10 @@ func (t *udsTransport) muxConnAt(i int) (mc *muxConn, preexisting bool, err erro
 	return mc, false, nil
 }
 
-// dropMux clears slot i if it still holds mc, so the next call redials.
-func (t *udsTransport) dropMux(i int, mc *muxConn) {
+// dropMux clears slot i if it still holds fc, so the next call redials.
+func (t *udsTransport) dropMux(i int, fc framedConn) {
 	t.mu.Lock()
-	if t.mux != nil && i < len(t.mux) && t.mux[i] == mc {
+	if t.mux != nil && i < len(t.mux) && t.mux[i] == fc {
 		t.mux[i] = nil
 	}
 	t.mu.Unlock()
@@ -228,18 +250,23 @@ func (t *udsTransport) dropMux(i int, mc *muxConn) {
 func (t *udsTransport) muxCall(ctx context.Context, payload []byte) (*[]byte, error) {
 	i := int(t.next.Add(1) % uint32(t.conns))
 	for attempt := 0; ; attempt++ {
-		mc, preexisting, err := t.muxConnAt(i)
+		fc, preexisting, err := t.muxConnAt(i)
 		if err != nil {
 			return nil, err
 		}
-		buf, err := mc.call(ctx, payload)
+		buf, err := fc.call(ctx, payload)
 		if err == nil {
 			return buf, nil
 		}
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return nil, err
 		}
-		t.dropMux(i, mc)
+		if errors.Is(err, errSHMTooLarge) {
+			// The connection is healthy; the payload just does not fit a ring
+			// slot. The caller reroutes this one request.
+			return nil, err
+		}
+		t.dropMux(i, fc)
 		if preexisting && attempt == 0 {
 			continue
 		}

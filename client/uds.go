@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -45,14 +46,21 @@ type udsTransport struct {
 	poolCap     int
 	idleTimeout time.Duration
 
+	// shm asks new connections to negotiate a shared-memory ring segment
+	// (WithSharedMemory); shmLegacy latches once the server declines or a
+	// segment cannot be mapped, so later connections skip straight to v2.
+	shm bool
+
 	mu   sync.Mutex
 	idle []*udsConn
-	mux  []*muxConn
+	mux  []framedConn
 	// next round-robins predict calls over the mux connections.
 	next atomic.Uint32
 	// legacy latches once a hello is answered with an error frame: the
 	// server speaks v1 only, and every later call skips the multiplexer.
 	legacy atomic.Bool
+	// shmLegacy is the shared-memory counterpart of legacy, one layer up.
+	shmLegacy atomic.Bool
 
 	// reqPool recycles request-payload build buffers across calls and
 	// goroutines; respPool recycles the response copies the mux reader hands
@@ -222,11 +230,13 @@ func (c *Client) udsPredictBatch(ctx context.Context, model string, rows [][]flo
 	}
 	if !c.uds.legacy.Load() {
 		p, fellBack, err := c.muxPredictBatch(ctx, buf.Bytes())
-		if !fellBack {
+		if !fellBack && !errors.Is(err, errSHMTooLarge) {
 			return p, err
 		}
-		// The hello was refused: a v1 server. Fall through to the
-		// one-frame-at-a-time path (c.uds.legacy is latched now).
+		// Fall through to the one-frame-at-a-time path: either the hello was
+		// refused (a v1 server; c.uds.legacy is latched now), or this one
+		// payload is too large for a shared-memory ring slot — the framed
+		// path has no such bound, and the connection stays upgraded.
 	}
 	var p *Prediction
 	err := c.udsCall(ctx, buf.Bytes(), func(kind string, resp []byte) error {

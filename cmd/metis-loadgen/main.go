@@ -28,6 +28,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -35,6 +36,7 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -48,15 +50,17 @@ import (
 
 // config is the parsed command line.
 type config struct {
-	addr     string
-	models   string
-	rate     float64
-	arrival  string
-	duration time.Duration
-	batch    int
-	workers  int
-	conns    int
-	seed     int64
+	addr      string
+	transport string
+	models    string
+	rate      float64
+	arrival   string
+	duration  time.Duration
+	batch     int
+	workers   int
+	conns     int
+	seed      int64
+	jsonPath  string
 }
 
 // parseFlags parses args (not including the program name) into a config.
@@ -66,6 +70,8 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	cfg := &config{}
 	fs.StringVar(&cfg.addr, "addr", "unix:///tmp/metis.sock",
 		"endpoint: unix:///path.sock for the framed socket, or an http:// base URL")
+	fs.StringVar(&cfg.transport, "transport", "uds",
+		"socket transport: uds (pipelined v2 frames) or shm (negotiate shared-memory rings; needs a unix:// -addr and a server started with -shm)")
 	fs.StringVar(&cfg.models, "models", "",
 		"traffic mix as name[:weight],… (default: every served model, equal weight)")
 	fs.Float64Var(&cfg.rate, "rate", 1000, "offered load in requests per second")
@@ -75,8 +81,16 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.IntVar(&cfg.workers, "workers", 8, "request-issuing goroutines")
 	fs.IntVar(&cfg.conns, "conns", 2, "multiplexed socket connections (unix:// endpoints)")
 	fs.Int64Var(&cfg.seed, "seed", 1, "RNG seed for arrivals, mix, and feature rows")
+	fs.StringVar(&cfg.jsonPath, "json", "",
+		"also write the report as a BENCH_LOADGEN-style JSON record to this path")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
+	}
+	if cfg.transport != "uds" && cfg.transport != "shm" {
+		return nil, fmt.Errorf("-transport must be uds or shm (got %q)", cfg.transport)
+	}
+	if cfg.transport == "shm" && !strings.HasPrefix(cfg.addr, "unix://") {
+		return nil, errors.New("-transport shm requires a unix:// -addr (rings are negotiated over the socket)")
 	}
 	if cfg.rate <= 0 {
 		return nil, fmt.Errorf("-rate must be positive (got %g)", cfg.rate)
@@ -192,9 +206,91 @@ type job struct {
 	m         *mixEntry
 }
 
+// report is one finished run's numbers, decoupled from how they are
+// rendered: writeText emits the "key value" lines scripts scrape, writeJSON
+// the BENCH_LOADGEN record matching the BENCH_SERVE schema (date/go/results
+// with a preds-per-second metric), so a CI run can diff load-generator
+// throughput across PRs the same way it diffs the microbenchmarks.
+type report struct {
+	cfg     *config
+	total   int
+	failed  int64
+	dropped int64
+	elapsed time.Duration
+	hist    *histo.Histogram
+	mix     []*mixEntry
+}
+
+func (r *report) ok() int64 { return int64(r.hist.Count()) }
+
+func (r *report) predsPerSec() float64 {
+	return float64(r.ok()*int64(r.cfg.batch)) / r.elapsed.Seconds()
+}
+
+func (r *report) writeText(out io.Writer) {
+	h := r.hist
+	us := func(ns int64) int64 { return ns / 1e3 }
+	fmt.Fprintf(out, "requests_total %d\n", r.total)
+	fmt.Fprintf(out, "requests_ok %d\n", r.ok())
+	fmt.Fprintf(out, "requests_failed %d\n", r.failed)
+	fmt.Fprintf(out, "requests_dropped %d\n", r.dropped)
+	fmt.Fprintf(out, "elapsed_s %.3f\n", r.elapsed.Seconds())
+	fmt.Fprintf(out, "throughput_req_per_s %.1f\n", float64(r.ok())/r.elapsed.Seconds())
+	fmt.Fprintf(out, "throughput_preds_per_s %.1f\n", r.predsPerSec())
+	fmt.Fprintf(out, "latency_mean_us %.1f\n", h.Mean()/1e3)
+	fmt.Fprintf(out, "latency_p50_us %d\n", us(h.Quantile(0.50)))
+	fmt.Fprintf(out, "latency_p90_us %d\n", us(h.Quantile(0.90)))
+	fmt.Fprintf(out, "latency_p99_us %d\n", us(h.Quantile(0.99)))
+	fmt.Fprintf(out, "latency_p999_us %d\n", us(h.Quantile(0.999)))
+	fmt.Fprintf(out, "latency_max_us %d\n", us(h.Max()))
+	for _, m := range r.mix {
+		fmt.Fprintf(out, "model_requests %s %d\n", m.name, m.count.Load())
+	}
+	for _, b := range h.Buckets() {
+		fmt.Fprintf(out, "hist_us %d %d\n", us(b.Le), b.Count)
+	}
+}
+
+// writeJSON renders the run as one result row in the benchmark-record shape
+// bench.sh emits ({date, go, benchtime, results:[{name, iterations,
+// ns_per_op, metrics…}]}): iterations is completed requests, ns_per_op the
+// mean scheduled-to-done latency.
+func (r *report) writeJSON(path string) error {
+	h := r.hist
+	us := func(ns int64) int64 { return ns / 1e3 }
+	rec := map[string]any{
+		"date":      time.Now().Format("2006-01-02"),
+		"go":        runtime.Version(),
+		"benchtime": r.cfg.duration.String(),
+		"results": []map[string]any{{
+			"name":       "LoadgenPredictBatch/" + r.cfg.transport,
+			"iterations": r.ok(),
+			"ns_per_op":  int64(h.Mean()),
+			"preds/s":    r.predsPerSec(),
+			"req/s":      float64(r.ok()) / r.elapsed.Seconds(),
+			"batch":      r.cfg.batch,
+			"rate":       r.cfg.rate,
+			"p50_us":     us(h.Quantile(0.50)),
+			"p99_us":     us(h.Quantile(0.99)),
+			"p999_us":    us(h.Quantile(0.999)),
+			"failed":     r.failed,
+			"dropped":    r.dropped,
+		}},
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 // run offers the configured load and writes the report to out.
 func run(ctx context.Context, cfg *config, out io.Writer) error {
-	c := client.New(cfg.addr, client.WithConns(cfg.conns))
+	opts := []client.Option{client.WithConns(cfg.conns)}
+	if cfg.transport == "shm" {
+		opts = append(opts, client.WithSharedMemory())
+	}
+	c := client.New(cfg.addr, opts...)
 	rng := rand.New(rand.NewSource(cfg.seed))
 	mix, err := buildMix(ctx, c, cfg, rng)
 	if err != nil {
@@ -268,26 +364,15 @@ func run(ctx context.Context, cfg *config, out io.Writer) error {
 	for _, wh := range hists {
 		h.Merge(wh)
 	}
-	ok := int64(h.Count())
-	us := func(ns int64) int64 { return ns / 1e3 }
-	fmt.Fprintf(out, "requests_total %d\n", total)
-	fmt.Fprintf(out, "requests_ok %d\n", ok)
-	fmt.Fprintf(out, "requests_failed %d\n", failed.Load())
-	fmt.Fprintf(out, "requests_dropped %d\n", dropped.Load())
-	fmt.Fprintf(out, "elapsed_s %.3f\n", elapsed.Seconds())
-	fmt.Fprintf(out, "throughput_req_per_s %.1f\n", float64(ok)/elapsed.Seconds())
-	fmt.Fprintf(out, "throughput_preds_per_s %.1f\n", float64(ok*int64(cfg.batch))/elapsed.Seconds())
-	fmt.Fprintf(out, "latency_mean_us %.1f\n", h.Mean()/1e3)
-	fmt.Fprintf(out, "latency_p50_us %d\n", us(h.Quantile(0.50)))
-	fmt.Fprintf(out, "latency_p90_us %d\n", us(h.Quantile(0.90)))
-	fmt.Fprintf(out, "latency_p99_us %d\n", us(h.Quantile(0.99)))
-	fmt.Fprintf(out, "latency_p999_us %d\n", us(h.Quantile(0.999)))
-	fmt.Fprintf(out, "latency_max_us %d\n", us(h.Max()))
-	for _, m := range mix {
-		fmt.Fprintf(out, "model_requests %s %d\n", m.name, m.count.Load())
+	r := &report{
+		cfg: cfg, total: total, failed: failed.Load(), dropped: dropped.Load(),
+		elapsed: elapsed, hist: h, mix: mix,
 	}
-	for _, b := range h.Buckets() {
-		fmt.Fprintf(out, "hist_us %d %d\n", us(b.Le), b.Count)
+	r.writeText(out)
+	if cfg.jsonPath != "" {
+		if err := r.writeJSON(cfg.jsonPath); err != nil {
+			return fmt.Errorf("write -json record: %w", err)
+		}
 	}
 	return nil
 }

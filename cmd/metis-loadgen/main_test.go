@@ -3,9 +3,11 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"io"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -25,8 +27,11 @@ func TestParseFlags(t *testing.T) {
 	}{
 		{"defaults", nil, ""},
 		{"all knobs", []string{"-addr", "unix:///tmp/x.sock", "-models", "a:2,b", "-rate", "500",
-			"-arrival", "fixed", "-duration", "1s", "-batch", "8", "-workers", "2", "-conns", "1", "-seed", "9"}, ""},
+			"-arrival", "fixed", "-duration", "1s", "-batch", "8", "-workers", "2", "-conns", "1", "-seed", "9",
+			"-transport", "shm", "-json", "out.json"}, ""},
 		{"zero rate", []string{"-rate", "0"}, "-rate must be positive"},
+		{"bad transport", []string{"-transport", "tcp"}, "-transport must be uds or shm"},
+		{"shm over http", []string{"-addr", "http://localhost:9090", "-transport", "shm"}, "-transport shm requires a unix:// -addr"},
 		{"bad arrival", []string{"-arrival", "bursty"}, "-arrival must be poisson or fixed"},
 		{"zero duration", []string{"-duration", "0s"}, "-duration must be positive"},
 		{"zero batch", []string{"-batch", "0"}, "must be positive"},
@@ -172,5 +177,97 @@ func TestRunAgainstLiveDaemon(t *testing.T) {
 	cfg.models = "ghost"
 	if err := run(context.Background(), cfg, io.Discard.(io.Writer)); err == nil {
 		t.Fatal("run accepted a mix naming an unserved model")
+	}
+}
+
+// TestRunSharedMemoryTransport drives a shared-memory-enabled daemon with
+// -transport shm and -json: traffic rides the rings (the engine reports a
+// live shm connection), nothing fails, and the JSON record matches the
+// benchmark-file schema with a positive preds/s.
+func TestRunSharedMemoryTransport(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(5))
+	ds := &dtree.Dataset{}
+	for i := 0; i < 200; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		y := 0
+		if x[0] > x[1] {
+			y = 1
+		}
+		ds.X = append(ds.X, x)
+		ds.Y = append(ds.Y, y)
+	}
+	tree, err := dtree.Build(ds, dtree.BuildOptions{MaxLeaves: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := artifact.SaveModel(filepath.Join(dir, "abr.metis"), tree, map[string]string{"name": "abr"}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := serve.NewEngine(dir, serve.Config{SHMDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock := filepath.Join(t.TempDir(), "metis.sock")
+	l, err := serve.ListenUDS(sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go e.ServeSHM(l)
+
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	cfg := &config{
+		addr:      "unix://" + sock,
+		transport: "shm",
+		rate:      2000,
+		arrival:   "poisson",
+		duration:  300 * time.Millisecond,
+		batch:     4,
+		workers:   2,
+		conns:     1,
+		seed:      7,
+		jsonPath:  jsonPath,
+	}
+	var out bytes.Buffer
+	if err := run(context.Background(), cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	if ok := reportValue(t, report, "requests_ok"); ok < 100 {
+		t.Fatalf("shm run completed only %g requests:\n%s", ok, report)
+	}
+	if failed := reportValue(t, report, "requests_failed"); failed != 0 {
+		t.Fatalf("%g requests failed over shm:\n%s", failed, report)
+	}
+	if e.SHMConns() == 0 {
+		t.Fatal("no shared-memory connection established — the loadgen fell back to frames")
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		Date    string `json:"date"`
+		Go      string `json:"go"`
+		Results []struct {
+			Name       string  `json:"name"`
+			Iterations int64   `json:"iterations"`
+			NsPerOp    int64   `json:"ns_per_op"`
+			PredsPerS  float64 `json:"preds/s"`
+			Failed     int64   `json:"failed"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("-json record is not valid JSON: %v\n%s", err, data)
+	}
+	if rec.Date == "" || rec.Go == "" || len(rec.Results) != 1 {
+		t.Fatalf("record shape: %+v", rec)
+	}
+	res := rec.Results[0]
+	if res.Name != "LoadgenPredictBatch/shm" || res.Iterations < 100 ||
+		res.NsPerOp <= 0 || res.PredsPerS <= 0 || res.Failed != 0 {
+		t.Fatalf("record result: %+v", res)
 	}
 }

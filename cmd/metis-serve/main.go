@@ -50,12 +50,15 @@ import (
 
 // config is the parsed command line.
 type config struct {
-	dir      string
-	addr     string
-	uds      string
-	workers  int
-	maxBatch int
-	inflight int
+	dir             string
+	addr            string
+	uds             string
+	shm             bool
+	shmDir          string
+	workers         int
+	dispatchWorkers int
+	maxBatch        int
+	inflight        int
 }
 
 // parseFlags parses args (not including the program name) into a config.
@@ -69,8 +72,14 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.StringVar(&cfg.addr, "addr", ":9090", "listen address")
 	fs.StringVar(&cfg.uds, "uds", "",
 		"also serve the framed binary protocol on this unix socket path (for co-located clients; see client.New(\"unix://…\"))")
+	fs.BoolVar(&cfg.shm, "shm", false,
+		"allow socket connections to negotiate per-connection shared-memory ring segments (zero-syscall predict path; requires -uds)")
+	fs.StringVar(&cfg.shmDir, "shm-dir", "",
+		"directory for shared-memory segment files (default /dev/shm when present, else the temp dir)")
 	fs.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0),
 		"server-wide inference pool shared by all in-flight batches (0 = all cores, 1 = serial)")
+	fs.IntVar(&cfg.dispatchWorkers, "dispatch-workers", 0,
+		"per-connection decode/encode workers of the pipelined socket mode (0 = 2, growing with cores up to 4); distinct from -workers, which sizes inference")
 	fs.IntVar(&cfg.maxBatch, "max-batch", 0,
 		fmt.Sprintf("max rows per prediction request (0 = %d)", serve.DefaultMaxBatch))
 	fs.IntVar(&cfg.inflight, "max-inflight", 0,
@@ -90,6 +99,15 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	}
 	if cfg.inflight < 0 {
 		return nil, fmt.Errorf("-max-inflight must be non-negative (got %d)", cfg.inflight)
+	}
+	if cfg.dispatchWorkers < 0 {
+		return nil, fmt.Errorf("-dispatch-workers must be non-negative (got %d)", cfg.dispatchWorkers)
+	}
+	if cfg.shm && cfg.uds == "" {
+		return nil, errors.New("-shm requires -uds (segments are negotiated over the socket)")
+	}
+	if cfg.shmDir != "" && !cfg.shm {
+		return nil, errors.New("-shm-dir requires -shm")
 	}
 	if fs.NArg() > 0 {
 		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
@@ -124,6 +142,7 @@ func main() {
 
 	engine, err := serve.NewEngine(cfg.dir, serve.Config{
 		Workers: cfg.workers, MaxBatch: cfg.maxBatch, MaxInflight: cfg.inflight,
+		DispatchWorkers: cfg.dispatchWorkers, SHMDir: cfg.shmDir,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -168,9 +187,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("framed binary protocol on unix://%s\n", cfg.uds)
+		serveSocket := engine.ServeUDS
+		if cfg.shm {
+			serveSocket = engine.ServeSHM
+			fmt.Printf("framed binary protocol on unix://%s (shared-memory rings enabled)\n", cfg.uds)
+		} else {
+			fmt.Printf("framed binary protocol on unix://%s\n", cfg.uds)
+		}
 		go func() {
-			if err := engine.ServeUDS(udsListener); err != nil {
+			if err := serveSocket(udsListener); err != nil {
 				errCh <- err
 			}
 		}()

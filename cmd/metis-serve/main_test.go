@@ -15,11 +15,16 @@ func TestParseFlags(t *testing.T) {
 		wantErr string
 	}{
 		{"minimal", []string{"-dir", "models"}, ""},
-		{"all knobs", []string{"-dir", "m", "-addr", ":0", "-workers", "4", "-max-batch", "128", "-max-inflight", "8"}, ""},
+		{"all knobs", []string{"-dir", "m", "-addr", ":0", "-workers", "4", "-max-batch", "128", "-max-inflight", "8", "-dispatch-workers", "3"}, ""},
+		{"shm with socket", []string{"-dir", "m", "-uds", "/tmp/m.sock", "-shm"}, ""},
+		{"shm with segment dir", []string{"-dir", "m", "-uds", "/tmp/m.sock", "-shm", "-shm-dir", "/dev/shm"}, ""},
 		{"missing dir", nil, "-dir is required"},
 		{"negative workers", []string{"-dir", "m", "-workers", "-1"}, "-workers must be non-negative"},
 		{"negative max-batch", []string{"-dir", "m", "-max-batch", "-5"}, "-max-batch must be non-negative"},
 		{"negative max-inflight", []string{"-dir", "m", "-max-inflight", "-2"}, "-max-inflight must be non-negative"},
+		{"negative dispatch-workers", []string{"-dir", "m", "-dispatch-workers", "-1"}, "-dispatch-workers must be non-negative"},
+		{"shm without socket", []string{"-dir", "m", "-shm"}, "-shm requires -uds"},
+		{"shm-dir without shm", []string{"-dir", "m", "-uds", "/tmp/m.sock", "-shm-dir", "/dev/shm"}, "-shm-dir requires -shm"},
 		{"stray positional", []string{"-dir", "m", "stray"}, "unexpected arguments"},
 		{"unknown flag", []string{"-dir", "m", "-frobnicate"}, "not defined"},
 	} {

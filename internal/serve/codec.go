@@ -9,7 +9,16 @@ import (
 	"math"
 	"net/http"
 	"sync"
+	"unsafe"
 )
+
+// hostLittleEndian gates the memmove fast paths of the binary batch codec:
+// the wire format is little-endian, so on a matching host float payloads
+// move as raw bytes with no per-element conversion.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
 
 // Content types negotiated by the HTTP layer.
 const (
@@ -213,7 +222,14 @@ func (s *batchScratch) decodeRequest(r io.Reader, maxRows int) (model string, ro
 // feature rows decode straight out of the frame bytes, with no intermediate
 // payload copy through an io.Reader. The returned rows alias s.flat and are
 // valid until the next decode on s.
-func (s *batchScratch) decodeRequestBytes(frame []byte, maxRows int) (model string, rows [][]float64, err error) {
+//
+// aliasOK extends that to the frame itself: when true AND the float matrix
+// happens to be 8-byte-aligned on a little-endian host, the rows alias
+// frame directly (zero copies at all) and are valid only until the caller
+// recycles the frame's bytes. Pass true only when the frame outlives every
+// use of the rows — a shared-memory slot held until Advance, a
+// request/response connection buffer — never for a transient bufio peek.
+func (s *batchScratch) decodeRequestBytes(frame []byte, maxRows int, aliasOK bool) (model string, rows [][]float64, err error) {
 	if len(frame) < 14 {
 		return "", nil, fmt.Errorf("%w: short header: %d bytes", ErrBadBatchEncoding, len(frame))
 	}
@@ -238,30 +254,49 @@ func (s *batchScratch) decodeRequestBytes(frame []byte, maxRows int) (model stri
 		return "", nil, fmt.Errorf("%w: short payload: %d bytes for %d×%d", ErrBadBatchEncoding, len(frame)-14, nRows, features)
 	}
 	name := frame[14 : 14+nameLen]
-	if cap(s.flat) >= n {
-		s.flat = s.flat[:n]
-	} else {
-		s.flat = make([]float64, n)
-	}
-	// This is the serving hot path: an 8-way unrolled copy loop with
-	// constant offsets, which the compiler turns into straight-line loads
-	// and stores (~4× the throughput of the obvious one-element loop).
+	// This is the serving hot path; the wire format is little-endian
+	// float64, so on a matching host no per-element conversion is needed.
+	// Three tiers, fastest first:
+	//
+	//  1. Zero-copy: when the matrix bytes are 8-byte-aligned in the frame
+	//     (shared-memory producers publish with SHMAlignSkip for exactly
+	//     this), the rows alias the frame directly — no float is touched.
+	//     The rows are only valid until the caller recycles the frame;
+	//     every caller consumes them inside the same request.
+	//  2. Little-endian host, unaligned: one memmove into the scratch
+	//     array's backing store, at copy bandwidth.
+	//  3. Other hosts: an 8-way unrolled load/convert/store loop.
 	p := frame[14+nameLen:]
-	f := s.flat
-	for len(p) >= 64 && len(f) >= 8 {
-		f[0] = math.Float64frombits(binary.LittleEndian.Uint64(p[0:]))
-		f[1] = math.Float64frombits(binary.LittleEndian.Uint64(p[8:]))
-		f[2] = math.Float64frombits(binary.LittleEndian.Uint64(p[16:]))
-		f[3] = math.Float64frombits(binary.LittleEndian.Uint64(p[24:]))
-		f[4] = math.Float64frombits(binary.LittleEndian.Uint64(p[32:]))
-		f[5] = math.Float64frombits(binary.LittleEndian.Uint64(p[40:]))
-		f[6] = math.Float64frombits(binary.LittleEndian.Uint64(p[48:]))
-		f[7] = math.Float64frombits(binary.LittleEndian.Uint64(p[56:]))
-		p = p[64:]
-		f = f[8:]
-	}
-	for i := range f {
-		f[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[i*8:]))
+	flat := s.flat
+	if aliasOK && hostLittleEndian && n > 0 && uintptr(unsafe.Pointer(&p[0]))%8 == 0 {
+		flat = unsafe.Slice((*float64)(unsafe.Pointer(&p[0])), n)
+	} else {
+		if cap(flat) >= n {
+			flat = flat[:n]
+		} else {
+			flat = make([]float64, n)
+		}
+		s.flat = flat
+		f := flat
+		if hostLittleEndian && n > 0 {
+			copy(unsafe.Slice((*byte)(unsafe.Pointer(&f[0])), n*8), p[:n*8])
+			f, p = nil, nil
+		}
+		for len(p) >= 64 && len(f) >= 8 {
+			f[0] = math.Float64frombits(binary.LittleEndian.Uint64(p[0:]))
+			f[1] = math.Float64frombits(binary.LittleEndian.Uint64(p[8:]))
+			f[2] = math.Float64frombits(binary.LittleEndian.Uint64(p[16:]))
+			f[3] = math.Float64frombits(binary.LittleEndian.Uint64(p[24:]))
+			f[4] = math.Float64frombits(binary.LittleEndian.Uint64(p[32:]))
+			f[5] = math.Float64frombits(binary.LittleEndian.Uint64(p[40:]))
+			f[6] = math.Float64frombits(binary.LittleEndian.Uint64(p[48:]))
+			f[7] = math.Float64frombits(binary.LittleEndian.Uint64(p[56:]))
+			p = p[64:]
+			f = f[8:]
+		}
+		for i := range f {
+			f[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[i*8:]))
+		}
 	}
 	if cap(s.rows) >= nRows {
 		s.rows = s.rows[:nRows]
@@ -269,9 +304,22 @@ func (s *batchScratch) decodeRequestBytes(frame []byte, maxRows int) (model stri
 		s.rows = make([][]float64, nRows)
 	}
 	for i := range s.rows {
-		s.rows[i] = s.flat[i*features : (i+1)*features : (i+1)*features]
+		s.rows[i] = flat[i*features : (i+1)*features : (i+1)*features]
 	}
 	return string(name), s.rows, nil
+}
+
+// SHMAlignSkip returns how many bytes of padding to leave before payload in
+// a shared-memory ring slot (Ring.PublishAt's skip) so that a binary batch
+// request's float matrix lands 8-byte-aligned, enabling the server's
+// zero-copy decode. Slots are 64-byte-aligned, so in-slot alignment is
+// memory alignment. Non-batch payloads need no alignment and get 0.
+func SHMAlignSkip(payload []byte) int {
+	if len(payload) < 6 || string(payload[:4]) != batchMagic {
+		return 0
+	}
+	nameLen := int(binary.LittleEndian.Uint16(payload[4:6]))
+	return -(14 + nameLen) & 7
 }
 
 // appendBatchResponse encodes a prediction in the binary batch format into

@@ -174,6 +174,19 @@ type Config struct {
 	// MaxInflight caps concurrently admitted predict calls (0 = unlimited).
 	// Calls beyond the cap fail fast with ErrBusy instead of queueing.
 	MaxInflight int
+	// DispatchWorkers sizes the per-connection decode/encode worker pool of
+	// the pipelined socket mode (0 = 2 workers, growing with cores up to 4).
+	// Distinct from Workers, which sizes the server-wide inference pool.
+	DispatchWorkers int
+	// SHMDir is where per-connection shared-memory segments are created
+	// ("" = /dev/shm when present, else the OS temp dir). Must be a
+	// filesystem both peers can reach.
+	SHMDir string
+	// SHMSlots and SHMSlotSize cap (and, for clients requesting defaults,
+	// set) the shared-memory ring geometry (0 = shmring defaults). Mostly a
+	// test knob — small slots force the oversized-payload fallback.
+	SHMSlots    int
+	SHMSlotSize int
 }
 
 // Engine is the transport-agnostic serving core: a hot-reloadable model
@@ -197,6 +210,12 @@ type Engine struct {
 	requests atomic.Int64
 	errors   atomic.Int64
 	reloads  atomic.Int64
+	// Shared-memory transport state: a name sequence for segment files, the
+	// doorbell-write counter (the observable behind the zero-syscall claim),
+	// and the live ring-serving connection count.
+	shmSeq   atomic.Uint64
+	shmWakes atomic.Int64
+	shmConns atomic.Int64
 	// latency records nanoseconds per successful predict call, across all
 	// transports (HTTP and both socket framings share this one histogram).
 	latency *histo.Histogram

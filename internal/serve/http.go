@@ -291,6 +291,10 @@ func (e *Engine) statsBody() map[string]any {
 		"dir":       e.Dir(),
 		"loaded_at": e.LoadedAt().UTC().Format(time.RFC3339),
 		"models":    per,
+		"shm": map[string]any{
+			"conns": e.SHMConns(),
+			"wakes": e.SHMWakes(),
+		},
 		"latency": map[string]any{
 			"count":   e.latency.Count(),
 			"mean_us": e.latency.Mean() / 1e3,
@@ -347,6 +351,9 @@ func (e *Engine) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("metis_requests_total", "Predict calls admitted or rejected by the engine.", e.requests.Load())
 	counter("metis_errors_total", "Requests that failed (any 4xx/5xx).", e.errors.Load())
 	counter("metis_reloads_total", "Registry hot reloads applied.", e.reloads.Load())
+	counter("metis_shm_wakes_total", "Doorbell frames written to parked ring clients (flat while rings stay busy).", e.SHMWakes())
+	fmt.Fprintf(&b, "# HELP metis_shm_conns Connections currently serving shared-memory ring traffic.\n# TYPE metis_shm_conns gauge\nmetis_shm_conns %d\n",
+		e.SHMConns())
 	fmt.Fprintf(&b, "# HELP metis_uptime_seconds Engine uptime.\n# TYPE metis_uptime_seconds gauge\nmetis_uptime_seconds %.3f\n",
 		time.Since(e.start).Seconds())
 	models := e.Models() // already sorted by name

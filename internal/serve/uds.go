@@ -13,6 +13,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/shmring"
 )
 
 // The unix-domain-socket transport: the binary batch codec without the HTTP
@@ -223,8 +225,12 @@ func ListenUDS(path string) (net.Listener, error) {
 // answering every frame off the same engine the HTTP layer serves: one
 // registry, one admission-control gate, one stats surface — a SIGHUP reload
 // is visible on the socket and over HTTP in the same instant. It returns nil
-// on a clean listener close.
-func (e *Engine) ServeUDS(l net.Listener) error {
+// on a clean listener close. Shared-memory negotiation is declined (clients
+// fall back to v2); see ServeSHM.
+func (e *Engine) ServeUDS(l net.Listener) error { return e.serveFramed(l, false) }
+
+// serveFramed is the accept loop shared by ServeUDS and ServeSHM.
+func (e *Engine) serveFramed(l net.Listener, allowSHM bool) error {
 	var wg sync.WaitGroup
 	defer wg.Wait()
 	for {
@@ -246,18 +252,19 @@ func (e *Engine) ServeUDS(l net.Listener) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			e.serveUDSConn(conn, true)
+			e.serveUDSConn(conn, true, allowSHM)
 		}()
 	}
 }
 
 // serveUDSConn answers one connection's frames in v1 order, upgrading to the
 // pipelined v2 mode when the first frame is a hello (and allowV2 — tests use
-// false to emulate a pre-v2 server). All per-connection v1 state — the frame
-// buffer, the decode/predict/encode scratch, the response buffer — is
+// false to emulate a pre-v2 server). allowSHM additionally accepts the MTS1
+// shared-memory handshake inside v2 mode. All per-connection v1 state — the
+// frame buffer, the decode/predict/encode scratch, the response buffer — is
 // allocated once and reused for every frame, so a pinned connection serves
 // at a steady-state allocation rate of zero.
-func (e *Engine) serveUDSConn(conn net.Conn, allowV2 bool) {
+func (e *Engine) serveUDSConn(conn net.Conn, allowV2, allowSHM bool) {
 	defer conn.Close()
 	// 256 KiB: large enough that a full default-max-batch predict frame fits
 	// the pipelined mode's zero-copy peek window, and cheap at the handful of
@@ -282,7 +289,7 @@ func (e *Engine) serveUDSConn(conn net.Conn, allowV2 bool) {
 			if err := WriteFrame(conn, []byte(HelloMagic)); err != nil {
 				return
 			}
-			e.serveUDSPipelined(conn, br)
+			e.serveUDSPipelined(conn, br, allowSHM)
 			return
 		}
 		first = false
@@ -353,9 +360,11 @@ type udsV2Resp struct {
 // batched vectored writes. Inference parallelism across requests is still
 // governed by the engine's shared pool and admission control; the workers
 // here only overlap decode/encode and eliminate the per-frame round-trip of
-// dead air.
-func (e *Engine) serveUDSPipelined(conn net.Conn, br *bufio.Reader) {
-	workers := max(2, min(4, runtime.GOMAXPROCS(0)))
+// dead air. When allowSHM is set the reader additionally speaks the MTS1
+// handshake, and a completed handshake drains this whole apparatus and hands
+// the connection to serveSHM.
+func (e *Engine) serveUDSPipelined(conn net.Conn, br *bufio.Reader, allowSHM bool) {
+	workers := e.dispatchWorkers()
 	jobs := make(chan udsV2Job, udsPipelineQueue)
 	resps := make(chan udsV2Resp, udsPipelineQueue+workers)
 	writerDone := make(chan struct{})
@@ -438,11 +447,18 @@ func (e *Engine) serveUDSPipelined(conn net.Conn, br *bufio.Reader) {
 		}()
 	}
 
+	// Shared-memory handshake state: pendingSeg is created by an MTS1 open
+	// and owned here until the client's ready (liveSeg) or the connection
+	// dies (cleaned up below — a client that crashed mid-handshake leaks
+	// nothing).
+	var pendingSeg, liveSeg *shmring.Segment
+
 	// The read loop peeks whole frames out of the buffered reader and
 	// decodes predict payloads in place — the bytes go straight from the
 	// read buffer into the job's float rows while they are hot in cache,
 	// and no per-frame payload buffer exists at all. Only frames that do
-	// not fit the read buffer take the copying fallback.
+	// not fit the read buffer take the copying fallback. MTS1 handshake
+	// frames are handled inline (they are a few bytes, always peekable).
 	for {
 		head, err := br.Peek(8)
 		if err != nil {
@@ -471,9 +487,23 @@ func (e *Engine) serveUDSPipelined(conn net.Conn, br *bufio.Reader) {
 			break
 		}
 		frame := full[8:]
+		if allowSHM && FrameKind(frame) == SHMMagic {
+			ready, ok := e.shmHandshake(frame, id, &pendingSeg, resps)
+			br.Discard(n + 8)
+			if !ok {
+				break
+			}
+			if ready != nil {
+				liveSeg = ready
+				break
+			}
+			continue
+		}
 		if FrameKind(frame) == batchMagic {
 			s := batchScratchPool.Get().(*batchScratch)
-			model, rows, derr := s.decodeRequestBytes(frame, e.maxBatch())
+			// aliasOK=false: frame is a bufio peek, invalidated by the
+			// Discard below while the dispatched job still holds the rows.
+			model, rows, derr := s.decodeRequestBytes(frame, e.maxBatch(), false)
 			br.Discard(n + 8)
 			jobs <- udsV2Job{id: id, s: s, model: model, rows: rows, derr: derr}
 		} else {
@@ -487,13 +517,25 @@ func (e *Engine) serveUDSPipelined(conn net.Conn, br *bufio.Reader) {
 	wg.Wait()
 	close(resps)
 	<-writerDone
+	if pendingSeg != nil {
+		pendingSeg.Close()
+		pendingSeg.Unlink()
+	}
+	if liveSeg != nil {
+		// The client is mapped (it said ready): drop the file name now so a
+		// crash on either side from here on leaks nothing, then serve rings.
+		liveSeg.Unlink()
+		e.serveSHM(conn, br, liveSeg)
+	}
 }
 
 // udsPredict answers one predict frame, encoding the response (or the error
 // frame) into out. The frame is decoded in place — no copy of the feature
 // payload is made.
 func (e *Engine) udsPredict(frame []byte, s *batchScratch, out []byte) []byte {
-	model, rows, err := s.decodeRequestBytes(frame, e.maxBatch())
+	// aliasOK: frame is the connection's own read buffer, untouched until
+	// the next ReadFrame — and the rows are consumed right here.
+	model, rows, err := s.decodeRequestBytes(frame, e.maxBatch(), true)
 	return e.udsPredictDecoded(model, rows, err, &s.pred, out)
 }
 
@@ -574,20 +616,36 @@ func (e *Engine) udsControl(body []byte, out []byte) []byte {
 // transport's single error-accounting point.
 func (e *Engine) udsError(out []byte, err error) []byte {
 	e.errors.Add(1)
+	return appendErrorPayload(out, errorStatus(err), err.Error())
+}
+
+// errorStatus maps an engine error to the HTTP status every transport
+// renders it under (the shared-memory path reuses it for in-slot errors).
+func errorStatus(err error) int {
 	var (
 		unknown *UnknownModelError
 		size    *BatchSizeError
 	)
-	code := http.StatusBadRequest
 	switch {
 	case errors.Is(err, ErrBusy):
-		code = http.StatusServiceUnavailable
+		return http.StatusServiceUnavailable
 	case errors.As(err, &unknown):
-		code = http.StatusNotFound
+		return http.StatusNotFound
 	case errors.As(err, &size):
-		code = http.StatusRequestEntityTooLarge
+		return http.StatusRequestEntityTooLarge
 	}
-	return appendErrorPayload(out, code, err.Error())
+	return http.StatusBadRequest
+}
+
+// dispatchWorkers resolves the per-connection v2 decode/encode worker count:
+// Config.DispatchWorkers when set, else two workers growing with available
+// cores up to four — enough to overlap decode with inference without
+// drowning a small box in per-connection goroutines.
+func (e *Engine) dispatchWorkers() int {
+	if e.cfg.DispatchWorkers > 0 {
+		return e.cfg.DispatchWorkers
+	}
+	return max(2, min(4, runtime.GOMAXPROCS(0)))
 }
 
 // appendErrorPayload encodes an "MTE1" payload into out.

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package shmring
+
+import (
+	"errors"
+	"os"
+)
+
+// ErrUnsupported reports that this platform has no shared-memory mapping
+// support wired up; the serving stack falls back to the framed socket
+// protocol exactly as it does against a server that never learned MTS1.
+var ErrUnsupported = errors.New("shmring: shared-memory segments are not supported on this platform")
+
+func mmap(f *os.File, size int) ([]byte, error) { return nil, ErrUnsupported }
+
+func munmap(data []byte) error { return nil }

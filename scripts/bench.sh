@@ -12,7 +12,7 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${1:-3x}"
 [ $# -gt 0 ] && shift
 
-BENCHES='BenchmarkFig07DecisionTree|BenchmarkMaskSearch$|BenchmarkMaskSearchSerial|BenchmarkCARTBuild|BenchmarkExtractionOverhead|BenchmarkFig27InterpBaselines|BenchmarkTreeDecision|BenchmarkDNNDecision|BenchmarkCompiledPredictBatch|BenchmarkQuantizedPredictBatch|BenchmarkServePredictBatch$|BenchmarkServePredictBatchBinary|BenchmarkServePredictBatchUDS$|BenchmarkServePredictBatchUDSPipelined|BenchmarkScenarioPipeline$|BenchmarkScenarioPipelineAll'
+BENCHES='BenchmarkFig07DecisionTree|BenchmarkMaskSearch$|BenchmarkMaskSearchSerial|BenchmarkCARTBuild|BenchmarkExtractionOverhead|BenchmarkFig27InterpBaselines|BenchmarkTreeDecision|BenchmarkDNNDecision|BenchmarkCompiledPredictBatch|BenchmarkQuantizedPredictBatch|BenchmarkServePredictBatch$|BenchmarkServePredictBatchBinary|BenchmarkServePredictBatchUDS$|BenchmarkServePredictBatchUDSPipelined|BenchmarkServePredictBatchSHM|BenchmarkScenarioPipeline$|BenchmarkScenarioPipelineAll'
 # The serving subset gets its own trajectory file (BENCH_SERVE_*.json) so the
 # transport story — compiled vs quantized in-process, HTTP JSON vs HTTP
 # binary vs UDS framed through the daemon — can be tracked without wading
