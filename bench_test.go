@@ -31,6 +31,7 @@ import (
 	"repro/internal/routenet"
 	"repro/internal/routing"
 	"repro/internal/serve"
+	"repro/internal/shadow"
 	"repro/internal/shmring"
 )
 
@@ -575,7 +576,25 @@ func BenchmarkServePredictBatchUDSPipelined(b *testing.B) {
 // wakeups, frame headers) still cost. The reported "wakes" metric is the
 // server's doorbell count across the run: near-zero is the zero-syscall
 // steady state working as designed.
-func BenchmarkServePredictBatchSHM(b *testing.B) {
+func BenchmarkServePredictBatchSHM(b *testing.B) { benchServeSHM(b, 0) }
+
+// BenchmarkServePredictBatchSHMShadowed is the same ring benchmark with the
+// continuous-distillation mirror sampling 1% of batches into a live shadow
+// scorer. The acceptance bar for the shadow subsystem is this bench staying
+// within 5% of the unshadowed record: the predict path pays one atomic
+// sequence bump and a hash per batch, plus a bounded-prefix copy on the
+// sampled 1%. The scorer runs a tree-cost teacher rather than the DNN: what
+// this bench isolates is the serving-path and scorer-machinery overhead,
+// and teacher inference — whose cost is scenario-specific and entirely off
+// the predict path — would otherwise drown that signal on small CPU counts.
+func BenchmarkServePredictBatchSHMShadowed(b *testing.B) { benchServeSHM(b, 0.01) }
+
+// benchTeacher adapts a query function to the shadow loop's Teacher.
+type benchTeacher struct{ q func([]float64) []float64 }
+
+func (t benchTeacher) Query(in []float64) []float64 { return t.q(in) }
+
+func benchServeSHM(b *testing.B, shadowRate float64) {
 	_, _, tree, _ := fixture().AuTo()
 	dir := b.TempDir()
 	if err := artifact.SaveModel(filepath.Join(dir, "dcn.metis"), tree, map[string]string{"name": "dcn"}); err != nil {
@@ -584,6 +603,27 @@ func BenchmarkServePredictBatchSHM(b *testing.B) {
 	e, err := serve.NewEngine(dir, serve.Config{SHMDir: dir})
 	if err != nil {
 		b.Fatal(err)
+	}
+	if shadowRate > 0 {
+		// The scorer is single-goroutine, so the one-hot buffer is reusable.
+		probs := make([]float64, 16)
+		teacher := benchTeacher{q: func(in []float64) []float64 {
+			c := tree.Predict(in)
+			for i := range probs {
+				probs[i] = 0
+			}
+			if c >= len(probs) {
+				probs = make([]float64, c+1)
+			}
+			probs[c] = 1
+			return probs
+		}}
+		m := shadow.NewMonitor(e, shadow.Options{Rate: shadowRate, Seed: 1, Dir: dir})
+		if err := m.Enroll(shadow.ModelConfig{Model: "dcn", Teacher: teacher}); err != nil {
+			b.Fatal(err)
+		}
+		m.Start()
+		b.Cleanup(m.Close)
 	}
 	sock := filepath.Join(dir, "metis.sock")
 	l, err := serve.ListenUDS(sock)

@@ -158,12 +158,29 @@ type ModelInfo struct {
 type ModelStats struct {
 	Requests    int64 `json:"requests"`
 	Predictions int64 `json:"predictions"`
+	// Generation is the model's refit generation (0 = seed student); the
+	// server's shadow loop advances it on refit and reverts it on rollback.
+	Generation int64 `json:"generation"`
+	// Fidelity is the shadow loop's windowed teacher-agreement estimate,
+	// nil until the server shadows this model and its window fills.
+	Fidelity *float64 `json:"fidelity,omitempty"`
 }
 
 // ModelDetail is GET /v2/models/{name}: the registry row plus counters.
 type ModelDetail struct {
 	ModelInfo
 	Stats ModelStats `json:"stats"`
+}
+
+// ShadowStats is the continuous-distillation block of GET /v2/stats.
+type ShadowStats struct {
+	Enabled       bool  `json:"enabled"`
+	Sampled       int64 `json:"sampled"`
+	Dropped       int64 `json:"dropped"`
+	Scored        int64 `json:"scored"`
+	Disagreements int64 `json:"disagreements"`
+	Refits        int64 `json:"refits"`
+	Rollbacks     int64 `json:"rollbacks"`
 }
 
 // Stats is GET /v2/stats.
@@ -174,6 +191,7 @@ type Stats struct {
 	Reloads       int64                 `json:"reloads"`
 	Dir           string                `json:"dir"`
 	Models        map[string]ModelStats `json:"models"`
+	Shadow        ShadowStats           `json:"shadow"`
 }
 
 // do issues one request with 503-retry, returning the response body for a

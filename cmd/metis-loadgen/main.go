@@ -258,6 +258,13 @@ func (r *report) writeText(out io.Writer) {
 func (r *report) writeJSON(path string) error {
 	h := r.hist
 	us := func(ns int64) int64 { return ns / 1e3 }
+	// The transport and the realized per-model mix are part of the record:
+	// two runs are only comparable when both match, and the mix answers
+	// whether weighted traffic actually split as configured.
+	models := make(map[string]int64, len(r.mix))
+	for _, m := range r.mix {
+		models[m.name] = m.count.Load()
+	}
 	rec := map[string]any{
 		"date":      time.Now().Format("2006-01-02"),
 		"go":        runtime.Version(),
@@ -275,6 +282,8 @@ func (r *report) writeJSON(path string) error {
 			"p999_us":    us(h.Quantile(0.999)),
 			"failed":     r.failed,
 			"dropped":    r.dropped,
+			"transport":  r.cfg.transport,
+			"models":     models,
 		}},
 	}
 	data, err := json.MarshalIndent(rec, "", "  ")

@@ -252,11 +252,13 @@ func TestRunSharedMemoryTransport(t *testing.T) {
 		Date    string `json:"date"`
 		Go      string `json:"go"`
 		Results []struct {
-			Name       string  `json:"name"`
-			Iterations int64   `json:"iterations"`
-			NsPerOp    int64   `json:"ns_per_op"`
-			PredsPerS  float64 `json:"preds/s"`
-			Failed     int64   `json:"failed"`
+			Name       string           `json:"name"`
+			Iterations int64            `json:"iterations"`
+			NsPerOp    int64            `json:"ns_per_op"`
+			PredsPerS  float64          `json:"preds/s"`
+			Failed     int64            `json:"failed"`
+			Transport  string           `json:"transport"`
+			Models     map[string]int64 `json:"models"`
 		} `json:"results"`
 	}
 	if err := json.Unmarshal(data, &rec); err != nil {
@@ -269,5 +271,13 @@ func TestRunSharedMemoryTransport(t *testing.T) {
 	if res.Name != "LoadgenPredictBatch/shm" || res.Iterations < 100 ||
 		res.NsPerOp <= 0 || res.PredsPerS <= 0 || res.Failed != 0 {
 		t.Fatalf("record result: %+v", res)
+	}
+	// The record must identify the transport and the realized per-model mix,
+	// which for a single-model run is every completed request.
+	if res.Transport != "shm" {
+		t.Fatalf("record transport = %q, want shm", res.Transport)
+	}
+	if res.Models["abr"] != res.Iterations {
+		t.Fatalf("record models = %v, want abr = %d", res.Models, res.Iterations)
 	}
 }

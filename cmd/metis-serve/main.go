@@ -29,6 +29,15 @@
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener closes,
 // in-flight requests get up to 5 seconds to finish, and the process exits 0.
+//
+// Continuous distillation: with -shadow-rate > 0 the daemon mirrors a
+// deterministic sample of predict traffic to a shadow loop that re-scores it
+// against each model's teacher (resolved from scenario metadata; pre-cache
+// teachers and corpora with metis-exp -cache pointed at -shadow-dir). When a
+// model's windowed fidelity drops below -drift-threshold the loop refits the
+// student from its corpus, hot-reloads the new generation with lineage
+// metadata, and auto-rolls back if the refit measures worse. See the
+// "Operating Metis" section of the README.
 package main
 
 import (
@@ -46,6 +55,11 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/shadow"
+
+	// Register the scenarios so shadow.EnrollScenarios can resolve a served
+	// model's teacher from its artifact metadata.
+	_ "repro/internal/scenarios"
 )
 
 // config is the parsed command line.
@@ -59,6 +73,11 @@ type config struct {
 	dispatchWorkers int
 	maxBatch        int
 	inflight        int
+	shadowRate      float64
+	shadowDir       string
+	shadowWindow    int
+	driftThreshold  float64
+	shadowSeed      int64
 }
 
 // parseFlags parses args (not including the program name) into a config.
@@ -84,6 +103,16 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 		fmt.Sprintf("max rows per prediction request (0 = %d)", serve.DefaultMaxBatch))
 	fs.IntVar(&cfg.inflight, "max-inflight", 0,
 		"max concurrently admitted prediction requests; beyond it requests fail fast with 503 (0 = unlimited)")
+	fs.Float64Var(&cfg.shadowRate, "shadow-rate", 0,
+		"fraction of predict batches shadow-scored against the teacher (0 = shadowing off, 1 = every batch)")
+	fs.StringVar(&cfg.shadowDir, "shadow-dir", "",
+		"shadow state directory: cached teachers/corpora are read from it (metis-exp -cache), generation archives are written to it (required with -shadow-rate)")
+	fs.IntVar(&cfg.shadowWindow, "shadow-window", 0,
+		fmt.Sprintf("fidelity window in shadow-scored rows (0 = %d)", shadow.DefaultWindow))
+	fs.Float64Var(&cfg.driftThreshold, "drift-threshold", 0,
+		fmt.Sprintf("windowed fidelity below which the student is refitted from its corpus (0 = %g)", shadow.DefaultDriftThreshold))
+	fs.Int64Var(&cfg.shadowSeed, "shadow-seed", 1,
+		"seed of the deterministic shadow sampler")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -108,6 +137,27 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	}
 	if cfg.shmDir != "" && !cfg.shm {
 		return nil, errors.New("-shm-dir requires -shm")
+	}
+	if cfg.shadowRate < 0 || cfg.shadowRate > 1 {
+		return nil, fmt.Errorf("-shadow-rate must be in [0, 1] (got %g)", cfg.shadowRate)
+	}
+	if cfg.shadowRate > 0 && cfg.shadowDir == "" {
+		return nil, errors.New("-shadow-rate requires -shadow-dir (cached teachers and generation archives live there)")
+	}
+	if cfg.shadowDir != "" && cfg.shadowRate == 0 {
+		return nil, errors.New("-shadow-dir requires -shadow-rate > 0")
+	}
+	if cfg.driftThreshold < 0 || cfg.driftThreshold > 1 {
+		return nil, fmt.Errorf("-drift-threshold must be in [0, 1] (got %g)", cfg.driftThreshold)
+	}
+	if cfg.driftThreshold > 0 && cfg.shadowRate == 0 {
+		return nil, errors.New("-drift-threshold requires -shadow-rate > 0")
+	}
+	if cfg.shadowWindow < 0 {
+		return nil, fmt.Errorf("-shadow-window must be non-negative (got %d)", cfg.shadowWindow)
+	}
+	if cfg.shadowWindow > 0 && cfg.shadowRate == 0 {
+		return nil, errors.New("-shadow-window requires -shadow-rate > 0")
 	}
 	if fs.NArg() > 0 {
 		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
@@ -162,6 +212,30 @@ func main() {
 	}
 	fmt.Printf("serving %d models on %s (SIGHUP or POST /v2/admin/reload to hot-reload)\n",
 		len(engine.Models()), cfg.addr)
+
+	if cfg.shadowRate > 0 {
+		mon := shadow.NewMonitor(engine, shadow.Options{
+			Rate:           cfg.shadowRate,
+			Seed:           cfg.shadowSeed,
+			Window:         cfg.shadowWindow,
+			DriftThreshold: cfg.driftThreshold,
+			Dir:            cfg.shadowDir,
+			Workers:        cfg.workers,
+			Logf: func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			},
+		})
+		n, err := shadow.EnrollScenarios(mon)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if n == 0 {
+			fmt.Println("shadow: no served model carries scenario metadata — shadowing idle")
+		}
+		mon.Start()
+		defer mon.Close()
+	}
 
 	// SIGHUP → hot reload of the artifact directory.
 	hup := make(chan os.Signal, 1)

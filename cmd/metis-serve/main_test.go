@@ -25,6 +25,17 @@ func TestParseFlags(t *testing.T) {
 		{"negative dispatch-workers", []string{"-dir", "m", "-dispatch-workers", "-1"}, "-dispatch-workers must be non-negative"},
 		{"shm without socket", []string{"-dir", "m", "-shm"}, "-shm requires -uds"},
 		{"shm-dir without shm", []string{"-dir", "m", "-uds", "/tmp/m.sock", "-shm-dir", "/dev/shm"}, "-shm-dir requires -shm"},
+		{"shadowing on", []string{"-dir", "m", "-shadow-rate", "0.01", "-shadow-dir", "/tmp/shadow"}, ""},
+		{"shadow all knobs", []string{"-dir", "m", "-shadow-rate", "1", "-shadow-dir", "s",
+			"-shadow-window", "64", "-drift-threshold", "0.95", "-shadow-seed", "7"}, ""},
+		{"shadow rate above one", []string{"-dir", "m", "-shadow-rate", "1.5", "-shadow-dir", "s"}, "-shadow-rate must be in [0, 1]"},
+		{"shadow rate negative", []string{"-dir", "m", "-shadow-rate", "-0.1", "-shadow-dir", "s"}, "-shadow-rate must be in [0, 1]"},
+		{"shadow rate without dir", []string{"-dir", "m", "-shadow-rate", "0.5"}, "-shadow-rate requires -shadow-dir"},
+		{"shadow dir without rate", []string{"-dir", "m", "-shadow-dir", "s"}, "-shadow-dir requires -shadow-rate"},
+		{"drift threshold out of range", []string{"-dir", "m", "-shadow-rate", "0.5", "-shadow-dir", "s", "-drift-threshold", "2"}, "-drift-threshold must be in [0, 1]"},
+		{"drift threshold without shadowing", []string{"-dir", "m", "-drift-threshold", "0.9"}, "-drift-threshold requires -shadow-rate"},
+		{"negative shadow window", []string{"-dir", "m", "-shadow-rate", "0.5", "-shadow-dir", "s", "-shadow-window", "-1"}, "-shadow-window must be non-negative"},
+		{"shadow window without shadowing", []string{"-dir", "m", "-shadow-window", "64"}, "-shadow-window requires -shadow-rate"},
 		{"stray positional", []string{"-dir", "m", "stray"}, "unexpected arguments"},
 		{"unknown flag", []string{"-dir", "m", "-frobnicate"}, "not defined"},
 	} {

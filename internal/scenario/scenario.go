@@ -231,6 +231,19 @@ type Scenario interface {
 	Evaluate(cfg Config, t Teacher, s Student) ([]Metric, error)
 }
 
+// Refitter is the optional Scenario extension the continuous-distillation
+// loop (internal/shadow) drives: refit the student from an updated
+// distillation corpus — one supervised fit over the table, no environment
+// rollouts or teacher re-training. Scenarios that cache their corpus as a
+// dataset artifact (so a serving daemon can reload it) should implement it;
+// a Refit on the unmodified cached corpus must reproduce the Distill student
+// bit for bit.
+type Refitter interface {
+	Scenario
+	// Refit fits a fresh student from the corpus at cfg's scale.
+	Refit(cfg Config, ds *dataset.Table) (Student, error)
+}
+
 var (
 	regMu    sync.RWMutex
 	registry = map[string]Scenario{}

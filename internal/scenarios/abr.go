@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/abr"
+	"repro/internal/dataset"
 	"repro/internal/metis/dtree"
 	"repro/internal/pensieve"
 	"repro/internal/scenario"
@@ -112,7 +113,7 @@ func (sc abrScenario) Distill(cfg scenario.Config, t scenario.Teacher) (scenario
 	}
 	p := at.params
 	dcfg := PensieveDistillConfig(p.TreeLeaves, p.DistillIters, p.DistillEps, p.VideoChunks+2, cfg.Workers)
-	const header = "Metis+Pensieve bitrate tree"
+	const header = abrTreeHeader
 
 	// A cached corpus (the final DAgger aggregate with its fitting
 	// weights, stored as a dataset artifact) skips rollout collection
@@ -133,6 +134,26 @@ func (sc abrScenario) Distill(cfg scenario.Config, t scenario.Teacher) (scenario
 		return nil, err
 	}
 	return &treeStudent{tree: res.Tree, fidelity: res.Fidelity, header: header}, nil
+}
+
+// abrTreeHeader titles the bitrate tree's summary.
+const abrTreeHeader = "Metis+Pensieve bitrate tree"
+
+// Refit implements scenario.Refitter: one CART fit over the (possibly
+// drift-augmented) corpus with the scale's distillation knobs — no rollouts,
+// no teacher. On the unmodified cached corpus it reproduces the Distill
+// student bit for bit.
+func (abrScenario) Refit(cfg scenario.Config, ds *dataset.Table) (scenario.Student, error) {
+	p, ok := abrScales[cfg.Scale]
+	if !ok {
+		return nil, fmt.Errorf("abr: unknown scale %q", cfg.Scale)
+	}
+	dcfg := PensieveDistillConfig(p.TreeLeaves, p.DistillIters, p.DistillEps, p.VideoChunks+2, cfg.Workers)
+	tree, err := dtree.FitTable(ds, dcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &treeStudent{tree: tree, fidelity: dtree.TableFidelity(tree, ds), header: abrTreeHeader}, nil
 }
 
 func (abrScenario) Evaluate(cfg scenario.Config, t scenario.Teacher, s scenario.Student) ([]scenario.Metric, error) {

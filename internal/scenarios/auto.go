@@ -5,7 +5,9 @@ import (
 	"math"
 
 	"repro/internal/auto"
+	"repro/internal/dataset"
 	"repro/internal/dcn"
+	"repro/internal/metis/dtree"
 	"repro/internal/scenario"
 )
 
@@ -81,17 +83,45 @@ func (sc lrlaScenario) Train(cfg scenario.Config) (scenario.Teacher, error) {
 	return &lrlaTeacher{l: l, params: p}, nil
 }
 
-func (lrlaScenario) Distill(cfg scenario.Config, t scenario.Teacher) (scenario.Student, error) {
+// lrlaTreeHeader titles the priority tree's summary.
+const lrlaTreeHeader = "Metis+AuTO priority tree"
+
+func (sc lrlaScenario) Distill(cfg scenario.Config, t scenario.Teacher) (scenario.Student, error) {
 	lt, ok := t.(*lrlaTeacher)
 	if !ok {
 		return nil, fmt.Errorf("auto-lrla: teacher is %T, not an lrla teacher", t)
 	}
 	p := lt.params
+	// A cached corpus skips the teacher-in-the-loop fabric runs: refitting
+	// on the bit-identical table reproduces the student bit for bit, and the
+	// continuous-distillation loop can refit it online.
+	if ds, ok := cfg.LoadCachedDataset("auto-lrla", sc.Fingerprint(cfg)); ok {
+		return sc.Refit(cfg, ds)
+	}
 	tree, ds, err := DistillLRLATree(lt.l, p.DatasetRuns, p.MaxLeaves, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
-	return &treeStudent{tree: tree, fidelity: classifierFidelity(tree, ds), header: "Metis+AuTO priority tree"}, nil
+	if err := cfg.SaveCachedDataset("auto-lrla", sc.Fingerprint(cfg), ds); err != nil {
+		return nil, err
+	}
+	return &treeStudent{tree: tree, fidelity: classifierFidelity(tree, ds), header: lrlaTreeHeader}, nil
+}
+
+// Refit implements scenario.Refitter: one CART fit over the corpus with the
+// scale's leaf budget.
+func (lrlaScenario) Refit(cfg scenario.Config, ds *dataset.Table) (scenario.Student, error) {
+	p, ok := lrlaScales[cfg.Scale]
+	if !ok {
+		return nil, fmt.Errorf("auto-lrla: unknown scale %q", cfg.Scale)
+	}
+	tree, err := dtree.FitTable(ds, dtree.DistillConfig{
+		MaxLeaves: p.MaxLeaves, FeatureNames: auto.LongFlowStateNames(), Workers: cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &treeStudent{tree: tree, fidelity: classifierFidelity(tree, ds), header: lrlaTreeHeader}, nil
 }
 
 func (lrlaScenario) Evaluate(cfg scenario.Config, t scenario.Teacher, s scenario.Student) ([]scenario.Metric, error) {

@@ -30,6 +30,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -92,6 +93,14 @@ type Model struct {
 	// is compiled at load time).
 	Kind string
 	Meta map[string]string
+	// Path is the artifact file the model was loaded from — the continuous
+	// distillation loop (internal/shadow) overwrites it atomically when it
+	// refits or rolls back a student.
+	Path string
+	// Generation is the model's refit generation, parsed from the artifact's
+	// "generation" metadata (0 for a freshly trained seed student). Each
+	// shadow-triggered refit increments it; a rollback restores the parent's.
+	Generation int64
 	// Compiled is the pointer-chasing float-threshold representation; set
 	// for dtree/tree and dtree/compiled artifacts.
 	Compiled *dtree.Compiled
@@ -189,6 +198,44 @@ type Config struct {
 	SHMSlotSize int
 }
 
+// Mirror receives a copy of every successful classification predict after
+// the response is computed, across all transports. It is the engine's tap
+// for the continuous-distillation loop (internal/shadow): the implementation
+// decides — cheaply, this is the hot path — whether to sample the batch, and
+// must copy rows/actions before returning because both alias caller-owned
+// scratch (transport decode buffers, shared-memory slabs) that is recycled
+// as soon as the predict call returns.
+type Mirror interface {
+	// Observe is called with the request's model name, its feature rows, and
+	// the actions the serving student chose. actions is nil for regression
+	// models. Observe must never block.
+	Observe(model string, rows [][]float64, actions []int)
+	// Snapshot returns the mirror's live counters for /v2/stats and /metrics.
+	Snapshot() MirrorSnapshot
+}
+
+// MirrorSnapshot is a point-in-time view of a Mirror's accounting.
+type MirrorSnapshot struct {
+	// Sampled counts batches copied to the shadow queue; Dropped counts
+	// sampled batches discarded because the queue was full (drop-and-count:
+	// mirroring never backpressures serving). Scored counts rows the shadow
+	// worker has compared against the teacher.
+	Sampled, Dropped, Scored int64
+	// Disagreements counts scored rows where teacher and student differ;
+	// Refits and Rollbacks count controller actions.
+	Disagreements, Refits, Rollbacks int64
+	// Models holds the per-model view, keyed by serving name.
+	Models map[string]MirrorModelSnapshot
+}
+
+// MirrorModelSnapshot is one model's shadow-scoring state.
+type MirrorModelSnapshot struct {
+	Sampled, Dropped, Scored, Disagreements, Refits, Rollbacks int64
+	// Fidelity is the windowed teacher-agreement estimate in [0, 1], or -1
+	// while the window has not yet filled.
+	Fidelity float64
+}
+
 // Engine is the transport-agnostic serving core: a hot-reloadable model
 // registry plus admission-controlled batch inference. All methods are safe
 // for concurrent use; Predict never blocks on Reload.
@@ -219,6 +266,10 @@ type Engine struct {
 	// latency records nanoseconds per successful predict call, across all
 	// transports (HTTP and both socket framings share this one histogram).
 	latency *histo.Histogram
+	// mirror, when set, taps every successful predict (see Mirror). An
+	// atomic pointer-to-interface so the hot path pays one load when no
+	// mirror is installed.
+	mirror atomic.Pointer[Mirror]
 }
 
 // NewEngine loads every servable artifact in dir into a fresh engine.
@@ -282,7 +333,10 @@ func loadRegistry(dir string) (*registry, error) {
 		if name == "" {
 			name = strings.TrimSuffix(filepath.Base(path), Ext)
 		}
-		entry := &Model{Name: name, Kind: a.Kind, Meta: a.Meta}
+		entry := &Model{Name: name, Kind: a.Kind, Meta: a.Meta, Path: path}
+		if g, err := strconv.ParseInt(a.Meta["generation"], 10, 64); err == nil && g > 0 {
+			entry.Generation = g
+		}
 		// The checksum protects bytes, not invariants: a malformed tree could
 		// panic or loop the predict handler, so every representation is
 		// validated before it enters the registry.
@@ -476,6 +530,11 @@ func (e *Engine) PredictInto(name string, rows [][]float64, p *Prediction) error
 		p.Actions, p.Values = out, nil
 	}
 	e.latency.Record(time.Since(t0).Nanoseconds())
+	if mp := e.mirror.Load(); mp != nil {
+		// The mirror copies what it samples before returning; rows and
+		// p.Actions stay caller-owned.
+		(*mp).Observe(m.Name, rows, p.Actions)
+	}
 	return nil
 }
 
@@ -483,6 +542,28 @@ func (e *Engine) PredictInto(name string, rows [][]float64, p *Prediction) error
 // successful call, all transports combined). Callers may read quantiles or
 // merge it; they must not reset it.
 func (e *Engine) Latency() *histo.Histogram { return e.latency }
+
+// SetMirror installs (or, with nil, removes) the engine's predict mirror.
+// Safe to call while serving: in-flight predicts see either the old or the
+// new mirror.
+func (e *Engine) SetMirror(m Mirror) {
+	if m == nil {
+		e.mirror.Store(nil)
+		return
+	}
+	e.mirror.Store(&m)
+}
+
+// mirrorSnapshot returns the installed mirror's counters, or nil when no
+// mirror is set.
+func (e *Engine) mirrorSnapshot() *MirrorSnapshot {
+	mp := e.mirror.Load()
+	if mp == nil {
+		return nil
+	}
+	snap := (*mp).Snapshot()
+	return &snap
+}
 
 // growInts resizes s to n entries, reusing its backing array when it fits.
 func growInts(s []int, n int) []int {

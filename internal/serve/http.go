@@ -89,6 +89,30 @@ func (e *Engine) handleModels(w http.ResponseWriter, r *http.Request) {
 type modelStats struct {
 	Requests    int64 `json:"requests"`
 	Predictions int64 `json:"predictions"`
+	// Generation is the model's refit generation (0 = seed student); it
+	// advances when the shadow loop refits and reverts on rollback, so an
+	// operator polling stats can watch a canary converge.
+	Generation int64 `json:"generation"`
+	// Fidelity is the shadow loop's windowed teacher-agreement estimate for
+	// this model; absent until a mirror is installed and its window fills.
+	Fidelity *float64 `json:"fidelity,omitempty"`
+}
+
+// statsFor renders one model's stats entry, folding in the mirror's
+// fidelity estimate when one is measuring this model.
+func (e *Engine) statsFor(m *Model, snap *MirrorSnapshot) modelStats {
+	s := modelStats{
+		Requests:    m.requests.Load(),
+		Predictions: m.predictions.Load(),
+		Generation:  m.Generation,
+	}
+	if snap != nil {
+		if ms, ok := snap.Models[m.Name]; ok && ms.Fidelity >= 0 {
+			f := ms.Fidelity
+			s.Fidelity = &f
+		}
+	}
+	return s
 }
 
 // modelDetail is the models/{name} body: the registry row plus the model's
@@ -107,7 +131,7 @@ func (e *Engine) handleModelDetail(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, modelDetail{
 		modelInfo: m.info(),
-		Stats:     modelStats{Requests: m.requests.Load(), Predictions: m.predictions.Load()},
+		Stats:     e.statsFor(m, e.mirrorSnapshot()),
 	})
 }
 
@@ -279,9 +303,19 @@ func (e *Engine) handleStatsV2(w http.ResponseWriter, r *http.Request) {
 // statsBody builds the v2 stats document (shared by the HTTP route and the
 // socket transport's "stats" control op).
 func (e *Engine) statsBody() map[string]any {
+	snap := e.mirrorSnapshot()
 	per := map[string]modelStats{}
 	for _, m := range e.Models() {
-		per[m.Name] = modelStats{Requests: m.requests.Load(), Predictions: m.predictions.Load()}
+		per[m.Name] = e.statsFor(m, snap)
+	}
+	shadow := map[string]any{"enabled": snap != nil}
+	if snap != nil {
+		shadow["sampled"] = snap.Sampled
+		shadow["dropped"] = snap.Dropped
+		shadow["scored"] = snap.Scored
+		shadow["disagreements"] = snap.Disagreements
+		shadow["refits"] = snap.Refits
+		shadow["rollbacks"] = snap.Rollbacks
 	}
 	return map[string]any{
 		"uptime_s":  time.Since(e.start).Seconds(),
@@ -291,6 +325,7 @@ func (e *Engine) statsBody() map[string]any {
 		"dir":       e.Dir(),
 		"loaded_at": e.LoadedAt().UTC().Format(time.RFC3339),
 		"models":    per,
+		"shadow":    shadow,
 		"shm": map[string]any{
 			"conns": e.SHMConns(),
 			"wakes": e.SHMWakes(),
@@ -352,6 +387,17 @@ func (e *Engine) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("metis_errors_total", "Requests that failed (any 4xx/5xx).", e.errors.Load())
 	counter("metis_reloads_total", "Registry hot reloads applied.", e.reloads.Load())
 	counter("metis_shm_wakes_total", "Doorbell frames written to parked ring clients (flat while rings stay busy).", e.SHMWakes())
+	// Shadow-loop counters render as zeros until a mirror is installed, so
+	// scrapers see a stable metric set whether or not -shadow-rate is on.
+	var snap MirrorSnapshot
+	if s := e.mirrorSnapshot(); s != nil {
+		snap = *s
+	}
+	counter("metis_shadow_sampled_total", "Predict batches mirrored to the shadow-scoring queue.", snap.Sampled)
+	counter("metis_shadow_dropped_total", "Sampled batches dropped because the shadow queue was full.", snap.Dropped)
+	counter("metis_shadow_disagreements_total", "Shadow-scored rows where teacher and student disagreed.", snap.Disagreements)
+	counter("metis_shadow_refits_total", "Drift-triggered student refits applied by the shadow loop.", snap.Refits)
+	counter("metis_shadow_rollbacks_total", "Refits rolled back because the new student measured worse.", snap.Rollbacks)
 	fmt.Fprintf(&b, "# HELP metis_shm_conns Connections currently serving shared-memory ring traffic.\n# TYPE metis_shm_conns gauge\nmetis_shm_conns %d\n",
 		e.SHMConns())
 	fmt.Fprintf(&b, "# HELP metis_uptime_seconds Engine uptime.\n# TYPE metis_uptime_seconds gauge\nmetis_uptime_seconds %.3f\n",

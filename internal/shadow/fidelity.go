@@ -1,0 +1,78 @@
+package shadow
+
+import (
+	"sync/atomic"
+
+	"repro/internal/histo"
+)
+
+// Estimator tracks windowed teacher-student agreement. Each scored row
+// records a 0 (disagree) or 1 (agree) into the current internal/histo
+// histogram — values 0 and 1 sit in histo's exact linear range, so the
+// histogram mean IS the agreement fraction, with the same lock-free
+// concurrent-reader properties the latency stats ride. When the current
+// histogram reaches the window size it rotates to "previous", so the
+// estimate always covers between one and two windows of the most recent
+// traffic and old agreement can never mask fresh drift indefinitely.
+//
+// Record is called by the single shadow-scorer goroutine; Fidelity and Rows
+// may be called concurrently from stats readers.
+type Estimator struct {
+	window uint64
+	cur    atomic.Pointer[histo.Histogram]
+	prev   atomic.Pointer[histo.Histogram]
+}
+
+// NewEstimator returns an empty estimator with the given window (rows).
+func NewEstimator(window int) *Estimator {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	e := &Estimator{window: uint64(window)}
+	e.cur.Store(histo.New())
+	e.prev.Store(histo.New())
+	return e
+}
+
+// Record adds one scored row, rotating the window when full.
+func (e *Estimator) Record(agree bool) {
+	cur := e.cur.Load()
+	if agree {
+		cur.Record(1)
+	} else {
+		cur.Record(0)
+	}
+	if cur.Count() >= e.window {
+		e.prev.Store(cur)
+		e.cur.Store(histo.New())
+	}
+}
+
+// Rows returns how many rows the live estimate covers (current + previous
+// window).
+func (e *Estimator) Rows() uint64 {
+	return e.cur.Load().Count() + e.prev.Load().Count()
+}
+
+// Ready reports whether at least one full window has been scored since the
+// last Reset, i.e. Fidelity is meaningful.
+func (e *Estimator) Ready() bool { return e.Rows() >= e.window }
+
+// Fidelity returns the agreement fraction over the covered rows, or -1 when
+// nothing has been scored yet.
+func (e *Estimator) Fidelity() float64 {
+	cur, prev := e.cur.Load(), e.prev.Load()
+	n := cur.Count() + prev.Count()
+	if n == 0 {
+		return -1
+	}
+	agree := cur.Mean()*float64(cur.Count()) + prev.Mean()*float64(prev.Count())
+	return agree / float64(n)
+}
+
+// Reset discards all recorded agreement — called after a refit or rollback
+// so the next estimate measures only the student now serving.
+func (e *Estimator) Reset() {
+	e.cur.Store(histo.New())
+	e.prev.Store(histo.New())
+}

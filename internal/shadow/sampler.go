@@ -1,0 +1,56 @@
+package shadow
+
+import (
+	"hash/fnv"
+	"math"
+	"sync/atomic"
+)
+
+// sampler decides deterministically which predict batches of one model are
+// mirrored. The decision for batch i depends only on (seed, i): batch
+// sequence numbers are assigned by an atomic counter in arrival order, and
+// each is hashed through SplitMix64 against a fixed threshold. Same seed +
+// same per-model traffic order → bit-identical sampled set, regardless of
+// how many inference workers the engine runs or how often stats are read.
+type sampler struct {
+	seed      uint64
+	threshold uint64
+	seq       atomic.Uint64
+}
+
+// newSampler derives a per-model sampler from the monitor seed and the model
+// name, sampling the given fraction of batches. rate ≤ 0 samples nothing,
+// rate ≥ 1 everything.
+func newSampler(seed int64, model string, rate float64) *sampler {
+	h := fnv.New64a()
+	h.Write([]byte(model))
+	s := &sampler{seed: uint64(seed) ^ h.Sum64()}
+	switch {
+	case rate <= 0:
+		s.threshold = 0
+	case rate >= 1:
+		s.threshold = math.MaxUint64
+	default:
+		s.threshold = uint64(rate * float64(math.MaxUint64))
+	}
+	return s
+}
+
+// next assigns the arriving batch its sequence number and reports whether it
+// is in the sampled set.
+func (s *sampler) next() (seq uint64, sampled bool) {
+	seq = s.seq.Add(1) - 1
+	if s.threshold == math.MaxUint64 {
+		return seq, true
+	}
+	return seq, splitmix64(s.seed^splitmix64(seq+1)) < s.threshold
+}
+
+// splitmix64 is the SplitMix64 finalizer — the same mixer internal/dataset
+// uses for seeded sampling; a cheap, well-distributed stateless hash.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
