@@ -19,6 +19,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/abr"
@@ -576,7 +577,7 @@ func BenchmarkServePredictBatchUDSPipelined(b *testing.B) {
 // wakeups, frame headers) still cost. The reported "wakes" metric is the
 // server's doorbell count across the run: near-zero is the zero-syscall
 // steady state working as designed.
-func BenchmarkServePredictBatchSHM(b *testing.B) { benchServeSHM(b, 0) }
+func BenchmarkServePredictBatchSHM(b *testing.B) { benchServeSHM(b, 0, 0) }
 
 // BenchmarkServePredictBatchSHMShadowed is the same ring benchmark with the
 // continuous-distillation mirror sampling 1% of batches into a live shadow
@@ -587,22 +588,53 @@ func BenchmarkServePredictBatchSHM(b *testing.B) { benchServeSHM(b, 0) }
 // this bench isolates is the serving-path and scorer-machinery overhead,
 // and teacher inference — whose cost is scenario-specific and entirely off
 // the predict path — would otherwise drown that signal on small CPU counts.
-func BenchmarkServePredictBatchSHMShadowed(b *testing.B) { benchServeSHM(b, 0.01) }
+func BenchmarkServePredictBatchSHMShadowed(b *testing.B) { benchServeSHM(b, 0.01, 0) }
+
+// BenchmarkServePredictBatchSHMSharded is the ring benchmark against a
+// 4-shard engine serving eight models: every request is consistent-hash
+// routed to the shard owning its model before the fused predict runs, so the
+// preds/s gap against the flat SHM bench is the whole sharded front — hash
+// routing, per-shard registries, and (on hosts with spare cores) the
+// parallel dispatch workers. The acceptance bar of the sharding PR is this
+// bench beating the single-shard record by ≥1.5×.
+func BenchmarkServePredictBatchSHMSharded(b *testing.B) { benchServeSHM(b, 0, 4) }
 
 // benchTeacher adapts a query function to the shadow loop's Teacher.
 type benchTeacher struct{ q func([]float64) []float64 }
 
 func (t benchTeacher) Query(in []float64) []float64 { return t.q(in) }
 
-func benchServeSHM(b *testing.B, shadowRate float64) {
+func benchServeSHM(b *testing.B, shadowRate float64, shards int) {
 	_, _, tree, _ := fixture().AuTo()
 	dir := b.TempDir()
-	if err := artifact.SaveModel(filepath.Join(dir, "dcn.metis"), tree, map[string]string{"name": "dcn"}); err != nil {
-		b.Fatal(err)
+	// One model on the flat engine; eight equal-length names across a sharded
+	// one, so requests fan over every shard and the alignment skip is uniform.
+	names := []string{"dcn"}
+	if shards > 0 {
+		names = []string{"md0", "md1", "md2", "md3", "md4", "md5", "md6", "md7"}
 	}
-	e, err := serve.NewEngine(dir, serve.Config{SHMDir: dir})
-	if err != nil {
-		b.Fatal(err)
+	for _, name := range names {
+		if err := artifact.SaveModel(filepath.Join(dir, name+".metis"), tree, map[string]string{"name": name}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var (
+		e        *serve.Engine
+		serveSHM func(net.Listener) error
+		shmWakes func() int64
+		err      error
+	)
+	if shards > 0 {
+		var se *serve.ShardedEngine
+		if se, err = serve.NewShardedEngine(dir, serve.Config{SHMDir: dir, Shards: shards}); err != nil {
+			b.Fatal(err)
+		}
+		serveSHM, shmWakes = se.ServeSHM, se.SHMWakes
+	} else {
+		if e, err = serve.NewEngine(dir, serve.Config{SHMDir: dir}); err != nil {
+			b.Fatal(err)
+		}
+		serveSHM, shmWakes = e.ServeSHM, e.SHMWakes
 	}
 	if shadowRate > 0 {
 		// The scorer is single-goroutine, so the one-hot buffer is reusable.
@@ -630,7 +662,7 @@ func benchServeSHM(b *testing.B, shadowRate float64) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	go e.ServeSHM(l)
+	go serveSHM(l)
 	b.Cleanup(func() { l.Close() })
 
 	conn, err := net.Dial("unix", sock)
@@ -668,14 +700,19 @@ func benchServeSHM(b *testing.B, shadowRate float64) {
 		b.Fatal(err)
 	}
 
-	var payload bytes.Buffer
-	if err := serve.EncodeBatchRequest(&payload, "dcn", lrlaBatch(serveBenchBatch)); err != nil {
-		b.Fatal(err)
+	X := lrlaBatch(serveBenchBatch)
+	raws := make([][]byte, len(names))
+	for i, name := range names {
+		var payload bytes.Buffer
+		if err := serve.EncodeBatchRequest(&payload, name, X); err != nil {
+			b.Fatal(err)
+		}
+		raws[i] = payload.Bytes()
 	}
-	raw := payload.Bytes()
-	skip := serve.SHMAlignSkip(raw)
-	if skip+len(raw) > seg.Req.SlotSize() {
-		b.Fatalf("bench payload (%d B) exceeds the negotiated slot (%d B)", skip+len(raw), seg.Req.SlotSize())
+	// Equal-length names give every payload the same alignment skip.
+	skip := serve.SHMAlignSkip(raws[0])
+	if skip+len(raws[0]) > seg.Req.SlotSize() {
+		b.Fatalf("bench payload (%d B) exceeds the negotiated slot (%d B)", skip+len(raws[0]), seg.Req.SlotSize())
 	}
 
 	b.ResetTimer()
@@ -686,6 +723,7 @@ func benchServeSHM(b *testing.B, shadowRate float64) {
 		// has not consumed yet). The doorbell fires only if the server
 		// parked — at steady state it never does.
 		for i := 0; i < b.N; i++ {
+			raw := raws[i%len(raws)]
 			var slot []byte
 			for {
 				var ok bool
@@ -725,7 +763,63 @@ func benchServeSHM(b *testing.B, shadowRate float64) {
 		b.Fatal(err)
 	}
 	b.ReportMetric(float64(serveBenchBatch)*float64(b.N)/b.Elapsed().Seconds(), "preds/s")
-	b.ReportMetric(float64(e.SHMWakes()), "wakes")
+	b.ReportMetric(float64(shmWakes()), "wakes")
+}
+
+// BenchmarkServeMultiTenantContention drives a saturated weighted-fair gate
+// end to end: two tenants (keyed by model name) with 3:1 weights, equal
+// offered load from four workers each, and a gate capacity far below the
+// worker count, so every admission goes through the stride scheduler. The
+// headline preds/s is the admission machinery's throughput under contention;
+// the gold_bronze_ratio metric should sit near the 3.0 weight ratio — that
+// is the fairness acceptance bar measured as a benchmark instead of a test.
+func BenchmarkServeMultiTenantContention(b *testing.B) {
+	_, _, tree, _ := fixture().AuTo()
+	dir := b.TempDir()
+	for _, name := range []string{"gold", "bronze"} {
+		if err := artifact.SaveModel(filepath.Join(dir, name+".metis"), tree, map[string]string{"name": name}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	e, err := serve.NewShardedEngine(dir, serve.Config{
+		Shards:      2,
+		MaxInflight: 2,
+		TenantQueue: 64,
+		Tenants:     map[string]float64{"gold": 3, "bronze": 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const contentionBatch = 64
+	X := lrlaBatch(contentionBatch)
+	var (
+		next, gold, bronze atomic.Int64
+		wg                 sync.WaitGroup
+	)
+	b.ResetTimer()
+	for w := 0; w < 8; w++ {
+		tenant, count := "gold", &gold
+		if w%2 == 1 {
+			tenant, count = "bronze", &bronze
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var p serve.Prediction
+			for next.Add(1) <= int64(b.N) {
+				if err := e.PredictInto(tenant, X, &p); err != nil {
+					b.Error(err)
+					return
+				}
+				count.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	b.ReportMetric(float64(contentionBatch)*float64(b.N)/b.Elapsed().Seconds(), "preds/s")
+	if g, br := gold.Load(), bronze.Load(); br > 0 {
+		b.ReportMetric(float64(g)/float64(br), "gold_bronze_ratio")
+	}
 }
 
 // BenchmarkModelFootprint reports serialized sizes (Fig. 17b).

@@ -42,6 +42,9 @@ type Client struct {
 	// rejected it once with 415 — old servers answer the per-model route
 	// only for JSON).
 	jsonOnly atomic.Bool
+	// replicas, when set (WithReplicas), routes each HTTP call to the
+	// least-loaded replica not currently shedding; base is then unused.
+	replicas *replicaSet
 }
 
 // Option customizes a Client.
@@ -125,6 +128,10 @@ func New(baseURL string, opts ...Option) *Client {
 type APIError struct {
 	Status int
 	Msg    string
+	// RetryAfter is the server's Retry-After hint on a 503 (zero when the
+	// header was absent or unparsable). The engine computes it from live
+	// queue depth, so it is the honest earliest time a retry can succeed.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -204,32 +211,66 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, mkBod
 		if mkBody != nil {
 			body = mkBody()
 		}
-		req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+		base := c.base
+		var rep *replica
+		if c.replicas != nil {
+			rep = c.replicas.pick(time.Now())
+			base = rep.base
+		}
+		req, err := http.NewRequestWithContext(ctx, method, base+path, body)
 		if err != nil {
 			return nil, fmt.Errorf("client: %w", err)
 		}
 		if contentType != "" {
 			req.Header.Set("Content-Type", contentType)
 		}
+		if rep != nil {
+			rep.inflight.Add(1)
+		}
 		resp, err := c.hc.Do(req)
+		if rep != nil {
+			rep.inflight.Add(-1)
+		}
 		if err != nil {
+			if rep != nil && attempt < c.retries {
+				// An unreachable replica is shedding in the hardest way;
+				// bench it briefly and fail over.
+				rep.penalize(time.Now(), time.Second)
+				continue
+			}
 			return nil, fmt.Errorf("client: %s %s: %w", method, path, err)
 		}
 		if resp.StatusCode == http.StatusServiceUnavailable && attempt < c.retries {
-			// Admission control pushed back; drain and retry after backoff.
+			// Admission control pushed back; drain and retry. The server's
+			// Retry-After (fractional seconds) overrides our blind backoff —
+			// and with replicas the sleep collapses to zero whenever another
+			// replica is ready now.
+			ra := parseRetryAfter(resp.Header)
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
-			select {
-			case <-time.After(backoff):
-			case <-ctx.Done():
-				return nil, ctx.Err()
+			wait := backoff
+			if ra > 0 {
+				wait = ra
+			}
+			if rep != nil {
+				if ra > 0 {
+					rep.penalize(time.Now(), ra)
+				}
+				wait = c.replicas.retryWait(time.Now())
+			}
+			if wait > 0 {
+				select {
+				case <-time.After(wait):
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
 			}
 			backoff *= 2
 			continue
 		}
 		if resp.StatusCode/100 != 2 {
 			defer resp.Body.Close()
-			apiErr := &APIError{Status: resp.StatusCode}
+			apiErr := &APIError{Status: resp.StatusCode, RetryAfter: parseRetryAfter(resp.Header)}
 			var e struct {
 				Error string `json:"error"`
 			}

@@ -1,0 +1,115 @@
+package client
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// WithReplicas spreads calls over a set of equivalent HTTP endpoints (e.g.
+// several metis-serve processes fronting the same artifact directory). Each
+// call picks the replica with the fewest in-flight requests among those not
+// currently shedding; a replica that answers 503 with a Retry-After is taken
+// out of rotation for that long, so retries fail over immediately instead of
+// sleeping on a saturated server. The Client's base URL is ignored for
+// request routing when replicas are set. No effect on unix-socket bases.
+func WithReplicas(bases []string) Option {
+	return func(c *Client) {
+		if len(bases) == 0 || c.uds != nil {
+			return
+		}
+		rs := &replicaSet{reps: make([]*replica, 0, len(bases))}
+		for _, b := range bases {
+			rs.reps = append(rs.reps, &replica{base: strings.TrimRight(b, "/")})
+		}
+		c.replicas = rs
+	}
+}
+
+// replica is one endpoint's live routing state. coolUntil holds a unix-nano
+// deadline before which the replica is considered shedding (a 503 told us
+// when to come back); inflight counts requests currently on the wire.
+type replica struct {
+	base      string
+	inflight  atomic.Int64
+	coolUntil atomic.Int64
+}
+
+// cooling reports whether the replica's shed deadline is still ahead of now.
+func (r *replica) cooling(now time.Time) bool {
+	return r.coolUntil.Load() > now.UnixNano()
+}
+
+// penalize takes the replica out of rotation for d (monotone: a shorter
+// penalty never shortens a longer one already in force).
+func (r *replica) penalize(now time.Time, d time.Duration) {
+	deadline := now.Add(d).UnixNano()
+	for {
+		cur := r.coolUntil.Load()
+		if cur >= deadline || r.coolUntil.CompareAndSwap(cur, deadline) {
+			return
+		}
+	}
+}
+
+type replicaSet struct {
+	reps []*replica
+}
+
+// pick returns the replica for the next attempt: least in-flight among
+// replicas not in cooldown; when every replica is cooling, the one whose
+// cooldown expires first (someone has to take the request).
+func (rs *replicaSet) pick(now time.Time) *replica {
+	var best *replica
+	bestLoad := int64(0)
+	for _, r := range rs.reps {
+		if r.cooling(now) {
+			continue
+		}
+		if load := r.inflight.Load(); best == nil || load < bestLoad {
+			best, bestLoad = r, load
+		}
+	}
+	if best != nil {
+		return best
+	}
+	for _, r := range rs.reps {
+		if best == nil || r.coolUntil.Load() < best.coolUntil.Load() {
+			best = r
+		}
+	}
+	return best
+}
+
+// retryWait returns how long a retry should sleep before re-picking: zero
+// when some replica is ready now, otherwise until the soonest cooldown
+// expires.
+func (rs *replicaSet) retryWait(now time.Time) time.Duration {
+	wait := time.Duration(-1)
+	for _, r := range rs.reps {
+		if !r.cooling(now) {
+			return 0
+		}
+		if d := time.Duration(r.coolUntil.Load() - now.UnixNano()); wait < 0 || d < wait {
+			wait = d
+		}
+	}
+	return max(wait, 0)
+}
+
+// parseRetryAfter reads a Retry-After header as a (possibly fractional)
+// seconds count. Absent, unparsable, or negative values yield 0 — the caller
+// falls back to its own backoff.
+func parseRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.ParseFloat(v, 64)
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs * float64(time.Second))
+}

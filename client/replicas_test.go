@@ -1,0 +1,156 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// predictOK answers the per-model predict route with a fixed JSON action and
+// counts hits.
+func predictOK(hits *atomic.Int64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"actions":[1]}`))
+	})
+}
+
+// TestReplicasFailOverOnShedding: a replica answering 503 with a Retry-After
+// is benched for that long; calls land on the healthy replica with no sleeps
+// on the shedding one's hint.
+func TestReplicasFailOverOnShedding(t *testing.T) {
+	var okHits, busyHits atomic.Int64
+	busy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		busyHits.Add(1)
+		w.Header().Set("Retry-After", "30")
+		http.Error(w, `{"error":"busy"}`, http.StatusServiceUnavailable)
+	}))
+	defer busy.Close()
+	healthy := httptest.NewServer(predictOK(&okHits))
+	defer healthy.Close()
+
+	c := New(busy.URL, WithJSON(), WithReplicas([]string{busy.URL, healthy.URL}))
+	ctx := context.Background()
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		if _, err := c.PredictBatch(ctx, "m", [][]float64{{1}}); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("calls took %v; the 30s Retry-After must not be slept on when a healthy replica exists", elapsed)
+	}
+	if okHits.Load() < 10 {
+		t.Fatalf("healthy replica served %d calls, want >= 10", okHits.Load())
+	}
+	// The shedding replica was tried at most a couple of times before its
+	// 30-second bench kept it out of rotation.
+	if busyHits.Load() > 3 {
+		t.Fatalf("shedding replica was hit %d times despite its Retry-After", busyHits.Load())
+	}
+}
+
+// TestReplicasFailOverOnDown: an unreachable replica is benched and calls
+// succeed on the survivor.
+func TestReplicasFailOverOnDown(t *testing.T) {
+	var okHits atomic.Int64
+	healthy := httptest.NewServer(predictOK(&okHits))
+	defer healthy.Close()
+	down := httptest.NewServer(http.NotFoundHandler())
+	downURL := down.URL
+	down.Close() // nothing listens here anymore
+
+	c := New(downURL, WithJSON(), WithReplicas([]string{downURL, healthy.URL}))
+	for i := 0; i < 4; i++ {
+		if _, err := c.PredictBatch(context.Background(), "m", [][]float64{{1}}); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if okHits.Load() < 4 {
+		t.Fatalf("healthy replica served %d calls, want >= 4", okHits.Load())
+	}
+}
+
+// TestRetryAfterSurfacedOnAPIError: a non-retried 503's fractional
+// Retry-After lands on the returned APIError.
+func TestRetryAfterSurfacedOnAPIError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0.250")
+		http.Error(w, `{"error":"busy"}`, http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	c := New(srv.URL, WithJSON(), WithRetries(0))
+	_, err := c.PredictBatch(context.Background(), "m", [][]float64{{1}})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if apiErr.Status != http.StatusServiceUnavailable || apiErr.RetryAfter != 250*time.Millisecond {
+		t.Fatalf("APIError %+v, want 503 with RetryAfter 250ms", apiErr)
+	}
+}
+
+// TestRetryHonorsFractionalRetryAfter: a single-endpoint client waits the
+// server's fractional hint (not the default backoff) before the retry that
+// succeeds.
+func TestRetryHonorsFractionalRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0.100")
+			http.Error(w, `{"error":"busy"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"actions":[1]}`))
+	}))
+	defer srv.Close()
+	// Default backoff would be 5s here; the 100ms hint must win.
+	c := New(srv.URL, WithJSON(), WithBackoff(5*time.Second))
+	start := time.Now()
+	if _, err := c.PredictBatch(context.Background(), "m", [][]float64{{1}}); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 90*time.Millisecond || elapsed > 2*time.Second {
+		t.Fatalf("retry waited %v, want ~100ms (the server's hint, not the 5s backoff)", elapsed)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d calls, want 2", calls.Load())
+	}
+}
+
+// TestReplicaPickLeastLoaded pins the selection rule directly: fewest
+// in-flight among non-cooling replicas; soonest-free when all cool.
+func TestReplicaPickLeastLoaded(t *testing.T) {
+	now := time.Now()
+	rs := &replicaSet{reps: []*replica{{base: "a"}, {base: "b"}, {base: "c"}}}
+	rs.reps[0].inflight.Store(5)
+	rs.reps[1].inflight.Store(2)
+	rs.reps[2].inflight.Store(9)
+	if got := rs.pick(now); got.base != "b" {
+		t.Fatalf("pick = %s, want b (least loaded)", got.base)
+	}
+	rs.reps[1].penalize(now, time.Minute)
+	if got := rs.pick(now); got.base != "a" {
+		t.Fatalf("pick = %s, want a (b is cooling)", got.base)
+	}
+	rs.reps[0].penalize(now, time.Hour)
+	rs.reps[2].penalize(now, time.Second)
+	if got := rs.pick(now); got.base != "c" {
+		t.Fatalf("pick = %s, want c (soonest free)", got.base)
+	}
+	if w := rs.retryWait(now); w <= 0 || w > time.Second {
+		t.Fatalf("retryWait = %v, want (0, 1s]", w)
+	}
+	// A shorter penalty must not shorten an existing one.
+	rs.reps[0].penalize(now, time.Millisecond)
+	if !rs.reps[0].cooling(now.Add(time.Minute)) {
+		t.Fatal("penalize shortened an in-force cooldown")
+	}
+}

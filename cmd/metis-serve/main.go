@@ -73,6 +73,9 @@ type config struct {
 	dispatchWorkers int
 	maxBatch        int
 	inflight        int
+	shards          int
+	tenants         string
+	tenantQueue     int
 	shadowRate      float64
 	shadowDir       string
 	shadowWindow    int
@@ -103,6 +106,12 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 		fmt.Sprintf("max rows per prediction request (0 = %d)", serve.DefaultMaxBatch))
 	fs.IntVar(&cfg.inflight, "max-inflight", 0,
 		"max concurrently admitted prediction requests; beyond it requests fail fast with 503 (0 = unlimited)")
+	fs.IntVar(&cfg.shards, "shards", 1,
+		"per-core engine shards; models are partitioned across them by consistent hash (1 = the classic single engine, 0 = one shard per core)")
+	fs.StringVar(&cfg.tenants, "tenants", "",
+		"weighted fair admission as name:weight pairs, e.g. \"teamA:3,teamB:1\" (tenant = X-Metis-Tenant header, else the model name; unknown tenants get weight 1)")
+	fs.IntVar(&cfg.tenantQueue, "tenant-queue", 0,
+		fmt.Sprintf("max queued requests per tenant under overload before 503 (0 = %d)", serve.DefaultTenantQueue))
 	fs.Float64Var(&cfg.shadowRate, "shadow-rate", 0,
 		"fraction of predict batches shadow-scored against the teacher (0 = shadowing off, 1 = every batch)")
 	fs.StringVar(&cfg.shadowDir, "shadow-dir", "",
@@ -131,6 +140,20 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	}
 	if cfg.dispatchWorkers < 0 {
 		return nil, fmt.Errorf("-dispatch-workers must be non-negative (got %d)", cfg.dispatchWorkers)
+	}
+	if cfg.shards < 0 {
+		return nil, fmt.Errorf("-shards must be non-negative (got %d)", cfg.shards)
+	}
+	if cfg.tenants != "" {
+		if _, err := serve.ParseTenantWeights(cfg.tenants); err != nil {
+			return nil, fmt.Errorf("-tenants: %w", err)
+		}
+	}
+	if cfg.tenantQueue < 0 {
+		return nil, fmt.Errorf("-tenant-queue must be non-negative (got %d)", cfg.tenantQueue)
+	}
+	if cfg.tenantQueue > 0 && cfg.tenants == "" {
+		return nil, errors.New("-tenant-queue requires -tenants")
 	}
 	if cfg.shm && cfg.uds == "" {
 		return nil, errors.New("-shm requires -uds (segments are negotiated over the socket)")
@@ -190,10 +213,30 @@ func main() {
 		os.Exit(2)
 	}
 
-	engine, err := serve.NewEngine(cfg.dir, serve.Config{
+	engineCfg := serve.Config{
 		Workers: cfg.workers, MaxBatch: cfg.maxBatch, MaxInflight: cfg.inflight,
 		DispatchWorkers: cfg.dispatchWorkers, SHMDir: cfg.shmDir,
-	})
+	}
+	// -shards 1 with no tenant weights serves through the classic single
+	// engine, byte-identical to previous releases; anything else goes
+	// through the sharded front (which also owns weighted fair admission).
+	var engine serve.Backend
+	if cfg.shards == 1 && cfg.tenants == "" {
+		engine, err = serve.NewEngine(cfg.dir, engineCfg)
+	} else {
+		engineCfg.Shards = cfg.shards
+		engineCfg.TenantQueue = cfg.tenantQueue
+		engineCfg.Tenants, _ = serve.ParseTenantWeights(cfg.tenants)
+		var sharded *serve.ShardedEngine
+		if sharded, err = serve.NewShardedEngine(cfg.dir, engineCfg); err == nil {
+			fmt.Printf("sharded engine: %d shards", sharded.ShardCount())
+			if len(engineCfg.Tenants) > 0 {
+				fmt.Printf(", %d weighted tenants", len(engineCfg.Tenants))
+			}
+			fmt.Println()
+		}
+		engine = sharded
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -36,6 +36,15 @@ func TestParseFlags(t *testing.T) {
 		{"drift threshold without shadowing", []string{"-dir", "m", "-drift-threshold", "0.9"}, "-drift-threshold requires -shadow-rate"},
 		{"negative shadow window", []string{"-dir", "m", "-shadow-rate", "0.5", "-shadow-dir", "s", "-shadow-window", "-1"}, "-shadow-window must be non-negative"},
 		{"shadow window without shadowing", []string{"-dir", "m", "-shadow-window", "64"}, "-shadow-window requires -shadow-rate"},
+		{"sharded", []string{"-dir", "m", "-shards", "4"}, ""},
+		{"per-core shards", []string{"-dir", "m", "-shards", "0"}, ""},
+		{"tenants", []string{"-dir", "m", "-tenants", "teamA:3,teamB:1"}, ""},
+		{"tenants with queue", []string{"-dir", "m", "-tenants", "teamA:3,teamB", "-tenant-queue", "32"}, ""},
+		{"negative shards", []string{"-dir", "m", "-shards", "-1"}, "-shards must be non-negative"},
+		{"bad tenant weight", []string{"-dir", "m", "-tenants", "teamA:0"}, "-tenants:"},
+		{"duplicate tenant", []string{"-dir", "m", "-tenants", "a:1,a:2"}, "-tenants:"},
+		{"negative tenant-queue", []string{"-dir", "m", "-tenants", "a:1", "-tenant-queue", "-3"}, "-tenant-queue must be non-negative"},
+		{"tenant-queue without tenants", []string{"-dir", "m", "-tenant-queue", "8"}, "-tenant-queue requires -tenants"},
 		{"stray positional", []string{"-dir", "m", "stray"}, "unexpected arguments"},
 		{"unknown flag", []string{"-dir", "m", "-frobnicate"}, "not defined"},
 	} {

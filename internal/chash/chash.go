@@ -1,0 +1,116 @@
+// Package chash is a minimal consistent-hash ring: it maps string keys onto
+// a fixed set of member names so that adding or removing one member moves
+// only ~1/N of the keyspace. The serving layer uses it to assign models to
+// engine shards — assignment depends only on (member set, key), never on the
+// rest of the key population, so a registry reload with an unchanged shard
+// count never migrates a surviving model.
+//
+// Each member is projected onto the ring at Vnodes pseudo-random points
+// (FNV-1a over "member/i"); a key hashes to one point and is owned by the
+// first member point at or clockwise after it. More vnodes flatten the load
+// spread at the cost of a larger sorted table; lookups stay O(log(N·Vnodes)).
+package chash
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultVnodes is the per-member virtual-node count used when New is given
+// a non-positive one. 128 points per member keeps the max/mean key-load
+// ratio within a few percent for small member sets.
+const DefaultVnodes = 128
+
+// fnv1a is 64-bit FNV-1a. Inlined rather than hash/fnv so the per-lookup
+// path allocates nothing (hash.Hash64 forces a heap box).
+func fnv1a(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	// FNV-1a avalanches poorly on short, near-identical keys (vnode labels
+	// differ by a digit or two), which clumps ring points badly enough to
+	// break the ~1/N movement bound. A splitmix64-style finalizer scatters
+	// the low-entropy tail across all 64 bits.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// point is one virtual node: a position on the ring owned by a member.
+type point struct {
+	hash   uint64
+	member int32
+}
+
+// Ring is an immutable consistent-hash ring over a member set. Build one
+// with New; all methods are safe for concurrent use.
+type Ring struct {
+	members []string
+	points  []point // sorted by hash
+}
+
+// New builds a ring over members (order-insensitive: points depend only on
+// the names) with vnodes virtual nodes per member (≤0 = DefaultVnodes).
+// Members must be non-empty and free of duplicates.
+func New(members []string, vnodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("chash: empty member set")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	seen := make(map[string]struct{}, len(members))
+	r := &Ring{
+		members: append([]string(nil), members...),
+		points:  make([]point, 0, len(members)*vnodes),
+	}
+	for mi, m := range r.members {
+		if _, dup := seen[m]; dup {
+			return nil, fmt.Errorf("chash: duplicate member %q", m)
+		}
+		seen[m] = struct{}{}
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{
+				hash:   fnv1a(fmt.Sprintf("%s/%d", m, v)),
+				member: int32(mi),
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		// Identical hashes (vanishingly rare) tie-break on member so the
+		// ring is deterministic regardless of input order.
+		return a.member < b.member
+	})
+	return r, nil
+}
+
+// Members returns the member names in construction order. Callers must not
+// modify the returned slice.
+func (r *Ring) Members() []string { return r.members }
+
+// LookupIndex returns the index (into Members) of the member owning key.
+func (r *Ring) LookupIndex(key string) int {
+	h := fnv1a(key)
+	// First point with hash >= h, wrapping to the ring start.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return int(r.points[i].member)
+}
+
+// Lookup returns the name of the member owning key.
+func (r *Ring) Lookup(key string) string { return r.members[r.LookupIndex(key)] }

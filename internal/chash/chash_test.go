@@ -1,0 +1,108 @@
+package chash
+
+import (
+	"fmt"
+	"testing"
+)
+
+func members(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("shard-%d", i)
+	}
+	return out
+}
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("model-%d", i)
+	}
+	return out
+}
+
+func TestNewRejectsBadMemberSets(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Fatal("empty member set accepted")
+	}
+	if _, err := New([]string{"a", "b", "a"}, 0); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+}
+
+func TestLookupDeterministicAndOrderInsensitive(t *testing.T) {
+	a, err := New([]string{"s0", "s1", "s2"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New([]string{"s2", "s0", "s1"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(1000) {
+		if a.Lookup(k) != b.Lookup(k) {
+			t.Fatalf("key %q: member-order changed its owner (%s vs %s)", k, a.Lookup(k), b.Lookup(k))
+		}
+		if a.Lookup(k) != a.Lookup(k) {
+			t.Fatalf("key %q: nondeterministic lookup", k)
+		}
+	}
+}
+
+// TestStabilityProperty pins the consistent-hash contract the sharded engine
+// relies on: growing an N-member ring by one moves at most ~1/N of the keys
+// (with slack for vnode placement variance), and every key that moves lands
+// on the NEW member — survivors never shuffle among the old members.
+func TestStabilityProperty(t *testing.T) {
+	const nKeys = 4000
+	ks := keys(nKeys)
+	for _, n := range []int{2, 3, 4, 8} {
+		before, err := New(members(n), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := New(members(n+1), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, k := range ks {
+			was, is := before.Lookup(k), after.Lookup(k)
+			if was == is {
+				continue
+			}
+			moved++
+			if want := fmt.Sprintf("shard-%d", n); is != want {
+				t.Fatalf("n=%d: key %q moved %s→%s, not to the new member %s", n, k, was, is, want)
+			}
+		}
+		// Expected fraction is 1/(n+1); allow 2× for placement variance.
+		maxMoved := 2 * nKeys / (n + 1)
+		if moved == 0 || moved > maxMoved {
+			t.Fatalf("n=%d→%d: %d/%d keys moved (want 1..%d)", n, n+1, moved, nKeys, maxMoved)
+		}
+		t.Logf("n=%d→%d: moved %d/%d (expected ~%d)", n, n+1, moved, nKeys, nKeys/(n+1))
+	}
+}
+
+// TestSpread sanity-checks that vnodes flatten the load: no member of a
+// 4-way ring should own more than 2× its fair share of a large keyset.
+func TestSpread(t *testing.T) {
+	r, err := New(members(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const nKeys = 8000
+	for _, k := range keys(nKeys) {
+		counts[r.Lookup(k)]++
+	}
+	for m, c := range counts {
+		if c > 2*nKeys/4 {
+			t.Fatalf("member %s owns %d of %d keys (fair share %d)", m, c, nKeys, nKeys/4)
+		}
+	}
+	if len(counts) != 4 {
+		t.Fatalf("only %d of 4 members own keys: %v", len(counts), counts)
+	}
+}

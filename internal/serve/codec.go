@@ -45,6 +45,10 @@ const (
 // codec tests pin down.
 const batchMagic = "MTB1"
 
+// batchHeaderSize is the fixed prefix of a binary batch request: magic (4) +
+// nameLen (2) + rows (4) + features (4). The model name follows it.
+const batchHeaderSize = 14
+
 // Binary response kind tags.
 const (
 	batchKindActions = 0
@@ -230,30 +234,43 @@ func (s *batchScratch) decodeRequest(r io.Reader, maxRows int) (model string, ro
 // use of the rows — a shared-memory slot held until Advance, a
 // request/response connection buffer — never for a transient bufio peek.
 func (s *batchScratch) decodeRequestBytes(frame []byte, maxRows int, aliasOK bool) (model string, rows [][]float64, err error) {
-	if len(frame) < 14 {
-		return "", nil, fmt.Errorf("%w: short header: %d bytes", ErrBadBatchEncoding, len(frame))
+	model, flat, nRows, features, err := s.decodeRequestFlat(frame, maxRows, aliasOK)
+	if err != nil {
+		return "", nil, err
+	}
+	return model, s.rowsFromFlat(flat, nRows, features), nil
+}
+
+// decodeRequestFlat is the header-and-matrix half of decodeRequestBytes: it
+// validates the frame and returns the flat row-major matrix without building
+// the per-row slice views. Serving paths that consume the matrix directly
+// (the quantized flat fast path) skip the rows rebuild entirely and call
+// rowsFromFlat only on fallback. Aliasing rules are decodeRequestBytes's.
+func (s *batchScratch) decodeRequestFlat(frame []byte, maxRows int, aliasOK bool) (model string, flat []float64, nRows, features int, err error) {
+	if len(frame) < batchHeaderSize {
+		return "", nil, 0, 0, fmt.Errorf("%w: short header: %d bytes", ErrBadBatchEncoding, len(frame))
 	}
 	if string(frame[:4]) != batchMagic {
-		return "", nil, fmt.Errorf("%w: bad magic %q", ErrBadBatchEncoding, frame[:4])
+		return "", nil, 0, 0, fmt.Errorf("%w: bad magic %q", ErrBadBatchEncoding, frame[:4])
 	}
 	nameLen := int(binary.LittleEndian.Uint16(frame[4:6]))
 	rows64 := int64(binary.LittleEndian.Uint32(frame[6:10]))
 	features64 := int64(binary.LittleEndian.Uint32(frame[10:14]))
 	if rows64 > int64(maxRows) {
-		return "", nil, &BatchSizeError{Rows: int(min(rows64, 1<<31-1)), Max: maxRows}
+		return "", nil, 0, 0, &BatchSizeError{Rows: int(min(rows64, 1<<31-1)), Max: maxRows}
 	}
 	if features64 > maxBinaryFeatures {
-		return "", nil, fmt.Errorf("%w: %d features per row exceeds the %d limit", ErrBadBatchEncoding, features64, maxBinaryFeatures)
+		return "", nil, 0, 0, fmt.Errorf("%w: %d features per row exceeds the %d limit", ErrBadBatchEncoding, features64, maxBinaryFeatures)
 	}
 	if rows64*features64 > maxBinaryElems {
-		return "", nil, fmt.Errorf("%w: %d×%d matrix exceeds the %d-element limit", ErrBadBatchEncoding, rows64, features64, maxBinaryElems)
+		return "", nil, 0, 0, fmt.Errorf("%w: %d×%d matrix exceeds the %d-element limit", ErrBadBatchEncoding, rows64, features64, maxBinaryElems)
 	}
-	nRows, features := int(rows64), int(features64)
+	nRows, features = int(rows64), int(features64)
 	n := nRows * features
-	if len(frame) < 14+nameLen+n*8 {
-		return "", nil, fmt.Errorf("%w: short payload: %d bytes for %d×%d", ErrBadBatchEncoding, len(frame)-14, nRows, features)
+	if len(frame) < batchHeaderSize+nameLen+n*8 {
+		return "", nil, 0, 0, fmt.Errorf("%w: short payload: %d bytes for %d×%d", ErrBadBatchEncoding, len(frame)-batchHeaderSize, nRows, features)
 	}
-	name := frame[14 : 14+nameLen]
+	name := frame[batchHeaderSize : batchHeaderSize+nameLen]
 	// This is the serving hot path; the wire format is little-endian
 	// float64, so on a matching host no per-element conversion is needed.
 	// Three tiers, fastest first:
@@ -266,8 +283,8 @@ func (s *batchScratch) decodeRequestBytes(frame []byte, maxRows int, aliasOK boo
 	//  2. Little-endian host, unaligned: one memmove into the scratch
 	//     array's backing store, at copy bandwidth.
 	//  3. Other hosts: an 8-way unrolled load/convert/store loop.
-	p := frame[14+nameLen:]
-	flat := s.flat
+	p := frame[batchHeaderSize+nameLen:]
+	flat = s.flat
 	if aliasOK && hostLittleEndian && n > 0 && uintptr(unsafe.Pointer(&p[0]))%8 == 0 {
 		flat = unsafe.Slice((*float64)(unsafe.Pointer(&p[0])), n)
 	} else {
@@ -298,6 +315,13 @@ func (s *batchScratch) decodeRequestBytes(frame []byte, maxRows int, aliasOK boo
 			f[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[i*8:]))
 		}
 	}
+	return string(name), flat, nRows, features, nil
+}
+
+// rowsFromFlat builds the per-row views over a flat matrix returned by
+// decodeRequestFlat, reusing the scratch's row-header slice. The rows alias
+// flat and share its validity.
+func (s *batchScratch) rowsFromFlat(flat []float64, nRows, features int) [][]float64 {
 	if cap(s.rows) >= nRows {
 		s.rows = s.rows[:nRows]
 	} else {
@@ -306,7 +330,7 @@ func (s *batchScratch) decodeRequestBytes(frame []byte, maxRows int, aliasOK boo
 	for i := range s.rows {
 		s.rows[i] = flat[i*features : (i+1)*features : (i+1)*features]
 	}
-	return string(name), s.rows, nil
+	return s.rows
 }
 
 // SHMAlignSkip returns how many bytes of padding to leave before payload in

@@ -25,6 +25,7 @@
 package serve
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"os"
@@ -196,6 +197,18 @@ type Config struct {
 	// test knob — small slots force the oversized-payload fallback.
 	SHMSlots    int
 	SHMSlotSize int
+	// Shards splits the serving core into per-core engine shards, each
+	// owning a consistent-hash partition of the model set (0 = GOMAXPROCS).
+	// Read by NewShardedEngine; a plain Engine ignores it.
+	Shards int
+	// Tenants maps tenant names to weighted-fair-admission weights. When
+	// set (on a sharded engine), the single MaxInflight fail-fast semaphore
+	// is replaced by per-tenant weighted fair queuing with MaxInflight as
+	// the concurrency capacity; tenants outside the map get weight 1.
+	Tenants map[string]float64
+	// TenantQueue bounds each tenant's admission queue (0 = 16). Arrivals
+	// beyond it fail with *BusyError carrying a computed Retry-After.
+	TenantQueue int
 }
 
 // Mirror receives a copy of every successful classification predict after
@@ -257,12 +270,8 @@ type Engine struct {
 	requests atomic.Int64
 	errors   atomic.Int64
 	reloads  atomic.Int64
-	// Shared-memory transport state: a name sequence for segment files, the
-	// doorbell-write counter (the observable behind the zero-syscall claim),
-	// and the live ring-serving connection count.
-	shmSeq   atomic.Uint64
-	shmWakes atomic.Int64
-	shmConns atomic.Int64
+	// shm is the shared-memory transport accounting (see shmCounters).
+	shm shmCounters
 	// latency records nanoseconds per successful predict call, across all
 	// transports (HTTP and both socket framings share this one histogram).
 	latency *histo.Histogram
@@ -278,6 +287,13 @@ func NewEngine(dir string, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	return newEngineFromRegistry(reg, cfg), nil
+}
+
+// newEngineFromRegistry builds an engine around an already-loaded registry
+// generation — the constructor core shared by NewEngine and the sharded
+// engine, whose shards each serve one partition of a registry loaded once.
+func newEngineFromRegistry(reg *registry, cfg Config) *Engine {
 	e := &Engine{cfg: cfg, start: time.Now(), latency: histo.New()}
 	if w := parallel.Workers(cfg.Workers); w > 1 {
 		e.sem = make(chan struct{}, w-1)
@@ -286,7 +302,7 @@ func NewEngine(dir string, cfg Config) (*Engine, error) {
 		e.inflight = make(chan struct{}, cfg.MaxInflight)
 	}
 	e.reg.Store(reg)
-	return e, nil
+	return e
 }
 
 // LoadDir builds an engine with the default Config from every *.metis
@@ -356,6 +372,15 @@ func loadRegistry(dir string) (*registry, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: %s: %w", path, err)
 		}
+		// Quantization is bit-identical to the compiled form, so every
+		// classification tree gets the flat serving representation up front —
+		// that is what the transports' fused predict fast path keys on. Trees
+		// that cannot quantize simply serve through the compiled walker.
+		if entry.Quantized == nil && entry.Compiled != nil && !entry.Compiled.IsRegression() {
+			if q, qerr := entry.Compiled.Quantize(); qerr == nil {
+				entry.Quantized = q
+			}
+		}
 		if _, dup := reg.models[name]; dup {
 			return nil, fmt.Errorf("serve: duplicate model name %q (set distinct \"name\" metadata)", name)
 		}
@@ -376,16 +401,30 @@ func loadRegistry(dir string) (*registry, error) {
 func (e *Engine) Reload(dir string) error {
 	e.reloadMu.Lock()
 	defer e.reloadMu.Unlock()
-	old := e.reg.Load()
 	if dir == "" {
-		dir = old.dir
+		dir = e.reg.Load().dir
 	}
 	reg, err := loadRegistry(dir)
 	if err != nil {
 		return err
 	}
+	e.swapRegistryLocked(reg)
+	return nil
+}
+
+// swapRegistry atomically installs a new registry generation with stats
+// carry-over — the reload core, also driven by the sharded engine when it
+// re-partitions an externally loaded registry across its shards.
+func (e *Engine) swapRegistry(reg *registry) {
+	e.reloadMu.Lock()
+	defer e.reloadMu.Unlock()
+	e.swapRegistryLocked(reg)
+}
+
+func (e *Engine) swapRegistryLocked(reg *registry) {
+	old := e.reg.Load()
 	for name, m := range reg.models {
-		if prev, ok := old.models[name]; ok {
+		if prev, ok := old.models[name]; ok && m != prev {
 			// In-flight requests on the old generation may still bump prev
 			// after this copy; that sliver of drift is accepted — counters
 			// are operational telemetry, not an exactness contract.
@@ -395,7 +434,6 @@ func (e *Engine) Reload(dir string) error {
 	}
 	e.reg.Store(reg)
 	e.reloads.Add(1)
-	return nil
 }
 
 // Dir returns the artifact directory backing the current registry
@@ -563,6 +601,146 @@ func (e *Engine) mirrorSnapshot() *MirrorSnapshot {
 	}
 	snap := (*mp).Snapshot()
 	return &snap
+}
+
+// The Backend accessor surface (see front.go): the flat engine is the
+// single-shard, untenanted implementation.
+
+// predictTenant is PredictInto under a tenant identity. A flat engine has no
+// tenant gating — admission is the MaxInflight fail-fast semaphore inside
+// PredictInto — so the identity is ignored.
+func (e *Engine) predictTenant(tenant, name string, rows [][]float64, p *Prediction) error {
+	return e.PredictInto(name, rows, p)
+}
+
+func (e *Engine) config() Config                      { return e.cfg }
+func (e *Engine) addError()                           { e.errors.Add(1) }
+func (e *Engine) requestsTotal() int64                { return e.requests.Load() }
+func (e *Engine) errorsTotal() int64                  { return e.errors.Load() }
+func (e *Engine) startTime() time.Time                { return e.start }
+func (e *Engine) shmc() *shmCounters                  { return &e.shm }
+func (e *Engine) shardStats() []ShardStats            { return nil }
+func (e *Engine) tenantStats() map[string]TenantStats { return nil }
+func (e *Engine) latencySummary() map[string]any      { return latencyBody(e.latency) }
+func (e *Engine) shardIndex(string) int               { return 0 }
+func (e *Engine) shardCount() int                     { return 1 }
+
+// busyRetryAfter estimates when a rejected caller should come back: with a
+// fail-fast semaphore the expected wait is one in-flight call's service
+// time, approximated by the engine's mean predict latency.
+func (e *Engine) busyRetryAfter() time.Duration {
+	return clampRetryAfter(time.Duration(e.latency.Mean()))
+}
+
+// statFlushEvery is the serving loops' stats-batching window: per-batch
+// counter and latency updates accumulate locally and flush every this many
+// batches (or on idle, or when the target model changes).
+const statFlushEvery = 64
+
+// statBatch accumulates the per-predict accounting of a serving loop — the
+// engine/model request counters and the latency samples — so the steady
+// state pays a handful of atomic adds per statFlushEvery batches instead of
+// five per batch. A loop owns one statBatch, notes every fast-path predict
+// into it, and must flush before parking idle and at teardown.
+type statBatch struct {
+	e     *Engine
+	m     *Model
+	reqs  int64
+	preds int64
+	lat   [statFlushEvery]int64
+	n     int
+}
+
+// note records one successful predict of preds rows on (e, m).
+func (st *statBatch) note(e *Engine, m *Model, preds, latNs int64) {
+	if st.e != e || st.m != m {
+		st.flush()
+		st.e, st.m = e, m
+	}
+	st.reqs++
+	st.preds += preds
+	st.lat[st.n] = latNs
+	st.n++
+	if st.n == statFlushEvery {
+		st.flush()
+	}
+}
+
+// flush publishes the accumulated counters. Safe to call when empty.
+func (st *statBatch) flush() {
+	if st.e == nil || st.reqs == 0 {
+		return
+	}
+	st.e.requests.Add(st.reqs)
+	st.m.requests.Add(st.reqs)
+	st.m.predictions.Add(st.preds)
+	st.e.latency.RecordBatch(st.lat[:st.n])
+	st.reqs, st.preds, st.n = 0, 0, 0
+}
+
+// flatSlotCheck classifies a flat-matrix predict for the fast path:
+// handled=false means the caller must take the generic decode+predict path
+// (non-quantized or regression model, a mirror tapping predictions, an
+// empty batch, or a response that would not fit the slot); a non-nil error
+// is a terminal request failure. Error paths account the request themselves.
+func (e *Engine) flatSlotCheck(name string, nRows, features, slotCap int) (m *Model, handled bool, err error) {
+	m, ok := e.reg.Load().models[name]
+	if !ok {
+		e.requests.Add(1)
+		return nil, true, &UnknownModelError{Name: name}
+	}
+	q := m.Quantized
+	if q == nil || q.IsRegression() || e.mirror.Load() != nil || nRows == 0 || 13+nRows*4 > slotCap {
+		return nil, false, nil
+	}
+	// One width check for the whole batch: the wire format guarantees every
+	// row has the header's width, so the per-row validation loop of the
+	// generic path collapses to this single comparison.
+	if features != q.NumFeatures {
+		e.requests.Add(1)
+		return nil, true, &DimensionError{Model: m.Name, Row: 0, Got: features, Want: q.NumFeatures}
+	}
+	return m, true, nil
+}
+
+// flatSlotRun fuses quantized classification with response encoding: each
+// row's action goes straight from the tree walk into the response slot as a
+// little-endian int32 — no intermediate Actions slice, no second pass.
+func (e *Engine) flatSlotRun(m *Model, flat []float64, nRows, features int, slot []byte, st *statBatch, t0 time.Time) []byte {
+	q := m.Quantized
+	out := slot[:13+nRows*4]
+	copy(out, batchMagic)
+	out[4] = batchKindActions
+	binary.LittleEndian.PutUint32(out[5:9], uint32(nRows))
+	binary.LittleEndian.PutUint32(out[9:13], 1)
+	e.forEachChunk(nRows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			binary.LittleEndian.PutUint32(out[13+i*4:],
+				uint32(int32(q.Predict(flat[i*features:(i+1)*features]))))
+		}
+	})
+	st.note(e, m, int64(nRows), time.Since(t0).Nanoseconds())
+	return out
+}
+
+// predictFlatSlot is the shared-memory transport's fast path (see Backend).
+// The tenant identity is ignored on a flat engine.
+func (e *Engine) predictFlatSlot(tenant, name string, flat []float64, nRows, features int, slot []byte, st *statBatch) ([]byte, bool, error) {
+	t0 := time.Now()
+	m, handled, err := e.flatSlotCheck(name, nRows, features, cap(slot))
+	if !handled || err != nil {
+		return nil, handled, err
+	}
+	if e.inflight != nil {
+		select {
+		case e.inflight <- struct{}{}:
+			defer func() { <-e.inflight }()
+		default:
+			e.requests.Add(1)
+			return nil, true, ErrBusy
+		}
+	}
+	return e.flatSlotRun(m, flat, nRows, features, slot, st, t0), true, nil
 }
 
 // growInts resizes s to n entries, reusing its backing array when it fits.

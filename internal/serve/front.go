@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Backend is the inference surface the transport fronts (HTTP mux, framed
+// unix socket, shared-memory rings) serve over. Two implementations exist:
+// Engine (one registry, the original flat core) and ShardedEngine (a
+// consistent-hash front over per-core Engine shards with weighted fair
+// multi-tenant admission). The interface carries unexported methods on
+// purpose — only this package can implement it, which keeps the transport/
+// core contract free to move without a compatibility surface.
+type Backend interface {
+	// The embeddable API, identical across both cores.
+	Predict(name string, rows [][]float64) (*Prediction, error)
+	PredictInto(name string, rows [][]float64, p *Prediction) error
+	Models() []*Model
+	Model(name string) (*Model, bool)
+	Reload(dir string) error
+	Dir() string
+	Skipped() []string
+	LoadedAt() time.Time
+	Reloads() int64
+	SetMirror(Mirror)
+	Handler() http.Handler
+	ServeUDS(l net.Listener) error
+	ServeSHM(l net.Listener) error
+	SHMWakes() int64
+	SHMConns() int64
+
+	// Transport-internal surface.
+
+	// predictTenant is PredictInto under a tenant identity: the sharded
+	// engine routes to the owning shard and applies weighted fair admission
+	// under the tenant's quota ("" = the model name keys the tenant).
+	predictTenant(tenant, name string, rows [][]float64, p *Prediction) error
+	// predictFlatSlot is the shared-memory fast path: classification
+	// inference straight off a flat row-major matrix with the response
+	// encoded in place into a ring slot, stats accumulated into st.
+	// handled=false means the caller must take the generic decode+predict
+	// path (nothing was accounted).
+	predictFlatSlot(tenant, model string, flat []float64, nRows, features int, slot []byte, st *statBatch) (out []byte, handled bool, err error)
+	maxBatch() int
+	config() Config
+	// addError is the transports' error-accounting point.
+	addError()
+	requestsTotal() int64
+	errorsTotal() int64
+	startTime() time.Time
+	shmc() *shmCounters
+	mirrorSnapshot() *MirrorSnapshot
+	// shardStats returns the per-shard stats blocks (nil for an unsharded
+	// engine — its stats document stays byte-identical to the original).
+	shardStats() []ShardStats
+	// tenantStats returns the weighted-fair-admission counters (nil when no
+	// tenant gating is configured).
+	tenantStats() map[string]TenantStats
+	latencySummary() map[string]any
+	// busyRetryAfter derives the Retry-After hint for an ErrBusy that
+	// carries no computed one: the expected time for capacity to free.
+	busyRetryAfter() time.Duration
+	dispatchWorkers() int
+	// shardIndex returns the owning shard of a model (always 0 for an
+	// unsharded engine); shardCount the number of shards.
+	shardIndex(model string) int
+	shardCount() int
+}
+
+// shmCounters is the shared-memory transport accounting each Backend owns:
+// a name sequence for segment files, the doorbell-write counter (the
+// observable behind the zero-syscall claim), and the live ring connection
+// count.
+type shmCounters struct {
+	seq   atomic.Uint64
+	wakes atomic.Int64
+	conns atomic.Int64
+}
+
+// ShardStats is one shard's block in the sharded engine's stats document.
+type ShardStats struct {
+	Shard       int   `json:"shard"`
+	Models      int   `json:"models"`
+	Requests    int64 `json:"requests"`
+	Predictions int64 `json:"predictions"`
+}
+
+// TenantStats is one tenant's weighted-fair-admission counters.
+type TenantStats struct {
+	Weight float64 `json:"weight"`
+	// Admitted counts calls that passed the gate (immediately or after
+	// queueing); Rejected counts calls shed at a full tenant queue; Shed
+	// counts queued waiters evicted under global overload (the most-
+	// over-quota tenant loses its newest waiter first).
+	Admitted int64 `json:"admitted"`
+	Rejected int64 `json:"rejected"`
+	Shed     int64 `json:"shed"`
+	// Queued is the live queue depth at snapshot time.
+	Queued int `json:"queued"`
+}
+
+// front binds the transport implementations to a Backend. All transport
+// methods hang off it; Engine and ShardedEngine expose Handler/ServeUDS/
+// ServeSHM as one-line delegations through a front.
+type front struct{ b Backend }

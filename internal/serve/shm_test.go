@@ -3,6 +3,7 @@ package serve
 import (
 	"bufio"
 	"bytes"
+	"fmt"
 	"net"
 	"net/http"
 	"os"
@@ -454,7 +455,9 @@ func TestSHMEncodeBounded(t *testing.T) {
 		t.Fatal(err)
 	}
 	slot := make([]byte, 0, 256)
-	out := e.shmEncode(req.Bytes(), s, slot)
+	var st statBatch
+	out := (&front{e}).shmEncode(req.Bytes(), s, slot, &st)
+	st.flush()
 	if &out[0] != &slot[:1][0] {
 		t.Fatal("shmEncode escaped the slot")
 	}
@@ -473,5 +476,141 @@ func TestSHMEncodeBounded(t *testing.T) {
 	out = appendErrorPayloadBounded(make([]byte, 0, 64), http.StatusBadRequest, string(long))
 	if len(out) != 64 {
 		t.Fatalf("bounded error length %d, want 64", len(out))
+	}
+}
+
+// TestSHMShardedDispatch drives the windowed per-shard dispatch loop: on a
+// multi-core host a sharded backend answers pipelined ring traffic for
+// models on different shards concurrently, in request order, bit-identical
+// to the in-process engine — with control frames and errors interleaved.
+func TestSHMShardedDispatch(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		// The sharded loop only engages with real parallelism available;
+		// raise it for this test and restore after.
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	}
+	dir, tree := shardFixtureDir(t, 8)
+	s, err := NewShardedEngine(dir, Config{Shards: 4, SHMDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock := filepath.Join(t.TempDir(), "metis.sock")
+	l, err := ListenUDS(sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.ServeSHM(l) }()
+	t.Cleanup(func() {
+		l.Close()
+		if err := <-done; err != nil {
+			t.Errorf("ServeSHM: %v", err)
+		}
+	})
+	conn, err := net.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	br := bufio.NewReader(conn)
+	seg := shmOpen(t, conn, br, shmring.Geometry{})
+
+	// Pipeline a burst of requests across all 8 models (spread over the 4
+	// shards) without reading a single response: the window fills and the
+	// per-shard workers overlap.
+	rows := [][]float64{{0.9, 0.1}, {0.2, 0.7}, {0.5, 0.5}}
+	want := make([]int, len(rows))
+	for i, row := range rows {
+		want[i] = tree.Predict(row)
+	}
+	const burst = 24
+	publish := func(id uint32, payload []byte) {
+		t.Helper()
+		var slot []byte
+		for {
+			sl, ok := seg.Req.Reserve()
+			if ok {
+				slot = sl
+				break
+			}
+			runtime.Gosched()
+		}
+		skip := SHMAlignSkip(payload)
+		slot = slot[:skip+len(payload)]
+		copy(slot[skip:], payload)
+		seg.Req.PublishAt(id, skip, len(payload))
+		if seg.Req.TakeWaiting() {
+			if err := WriteFrame(conn, DoorbellPayload); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var req bytes.Buffer
+	for id := uint32(1); id <= burst; id++ {
+		req.Reset()
+		model := fmt.Sprintf("m%02d", int(id)%8)
+		if err := EncodeBatchRequest(&req, model, rows); err != nil {
+			t.Fatal(err)
+		}
+		publish(id, req.Bytes())
+	}
+	// A control frame and a junk frame ride the same dispatch path.
+	ctrl, err := ControlRequest("stats", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	publish(burst+1, ctrl)
+	publish(burst+2, []byte("XXXXjunk"))
+
+	deadline := time.Now().Add(20 * time.Second)
+	got := map[uint32]string{}
+	for len(got) < burst+2 {
+		rid, payload, ok, err := seg.Resp.Peek()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			if time.Now().After(deadline) {
+				t.Fatalf("only %d/%d responses", len(got), burst+2)
+			}
+			runtime.Gosched()
+			continue
+		}
+		switch {
+		case rid <= burst:
+			if FrameKind(payload) != batchMagic {
+				t.Fatalf("id %d answered kind=%q", rid, FrameKind(payload))
+			}
+			p, err := DecodeBatchResponse(bytes.NewReader(payload))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := range rows {
+				if p.Actions[r] != want[r] {
+					t.Fatalf("id %d row %d: action %d, want %d", rid, r, p.Actions[r], want[r])
+				}
+			}
+		case rid == burst+1:
+			if FrameKind(payload) != jsonMagic {
+				t.Fatalf("control answered kind=%q", FrameKind(payload))
+			}
+		default:
+			if FrameKind(payload) != errMagic {
+				t.Fatalf("junk answered kind=%q", FrameKind(payload))
+			}
+		}
+		got[rid] = string(payload[:4])
+		seg.Resp.Advance()
+	}
+	if c := s.SHMConns(); c != 1 {
+		t.Fatalf("SHMConns = %d, want 1", c)
+	}
+	// The batched stats flushed: every request was counted on some shard.
+	if total := s.requestsTotal(); total != burst {
+		// The flush happens when the loop parks idle; give it a moment.
+		time.Sleep(50 * time.Millisecond)
+		if total = s.requestsTotal(); total != burst {
+			t.Fatalf("requestsTotal = %d, want %d", total, burst)
+		}
 	}
 }

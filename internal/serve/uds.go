@@ -227,10 +227,10 @@ func ListenUDS(path string) (net.Listener, error) {
 // is visible on the socket and over HTTP in the same instant. It returns nil
 // on a clean listener close. Shared-memory negotiation is declined (clients
 // fall back to v2); see ServeSHM.
-func (e *Engine) ServeUDS(l net.Listener) error { return e.serveFramed(l, false) }
+func (e *Engine) ServeUDS(l net.Listener) error { return (&front{e}).serveFramed(l, false) }
 
 // serveFramed is the accept loop shared by ServeUDS and ServeSHM.
-func (e *Engine) serveFramed(l net.Listener, allowSHM bool) error {
+func (f *front) serveFramed(l net.Listener, allowSHM bool) error {
 	var wg sync.WaitGroup
 	defer wg.Wait()
 	for {
@@ -252,7 +252,7 @@ func (e *Engine) serveFramed(l net.Listener, allowSHM bool) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			e.serveUDSConn(conn, true, allowSHM)
+			f.serveUDSConn(conn, true, allowSHM)
 		}()
 	}
 }
@@ -264,7 +264,7 @@ func (e *Engine) serveFramed(l net.Listener, allowSHM bool) error {
 // frame buffer, the decode/predict/encode scratch, the response buffer — is
 // allocated once and reused for every frame, so a pinned connection serves
 // at a steady-state allocation rate of zero.
-func (e *Engine) serveUDSConn(conn net.Conn, allowV2, allowSHM bool) {
+func (f *front) serveUDSConn(conn net.Conn, allowV2, allowSHM bool) {
 	defer conn.Close()
 	// 256 KiB: large enough that a full default-max-batch predict frame fits
 	// the pipelined mode's zero-copy peek window, and cheap at the handful of
@@ -289,11 +289,11 @@ func (e *Engine) serveUDSConn(conn net.Conn, allowV2, allowSHM bool) {
 			if err := WriteFrame(conn, []byte(HelloMagic)); err != nil {
 				return
 			}
-			e.serveUDSPipelined(conn, br, allowSHM)
+			f.serveUDSPipelined(conn, br, allowSHM)
 			return
 		}
 		first = false
-		out = e.udsDispatch(frame, s, out[:0])
+		out = f.udsDispatch(frame, s, out[:0])
 		if err := WriteFrame(conn, out); err != nil {
 			return
 		}
@@ -301,14 +301,14 @@ func (e *Engine) serveUDSConn(conn net.Conn, allowV2, allowSHM bool) {
 }
 
 // udsDispatch answers one request payload (either framing version) into out.
-func (e *Engine) udsDispatch(frame []byte, s *batchScratch, out []byte) []byte {
+func (f *front) udsDispatch(frame []byte, s *batchScratch, out []byte) []byte {
 	switch FrameKind(frame) {
 	case batchMagic:
-		return e.udsPredict(frame, s, out)
+		return f.udsPredict(frame, s, out)
 	case controlMagic:
-		return e.udsControl(frame[4:], out)
+		return f.udsControl(frame[4:], out)
 	default:
-		e.errors.Add(1)
+		f.b.addError()
 		return appendErrorPayload(out, http.StatusBadRequest,
 			fmt.Sprintf("unknown frame magic %q", FrameKind(frame)))
 	}
@@ -363,8 +363,8 @@ type udsV2Resp struct {
 // dead air. When allowSHM is set the reader additionally speaks the MTS1
 // handshake, and a completed handshake drains this whole apparatus and hands
 // the connection to serveSHM.
-func (e *Engine) serveUDSPipelined(conn net.Conn, br *bufio.Reader, allowSHM bool) {
-	workers := e.dispatchWorkers()
+func (f *front) serveUDSPipelined(conn net.Conn, br *bufio.Reader, allowSHM bool) {
+	workers := f.b.dispatchWorkers()
 	jobs := make(chan udsV2Job, udsPipelineQueue)
 	resps := make(chan udsV2Resp, udsPipelineQueue+workers)
 	writerDone := make(chan struct{})
@@ -436,10 +436,10 @@ func (e *Engine) serveUDSPipelined(conn net.Conn, br *bufio.Reader, allowSHM boo
 			for j := range jobs {
 				outp := udsBufPool.Get().(*[]byte)
 				if j.s != nil {
-					*outp = e.udsPredictDecoded(j.model, j.rows, j.derr, &j.s.pred, (*outp)[:0])
+					*outp = f.udsPredictDecoded(j.model, j.rows, j.derr, &j.s.pred, (*outp)[:0])
 					batchScratchPool.Put(j.s)
 				} else {
-					*outp = e.udsDispatch(*j.req, ws, (*outp)[:0])
+					*outp = f.udsDispatch(*j.req, ws, (*outp)[:0])
 					udsBufPool.Put(j.req)
 				}
 				resps <- udsV2Resp{id: j.id, out: outp}
@@ -488,7 +488,7 @@ func (e *Engine) serveUDSPipelined(conn net.Conn, br *bufio.Reader, allowSHM boo
 		}
 		frame := full[8:]
 		if allowSHM && FrameKind(frame) == SHMMagic {
-			ready, ok := e.shmHandshake(frame, id, &pendingSeg, resps)
+			ready, ok := f.shmHandshake(frame, id, &pendingSeg, resps)
 			br.Discard(n + 8)
 			if !ok {
 				break
@@ -503,7 +503,7 @@ func (e *Engine) serveUDSPipelined(conn net.Conn, br *bufio.Reader, allowSHM boo
 			s := batchScratchPool.Get().(*batchScratch)
 			// aliasOK=false: frame is a bufio peek, invalidated by the
 			// Discard below while the dispatched job still holds the rows.
-			model, rows, derr := s.decodeRequestBytes(frame, e.maxBatch(), false)
+			model, rows, derr := s.decodeRequestBytes(frame, f.b.maxBatch(), false)
 			br.Discard(n + 8)
 			jobs <- udsV2Job{id: id, s: s, model: model, rows: rows, derr: derr}
 		} else {
@@ -525,61 +525,62 @@ func (e *Engine) serveUDSPipelined(conn net.Conn, br *bufio.Reader, allowSHM boo
 		// The client is mapped (it said ready): drop the file name now so a
 		// crash on either side from here on leaks nothing, then serve rings.
 		liveSeg.Unlink()
-		e.serveSHM(conn, br, liveSeg)
+		f.serveSHM(conn, br, liveSeg)
 	}
 }
 
 // udsPredict answers one predict frame, encoding the response (or the error
 // frame) into out. The frame is decoded in place — no copy of the feature
 // payload is made.
-func (e *Engine) udsPredict(frame []byte, s *batchScratch, out []byte) []byte {
+func (f *front) udsPredict(frame []byte, s *batchScratch, out []byte) []byte {
 	// aliasOK: frame is the connection's own read buffer, untouched until
 	// the next ReadFrame — and the rows are consumed right here.
-	model, rows, err := s.decodeRequestBytes(frame, e.maxBatch(), true)
-	return e.udsPredictDecoded(model, rows, err, &s.pred, out)
+	model, rows, err := s.decodeRequestBytes(frame, f.b.maxBatch(), true)
+	return f.udsPredictDecoded(model, rows, err, &s.pred, out)
 }
 
 // udsPredictDecoded answers an already-decoded predict request, encoding the
 // response (or the error frame) into out. derr is the decode error, if any —
 // rendered here so pipelined decode errors flow through the same response
 // path as everything else.
-func (e *Engine) udsPredictDecoded(model string, rows [][]float64, derr error, pred *Prediction, out []byte) []byte {
+func (f *front) udsPredictDecoded(model string, rows [][]float64, derr error, pred *Prediction, out []byte) []byte {
 	if derr != nil {
-		return e.udsError(out, derr)
+		return f.udsError(out, derr)
 	}
 	if model == "" {
-		return e.udsError(out, fmt.Errorf("%w: empty model name", ErrBadBatchEncoding))
+		return f.udsError(out, fmt.Errorf("%w: empty model name", ErrBadBatchEncoding))
 	}
-	if err := e.PredictInto(model, rows, pred); err != nil {
-		return e.udsError(out, err)
+	// Socket requests carry no tenant field; the model name keys the tenant.
+	if err := f.b.predictTenant("", model, rows, pred); err != nil {
+		return f.udsError(out, err)
 	}
 	resp, err := appendBatchResponse(out, pred)
 	if err != nil {
-		return e.udsError(out, err)
+		return f.udsError(out, err)
 	}
 	return resp
 }
 
 // udsControl answers one control frame with the same JSON bodies the HTTP
 // routes render.
-func (e *Engine) udsControl(body []byte, out []byte) []byte {
+func (f *front) udsControl(body []byte, out []byte) []byte {
 	var req controlReq
 	if err := json.Unmarshal(body, &req); err != nil {
-		e.errors.Add(1)
+		f.b.addError()
 		return appendErrorPayload(out, http.StatusBadRequest, "bad control body: "+err.Error())
 	}
 	var resp any
 	switch req.Op {
 	case "models":
 		infos := []modelInfo{}
-		for _, m := range e.Models() {
+		for _, m := range f.b.Models() {
 			infos = append(infos, m.info())
 		}
 		resp = map[string]any{"models": infos}
 	case "model":
-		m, ok := e.Model(req.Name)
+		m, ok := f.b.Model(req.Name)
 		if !ok {
-			e.errors.Add(1)
+			f.b.addError()
 			return appendErrorPayload(out, http.StatusNotFound, fmt.Sprintf("unknown model %q", req.Name))
 		}
 		resp = modelDetail{
@@ -587,25 +588,25 @@ func (e *Engine) udsControl(body []byte, out []byte) []byte {
 			Stats:     modelStats{Requests: m.requests.Load(), Predictions: m.predictions.Load()},
 		}
 	case "stats":
-		resp = e.statsBody()
+		resp = f.statsBody()
 	case "reload":
-		if err := e.Reload(req.Dir); err != nil {
-			e.errors.Add(1)
+		if err := f.b.Reload(req.Dir); err != nil {
+			f.b.addError()
 			return appendErrorPayload(out, http.StatusConflict, err.Error())
 		}
 		names := make([]string, 0)
-		for _, m := range e.Models() {
+		for _, m := range f.b.Models() {
 			names = append(names, m.Name)
 		}
-		resp = map[string]any{"reloaded": true, "dir": e.Dir(), "models": names, "skipped": len(e.Skipped())}
+		resp = map[string]any{"reloaded": true, "dir": f.b.Dir(), "models": names, "skipped": len(f.b.Skipped())}
 	default:
-		e.errors.Add(1)
+		f.b.addError()
 		return appendErrorPayload(out, http.StatusNotFound,
 			fmt.Sprintf("unknown control op %q (supported: models, model, stats, reload)", req.Op))
 	}
 	enc, err := json.Marshal(resp)
 	if err != nil {
-		e.errors.Add(1)
+		f.b.addError()
 		return appendErrorPayload(out, http.StatusInternalServerError, err.Error())
 	}
 	return append(append(out, jsonMagic...), enc...)
@@ -614,8 +615,8 @@ func (e *Engine) udsControl(body []byte, out []byte) []byte {
 // udsError renders err as an "MTE1" payload with the same status mapping as
 // the HTTP layer, and accounts it in the engine error counter — the socket
 // transport's single error-accounting point.
-func (e *Engine) udsError(out []byte, err error) []byte {
-	e.errors.Add(1)
+func (f *front) udsError(out []byte, err error) []byte {
+	f.b.addError()
 	return appendErrorPayload(out, errorStatus(err), err.Error())
 }
 

@@ -153,11 +153,21 @@ type sample struct {
 	actions []int
 }
 
+// Engine is the slice of a serving engine the monitor needs: model lookup
+// for enrollment, mirror installation, and reload to pick up refit
+// artifacts. Both *serve.Engine and *serve.ShardedEngine satisfy it.
+type Engine interface {
+	Model(name string) (*serve.Model, bool)
+	Models() []*serve.Model
+	Reload(dir string) error
+	SetMirror(m serve.Mirror)
+}
+
 // Monitor is the shadow-scoring subsystem: it implements serve.Mirror and
 // owns one scorer/controller goroutine per enrolled model. Enroll before
 // Start; Observe and Snapshot are safe for concurrent use afterwards.
 type Monitor struct {
-	engine  *serve.Engine
+	engine  Engine
 	opts    Options
 	workers map[string]*worker
 
@@ -169,7 +179,7 @@ type Monitor struct {
 
 // NewMonitor returns an empty monitor over the engine. Enroll models (or
 // EnrollScenarios), then Start.
-func NewMonitor(e *serve.Engine, opts Options) *Monitor {
+func NewMonitor(e Engine, opts Options) *Monitor {
 	opts.defaults()
 	return &Monitor{
 		engine:  e,
